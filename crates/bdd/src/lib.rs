@@ -1,0 +1,26 @@
+#![warn(missing_docs)]
+
+//! Binary decision diagrams and permutation-driven classification.
+//!
+//! Two of the paper's motivating applications for fast permutation
+//! generation, made runnable:
+//!
+//! - **BDD variable ordering** (intro, citing Bryant): "the BDD of the
+//!   Achilles Heel function has polynomial number of nodes for the
+//!   optimum ordering and exponential number of nodes for the worst case
+//!   ordering. Determining the optimum ordering involves the generation
+//!   of typically many permutations." [`Manager`] is a hash-consed ROBDD
+//!   engine; [`ordering`] enumerates variable orders via the factorial-
+//!   number-system index and measures node counts.
+//! - **P-equivalence** (intro, citing Debnath & Sasao): two functions are
+//!   P-equivalent if they differ only by a permutation of variables;
+//!   [`pclass`] computes the canonical P-representative of a truth table
+//!   by scanning all `n!` variable permutations in index order.
+
+pub mod manager;
+pub mod ordering;
+pub mod pclass;
+
+pub use manager::{Manager, NodeId};
+pub use ordering::{achilles_heel, exhaustive_ordering_search, OrderingSearch};
+pub use pclass::{apply_var_permutation, p_representative, TruthTable};

@@ -1,0 +1,181 @@
+//! Variable-ordering search: the paper's motivating BDD application.
+//!
+//! "The complexity of the BDD is strongly dependent on the order in
+//! which variables are applied. For example, the BDD of the Achilles
+//! Heel function has polynomial number of nodes for the optimum ordering
+//! and exponential number of nodes for the worst case ordering.
+//! Determining the optimum ordering involves the generation of typically
+//! many permutations, testing how many nodes are required for each."
+//!
+//! [`exhaustive_ordering_search`] walks all `n!` orders *in factorial-
+//! number-system index order* — exactly the enumeration the paper's
+//! converter accelerates in hardware.
+
+use crate::manager::{Manager, NodeId};
+use hwperm_factoradic::IndexedPermutations;
+use hwperm_perm::Permutation;
+
+/// Builds the Achilles-heel function `⋁ᵢ (a_i ∧ b_i)` over `2k`
+/// variables, with logical variable `v` placed at decision level
+/// `order[v]`. Logical variables `2i` and `2i+1` form pair `i`.
+pub fn achilles_heel(m: &mut Manager, k: usize, order: &Permutation) -> NodeId {
+    assert_eq!(order.n(), 2 * k, "order must cover all 2k variables");
+    assert_eq!(m.num_vars(), 2 * k);
+    let mut f = NodeId::FALSE;
+    for i in 0..k {
+        let a = m.var(order.at(2 * i) as usize);
+        let b = m.var(order.at(2 * i + 1) as usize);
+        let pair = m.and(a, b);
+        f = m.or(f, pair);
+    }
+    f
+}
+
+/// Result of an exhaustive variable-ordering search.
+#[derive(Debug, Clone)]
+pub struct OrderingSearch {
+    /// Smallest BDD found.
+    pub best_size: usize,
+    /// An order achieving `best_size`.
+    pub best_order: Permutation,
+    /// Largest BDD found.
+    pub worst_size: usize,
+    /// An order achieving `worst_size`.
+    pub worst_order: Permutation,
+    /// Orders examined (= `n!`).
+    pub examined: u64,
+}
+
+/// Exhaustively searches all `(2k)!` variable orders of a `build`
+/// function, enumerated by factorial-number-system index (the workload
+/// the hardware converter feeds at one permutation per clock).
+///
+/// `build` receives a fresh manager and the order to evaluate.
+pub fn exhaustive_ordering_search(
+    num_vars: usize,
+    mut build: impl FnMut(&mut Manager, &Permutation) -> NodeId,
+) -> OrderingSearch {
+    let mut best: Option<(usize, Permutation)> = None;
+    let mut worst: Option<(usize, Permutation)> = None;
+    let mut examined = 0u64;
+    for (_index, order) in IndexedPermutations::all(num_vars) {
+        let mut m = Manager::new(num_vars);
+        let f = build(&mut m, &order);
+        let size = m.node_count(f);
+        if best.as_ref().is_none_or(|(s, _)| size < *s) {
+            best = Some((size, order.clone()));
+        }
+        if worst.as_ref().is_none_or(|(s, _)| size > *s) {
+            worst = Some((size, order));
+        }
+        examined += 1;
+    }
+    let (best_size, best_order) = best.expect("at least one order");
+    let (worst_size, worst_order) = worst.expect("at least one order");
+    OrderingSearch {
+        best_size,
+        best_order,
+        worst_size,
+        worst_order,
+        examined,
+    }
+}
+
+/// The known-good interleaved order `a_0 b_0 a_1 b_1 …` (identity).
+pub fn interleaved_order(k: usize) -> Permutation {
+    Permutation::identity(2 * k)
+}
+
+/// The known-bad separated order: all `a_i` first, then all `b_i`
+/// (logical variable `2i` → level `i`, variable `2i+1` → level `k + i`).
+pub fn separated_order(k: usize) -> Permutation {
+    let mut v = vec![0u32; 2 * k];
+    for i in 0..k {
+        v[2 * i] = i as u32;
+        v[2 * i + 1] = (k + i) as u32;
+    }
+    Permutation::try_from_vec(v).expect("separated order is a permutation")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn achilles_size(k: usize, order: &Permutation) -> usize {
+        let mut m = Manager::new(2 * k);
+        let f = achilles_heel(&mut m, k, order);
+        m.node_count(f)
+    }
+
+    #[test]
+    fn interleaved_order_is_linear() {
+        // Under a_i b_i interleaving the BDD has exactly 2k nodes.
+        for k in 1..=6 {
+            assert_eq!(achilles_size(k, &interleaved_order(k)), 2 * k, "k = {k}");
+        }
+    }
+
+    #[test]
+    fn separated_order_is_exponential() {
+        // Under the separated order the BDD needs ~3·2^k − 2 nodes
+        // (2^{k+1} − 2 upper nodes fanning out to the b-levels, plus the
+        // k-node tail); check exponential growth rather than a formula.
+        let sizes: Vec<usize> = (1..=6).map(|k| achilles_size(k, &separated_order(k))).collect();
+        for w in sizes.windows(2) {
+            assert!(
+                w[1] as f64 >= 1.7 * w[0] as f64,
+                "sizes should roughly double: {sizes:?}"
+            );
+        }
+        assert!(sizes[5] > 100, "k = 6 separated should exceed 100 nodes");
+    }
+
+    #[test]
+    fn achilles_function_semantics() {
+        let k = 3;
+        let mut m = Manager::new(2 * k);
+        let f = achilles_heel(&mut m, k, &interleaved_order(k));
+        // Satisfied iff some pair (2i, 2i+1) is both-true.
+        for bits in 0..64u32 {
+            let assignment: Vec<bool> = (0..6).map(|i| (bits >> i) & 1 == 1).collect();
+            let expected = (0..k).any(|i| assignment[2 * i] && assignment[2 * i + 1]);
+            assert_eq!(m.eval(f, &assignment), expected, "bits = {bits:06b}");
+        }
+    }
+
+    #[test]
+    fn exhaustive_search_finds_linear_optimum_k2() {
+        // 4 variables, 24 orders.
+        let search = exhaustive_ordering_search(4, |m, order| achilles_heel(m, 2, order));
+        assert_eq!(search.examined, 24);
+        assert_eq!(search.best_size, 4, "optimal = 2k");
+        assert!(search.worst_size > search.best_size);
+        // The identity (interleaved) order must be among the optima.
+        assert_eq!(achilles_size(2, &interleaved_order(2)), search.best_size);
+    }
+
+    #[test]
+    fn search_is_deterministic() {
+        let a = exhaustive_ordering_search(4, |m, order| achilles_heel(m, 2, order));
+        let b = exhaustive_ordering_search(4, |m, order| achilles_heel(m, 2, order));
+        assert_eq!(a.best_size, b.best_size);
+        assert_eq!(a.best_order, b.best_order);
+        assert_eq!(a.worst_order, b.worst_order);
+    }
+
+    #[test]
+    fn ordering_invariance_of_semantics() {
+        // Any order computes the same function (sat count is invariant).
+        let k = 2;
+        let counts: Vec<u64> = [interleaved_order(k), separated_order(k)]
+            .iter()
+            .map(|order| {
+                let mut m = Manager::new(2 * k);
+                let f = achilles_heel(&mut m, k, order);
+                m.sat_count(f)
+            })
+            .collect();
+        assert_eq!(counts[0], counts[1]);
+        assert_eq!(counts[0], 7); // 16 − 9: both pairs failing = 3×3
+    }
+}

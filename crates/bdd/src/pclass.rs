@@ -1,0 +1,174 @@
+//! P-equivalence classification of Boolean functions.
+//!
+//! Two functions are *P-equivalent* if one becomes the other under a
+//! permutation of input variables (intro, citing Debnath & Sasao's
+//! canonical-form computation). The canonical *P-representative* used
+//! here is the numerically smallest truth table reachable by permuting
+//! variables — computing it scans all `n!` permutations, which is the
+//! lookup-table-classification workload the paper's converter feeds.
+
+use hwperm_factoradic::IndexedPermutations;
+use hwperm_perm::Permutation;
+
+/// A truth table over `vars ≤ 6` variables, packed LSB-first: bit `i`
+/// holds `f(x)` for the assignment whose bit `j` is `(i >> j) & 1`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TruthTable {
+    /// Packed function values.
+    pub bits: u64,
+    /// Number of input variables.
+    pub vars: usize,
+}
+
+impl TruthTable {
+    /// Builds a table, masking away rows beyond `2^vars`.
+    ///
+    /// # Panics
+    /// Panics if `vars > 6`.
+    pub fn new(vars: usize, bits: u64) -> Self {
+        assert!(vars <= 6, "packed truth tables support at most 6 variables");
+        let rows = 1usize << vars;
+        let mask = if rows == 64 { u64::MAX } else { (1u64 << rows) - 1 };
+        TruthTable {
+            bits: bits & mask,
+            vars,
+        }
+    }
+
+    /// Evaluates the function on an assignment given as packed bits.
+    pub fn eval(&self, assignment: u32) -> bool {
+        (self.bits >> assignment) & 1 == 1
+    }
+}
+
+/// Applies a variable permutation: the returned table computes
+/// `f(x_{π(0)}, …, x_{π(n−1)})`, i.e. input `j` of the new function is
+/// wired to input `π(j)` of the old one.
+pub fn apply_var_permutation(table: TruthTable, perm: &Permutation) -> TruthTable {
+    assert_eq!(perm.n(), table.vars, "permutation arity mismatch");
+    let rows = 1u32 << table.vars;
+    let mut out = 0u64;
+    for row in 0..rows {
+        // Build the permuted assignment: new variable j takes the value
+        // of old row bit, routed through the permutation.
+        let mut src = 0u32;
+        for j in 0..table.vars {
+            if (row >> j) & 1 == 1 {
+                src |= 1 << perm.at(j);
+            }
+        }
+        if table.eval(src) {
+            out |= 1 << row;
+        }
+    }
+    TruthTable::new(table.vars, out)
+}
+
+/// The canonical P-representative: the minimum truth table over all
+/// `n!` variable permutations, scanned in factorial-number-system index
+/// order. Returns the representative and the index of the permutation
+/// achieving it.
+pub fn p_representative(table: TruthTable) -> (TruthTable, u64) {
+    let mut best = table;
+    let mut best_index = 0u64;
+    for (index, perm) in IndexedPermutations::all(table.vars) {
+        let candidate = apply_var_permutation(table, &perm);
+        if candidate.bits < best.bits {
+            best = candidate;
+            best_index = index.to_u64().expect("n ≤ 6 so n! fits u64");
+        }
+    }
+    (best, best_index)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_permutation_is_noop() {
+        let t = TruthTable::new(3, 0b1011_0010);
+        let id = Permutation::identity(3);
+        assert_eq!(apply_var_permutation(t, &id), t);
+    }
+
+    #[test]
+    fn swapping_vars_of_symmetric_function_is_noop() {
+        // AND of 2 vars is symmetric: table 0b1000.
+        let t = TruthTable::new(2, 0b1000);
+        let swap = Permutation::try_from_slice(&[1, 0]).unwrap();
+        assert_eq!(apply_var_permutation(t, &swap), t);
+    }
+
+    #[test]
+    fn swapping_vars_of_projection() {
+        // f = x0 over 2 vars: rows 01, 11 true → 0b1010.
+        let x0 = TruthTable::new(2, 0b1010);
+        let x1 = TruthTable::new(2, 0b1100);
+        let swap = Permutation::try_from_slice(&[1, 0]).unwrap();
+        assert_eq!(apply_var_permutation(x0, &swap), x1);
+        assert_eq!(apply_var_permutation(x1, &swap), x0);
+    }
+
+    #[test]
+    fn permutation_action_composes() {
+        let t = TruthTable::new(3, 0b1100_1010);
+        let a = Permutation::try_from_slice(&[1, 2, 0]).unwrap();
+        let b = Permutation::try_from_slice(&[2, 0, 1]).unwrap();
+        let lhs = apply_var_permutation(apply_var_permutation(t, &a), &b);
+        // Applying a then b wires new input j → a(b(j)).
+        let ab = a.compose(&b);
+        let rhs = apply_var_permutation(t, &ab);
+        assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn p_equivalent_functions_share_representative() {
+        // x0 and x1 and x2 are pairwise P-equivalent projections.
+        let tables = [
+            TruthTable::new(3, 0b1010_1010), // x0
+            TruthTable::new(3, 0b1100_1100), // x1
+            TruthTable::new(3, 0b1111_0000), // x2
+        ];
+        let reps: Vec<_> = tables.iter().map(|&t| p_representative(t).0).collect();
+        assert_eq!(reps[0], reps[1]);
+        assert_eq!(reps[1], reps[2]);
+    }
+
+    #[test]
+    fn non_equivalent_functions_differ() {
+        let and2 = TruthTable::new(2, 0b1000);
+        let or2 = TruthTable::new(2, 0b1110);
+        assert_ne!(p_representative(and2).0, p_representative(or2).0);
+    }
+
+    #[test]
+    fn representative_is_idempotent() {
+        let t = TruthTable::new(4, 0xBEEF);
+        let (rep, _) = p_representative(t);
+        let (rep2, index2) = p_representative(rep);
+        assert_eq!(rep, rep2);
+        assert_eq!(index2, 0, "a representative canonicalizes to itself");
+    }
+
+    #[test]
+    fn class_counts_for_two_variables() {
+        // 16 functions of 2 variables fall into 12 P-classes (the four
+        // asymmetric pairs x0/x1, ¬x0/¬x1, x0¬x1 / ¬x0x1 (two such
+        // pairs) merge).
+        let mut reps = std::collections::HashSet::new();
+        for bits in 0..16u64 {
+            reps.insert(p_representative(TruthTable::new(2, bits)).0);
+        }
+        assert_eq!(reps.len(), 12);
+    }
+
+    #[test]
+    fn representative_never_exceeds_original() {
+        for bits in (0..256u64).step_by(7) {
+            let t = TruthTable::new(3, bits);
+            let (rep, _) = p_representative(t);
+            assert!(rep.bits <= t.bits);
+        }
+    }
+}

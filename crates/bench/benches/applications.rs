@@ -1,0 +1,99 @@
+//! Application-level benches: unique-permutation hashing vs classical
+//! probing, and the BDD variable-ordering search throughput.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use hwperm_bdd::{achilles_heel, exhaustive_ordering_search, Manager};
+use hwperm_hash::contention::measure_insert_contention;
+use hwperm_hash::{DoubleHashTable, LinearProbeTable, ProbeTable, UniquePermTable};
+
+fn bench_hash_strategies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hash_insert_to_full");
+    let capacity = 16;
+    group.bench_function("unique_permutation", |b| {
+        b.iter(|| {
+            black_box(measure_insert_contention(
+                || UniquePermTable::new(capacity),
+                capacity,
+                20,
+                7,
+            ))
+        })
+    });
+    group.bench_function("linear_probing", |b| {
+        b.iter(|| {
+            black_box(measure_insert_contention(
+                || LinearProbeTable::new(capacity),
+                capacity,
+                20,
+                7,
+            ))
+        })
+    });
+    group.bench_function("double_hashing", |b| {
+        b.iter(|| {
+            black_box(measure_insert_contention(
+                || DoubleHashTable::new(capacity),
+                capacity,
+                20,
+                7,
+            ))
+        })
+    });
+    group.finish();
+}
+
+fn bench_hash_lookup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hash_lookup_hit");
+    let mut table = UniquePermTable::new(16);
+    let keys: Vec<u64> = (0..14).map(|i| i * 7919 + 3).collect();
+    for &k in &keys {
+        table.insert(k);
+    }
+    let mut i = 0usize;
+    group.bench_function("unique_permutation", |b| {
+        b.iter(|| {
+            i = (i + 1) % keys.len();
+            black_box(table.lookup(black_box(keys[i])))
+        })
+    });
+    group.finish();
+}
+
+fn bench_bdd_ordering_search(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bdd_ordering_search");
+    group.sample_size(10);
+    for k in [2usize, 3] {
+        group.bench_with_input(BenchmarkId::new("achilles_exhaustive", 2 * k), &k, |b, &k| {
+            b.iter(|| {
+                black_box(exhaustive_ordering_search(2 * k, |m, order| {
+                    achilles_heel(m, k, order)
+                }))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_bdd_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bdd_build_achilles");
+    for k in [4usize, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(2 * k), &k, |b, &k| {
+            b.iter(|| {
+                let mut m = Manager::new(2 * k);
+                let order = hwperm_perm::Permutation::identity(2 * k);
+                let f = achilles_heel(&mut m, k, &order);
+                black_box(m.node_count(f))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_hash_strategies,
+    bench_hash_lookup,
+    bench_bdd_ordering_search,
+    bench_bdd_build
+);
+criterion_main!(benches);

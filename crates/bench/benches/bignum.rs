@@ -1,0 +1,58 @@
+//! Substrate microbenchmarks: the big-integer operations on the
+//! converter's hot path (factorials, division by small radix,
+//! multiplication).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use hwperm_bignum::Ubig;
+
+fn bench_factorial(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ubig_factorial");
+    for n in [20u64, 52, 100] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| black_box(Ubig::factorial(black_box(n))))
+        });
+    }
+    group.finish();
+}
+
+fn bench_divrem(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ubig_divrem");
+    let big = Ubig::factorial(52);
+    group.bench_function("divrem_u64_by_radix", |b| {
+        b.iter(|| black_box(big.divrem_u64(black_box(37))))
+    });
+    let divisor = Ubig::factorial(26);
+    group.bench_function("knuth_d_multi_limb", |b| {
+        b.iter(|| black_box(big.divrem(black_box(&divisor))))
+    });
+    group.finish();
+}
+
+fn bench_mul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ubig_mul");
+    let a = Ubig::factorial(40);
+    let b_val = Ubig::factorial(35);
+    group.bench_function("schoolbook", |b| {
+        b.iter(|| black_box(&a * &b_val))
+    });
+    group.bench_function("mul_u64", |b| {
+        b.iter(|| black_box(a.mul_u64(black_box(0xDEAD_BEEF))))
+    });
+    group.finish();
+}
+
+fn bench_decimal(c: &mut Criterion) {
+    let f100 = Ubig::factorial(100);
+    let s = f100.to_string();
+    let mut group = c.benchmark_group("ubig_decimal");
+    group.bench_function("to_string_100_factorial", |b| {
+        b.iter(|| black_box(f100.to_string()))
+    });
+    group.bench_function("parse_100_factorial", |b| {
+        b.iter(|| black_box(Ubig::from_decimal(black_box(&s)).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_factorial, bench_divrem, bench_mul, bench_decimal);
+criterion_main!(benches);

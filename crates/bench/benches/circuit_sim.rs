@@ -1,0 +1,46 @@
+//! Netlist simulation throughput: combinational single-shot conversion
+//! vs pipelined streaming (DESIGN.md §6.2), across circuit sizes.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hwperm_bignum::Ubig;
+use hwperm_circuits::{ConverterOptions, IndexToPermConverter};
+use hwperm_factoradic::factorials_u64;
+
+fn bench_combinational(c: &mut Criterion) {
+    let mut group = c.benchmark_group("converter_combinational");
+    for n in [4usize, 8, 12] {
+        let nfact = factorials_u64(n)[n];
+        let mut conv = IndexToPermConverter::new(n);
+        let mut i = 0u64;
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                i = (i + 17) % nfact;
+                black_box(conv.convert_u64(black_box(i)))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_pipelined_stream(c: &mut Criterion) {
+    let mut group = c.benchmark_group("converter_pipelined_stream");
+    for n in [4usize, 8] {
+        let nfact = factorials_u64(n)[n];
+        let indices: Vec<Ubig> = (0..256u64).map(|i| Ubig::from(i * 37 % nfact)).collect();
+        let mut conv = IndexToPermConverter::with_options(
+            n,
+            ConverterOptions {
+                pipelined: true,
+                perm_input_port: false,
+            },
+        );
+        group.throughput(Throughput::Elements(indices.len() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(conv.convert_stream(black_box(&indices))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_combinational, bench_pipelined_stream);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! The intro's enumerate-and-discard baseline vs direct conversion:
+//! time to produce all n! permutations each way.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use hwperm_bignum::Ubig;
+use hwperm_factoradic::{factorials_u64, unrank_u64, IndexedPermutations};
+use hwperm_perm::{bits_per_element, Permutation};
+
+fn naive_enumerate(n: usize) -> u64 {
+    let bits = n * bits_per_element(n);
+    let mut count = 0u64;
+    for w in 0..(1u64 << bits) {
+        if Permutation::unpack(n, &Ubig::from(w)).is_ok() {
+            count += 1;
+        }
+    }
+    count
+}
+
+fn bench_all_permutations(c: &mut Criterion) {
+    for n in [4usize, 5] {
+        let mut group = c.benchmark_group(format!("all_perms_n{n}"));
+        let nfact = factorials_u64(n)[n];
+
+        group.bench_function(BenchmarkId::new("naive_enumerate_discard", n), |b| {
+            b.iter(|| {
+                let c = naive_enumerate(black_box(n));
+                assert_eq!(c, nfact);
+                black_box(c)
+            })
+        });
+
+        group.bench_function(BenchmarkId::new("unrank_each_index", n), |b| {
+            b.iter(|| {
+                for i in 0..nfact {
+                    black_box(unrank_u64(n, i));
+                }
+            })
+        });
+
+        group.bench_function(BenchmarkId::new("unrank_then_successors", n), |b| {
+            b.iter(|| {
+                black_box(IndexedPermutations::all(n).count());
+            })
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_all_permutations);
+criterion_main!(benches);

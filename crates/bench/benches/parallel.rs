@@ -1,0 +1,29 @@
+//! Parallel block-generation scaling (DESIGN.md §6.5): derangement
+//! counting over all of S_9 with increasing worker counts.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hwperm_core::{parallel_count, ParallelPlan};
+
+fn bench_parallel_derangements(c: &mut Criterion) {
+    let n = 9usize; // 362,880 permutations
+    let total: u64 = (1..=n as u64).product();
+    let mut group = c.benchmark_group("parallel_derangement_count");
+    group.throughput(Throughput::Elements(total));
+    group.sample_size(10);
+    for workers in [1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(workers),
+            &workers,
+            |b, &workers| {
+                b.iter(|| {
+                    let plan = ParallelPlan::full(n, workers);
+                    black_box(parallel_count(&plan, |p| p.is_derangement()))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_parallel_derangements);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Ranking (permutation → index): the converter's inverse direction,
+//! plus Lehmer-code extraction and lexicographic succession.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use hwperm_factoradic::{factorials_u64, rank_u64, unrank_u64};
+use hwperm_perm::Permutation;
+
+fn bench_rank(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rank_u64");
+    for n in [4usize, 8, 16, 20] {
+        let nfact = factorials_u64(n)[n];
+        let perm = unrank_u64(n, nfact / 3);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(rank_u64(black_box(&perm))))
+        });
+    }
+    group.finish();
+}
+
+fn bench_lehmer(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lehmer_code");
+    for n in [8usize, 32, 64] {
+        let perm = Permutation::last_lex(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(perm.lehmer()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_next_lex(c: &mut Criterion) {
+    let mut group = c.benchmark_group("next_lex");
+    for n in [8usize, 32] {
+        let mut perm = Permutation::identity(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                perm = match perm.next_lex() {
+                    Some(p) => p,
+                    None => Permutation::identity(n),
+                };
+                black_box(&perm);
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_rank, bench_lehmer, bench_next_lex);
+criterion_main!(benches);

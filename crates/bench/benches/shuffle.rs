@@ -1,0 +1,37 @@
+//! Random permutation generation: software Knuth shuffle vs the
+//! bit-exact circuit mirror vs full gate-level simulation.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use hwperm_circuits::{KnuthShuffleCircuit, KnuthShuffleModel, ShuffleOptions};
+use hwperm_perm::shuffle::knuth_shuffle;
+use hwperm_rng::XorShift64Star;
+
+fn bench_shuffle_backends(c: &mut Criterion) {
+    for n in [4usize, 8, 16] {
+        let mut group = c.benchmark_group(format!("random_perm_n{n}"));
+        let opts = ShuffleOptions {
+            lfsr_width: 31,
+            pipelined: false,
+            seed: 0xBEAC,
+        };
+
+        let mut rng = XorShift64Star::new(1);
+        group.bench_function(BenchmarkId::new("software_fisher_yates", n), |b| {
+            b.iter(|| black_box(knuth_shuffle(n, &mut rng)))
+        });
+
+        let mut mirror = KnuthShuffleModel::with_options(n, opts);
+        group.bench_function(BenchmarkId::new("circuit_mirror", n), |b| {
+            b.iter(|| black_box(mirror.next_permutation()))
+        });
+
+        let mut netlist = KnuthShuffleCircuit::with_options(n, opts);
+        group.bench_function(BenchmarkId::new("gate_level_netlist", n), |b| {
+            b.iter(|| black_box(netlist.next_permutation()))
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_shuffle_backends);
+criterion_main!(benches);

@@ -1,0 +1,85 @@
+//! Table II's software side: unranking rate vs n, plus the
+//! div/mod-vs-greedy digit extraction ablation (DESIGN.md §6.1).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use hwperm_bignum::Ubig;
+use hwperm_factoradic::{factorials_u64, to_digits_greedy, to_digits_u64, unrank, unrank_u64};
+
+fn bench_unrank_by_n(c: &mut Criterion) {
+    let mut group = c.benchmark_group("unrank_u64");
+    for n in [2usize, 4, 6, 8, 10, 16, 20] {
+        let nfact = factorials_u64(n)[n];
+        let mut i = 0u64;
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                i = (i + 1) % nfact;
+                black_box(unrank_u64(n, black_box(i)))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_unrank_zero_alloc(c: &mut Criterion) {
+    // The allocation ablation: fresh Vecs per call vs a reused workspace.
+    let mut group = c.benchmark_group("unrank_n10_alloc");
+    let nfact = factorials_u64(10)[10];
+    let mut i = 0u64;
+    group.bench_function("allocating", |b| {
+        b.iter(|| {
+            i = (i + 1) % nfact;
+            black_box(unrank_u64(10, black_box(i)))
+        })
+    });
+    let mut unranker = hwperm_factoradic::Unranker::new(10);
+    let mut buf = Vec::with_capacity(10);
+    let mut j = 0u64;
+    group.bench_function("reused_workspace", |b| {
+        b.iter(|| {
+            j = (j + 1) % nfact;
+            unranker.unrank_into(black_box(j), &mut buf);
+            black_box(buf[0])
+        })
+    });
+    group.finish();
+}
+
+fn bench_digit_extraction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("digits_n10");
+    let nfact = factorials_u64(10)[10];
+    let mut i = 12345u64;
+    group.bench_function("divmod", |b| {
+        b.iter(|| {
+            i = (i.wrapping_mul(6364136223846793005)) % nfact;
+            black_box(to_digits_u64(10, black_box(i)))
+        })
+    });
+    let mut j = 12345u64;
+    group.bench_function("greedy_compare_subtract", |b| {
+        b.iter(|| {
+            j = (j.wrapping_mul(6364136223846793005)) % nfact;
+            black_box(to_digits_greedy(10, black_box(j)))
+        })
+    });
+    group.finish();
+}
+
+fn bench_unrank_big(c: &mut Criterion) {
+    let mut group = c.benchmark_group("unrank_ubig");
+    for n in [25usize, 40] {
+        let index = Ubig::factorial(n as u64).divrem_u64(7).0;
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| black_box(unrank(n, black_box(&index))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_unrank_by_n,
+    bench_unrank_zero_alloc,
+    bench_digit_extraction,
+    bench_unrank_big
+);
+criterion_main!(benches);

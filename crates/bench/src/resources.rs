@@ -1,0 +1,132 @@
+//! Tables III and IV: resource usage of the two circuits, as estimated
+//! by the `hwperm-logic` technology mapper (the Quartus substitute —
+//! see DESIGN.md §2 for the substitution rationale).
+
+use hwperm_circuits::{converter_netlist, shuffle_netlist, ConverterOptions, ShuffleOptions};
+use hwperm_logic::{Netlist, ResourceReport};
+use std::fmt::Write as _;
+
+/// The `n` values reported (the paper's tables run over similar ranges).
+pub const RESOURCE_NS: [usize; 11] = [2, 3, 4, 5, 6, 7, 8, 9, 10, 12, 16];
+
+/// Renders a resource table for a family of netlists.
+fn resource_table(title: &str, netlist_for: impl Fn(usize) -> Netlist) -> (Vec<(usize, ResourceReport)>, String) {
+    let mut rows = Vec::new();
+    let mut out = String::new();
+    writeln!(out, "{title}").unwrap();
+    writeln!(
+        out,
+        "(Fmax columns: conservative all-LUT-hops model / with hardened carry chains)"
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "{:>3}  {:>9} {:>9}  {:>6} {:>6} {:>6} {:>6} {:>6}  {:>7}  {:>8}  {:>9}",
+        "n", "Fmax MHz", "w/chain", "2-LUT", "3-LUT", "4-LUT", "5-LUT", "6-LUT", "ALMs", "regs", "LUT depth"
+    )
+    .unwrap();
+    for &n in &RESOURCE_NS {
+        let report = ResourceReport::of(&netlist_for(n));
+        writeln!(
+            out,
+            "{:>3}  {:>9.0} {:>9.0}  {:>6} {:>6} {:>6} {:>6} {:>6}  {:>7}  {:>8}  {:>9}",
+            n,
+            report.fmax_mhz,
+            report.fmax_carry_mhz,
+            report.luts_by_inputs[2] + report.luts_by_inputs[1],
+            report.luts_by_inputs[3],
+            report.luts_by_inputs[4],
+            report.luts_by_inputs[5],
+            report.luts_by_inputs[6],
+            report.est_alms,
+            report.registers,
+            report.lut_depth,
+        )
+        .unwrap();
+        rows.push((n, report));
+    }
+    (rows, out)
+}
+
+/// Table III: the pipelined index → permutation converter.
+pub fn table3() -> (Vec<(usize, ResourceReport)>, String) {
+    resource_table(
+        "Table III — factorial-number-system converter (pipelined) on the modeled Stratix-IV-class device",
+        |n| {
+            converter_netlist(
+                n,
+                ConverterOptions {
+                    pipelined: true,
+                    perm_input_port: false,
+                },
+            )
+        },
+    )
+}
+
+/// Table IV: the Knuth shuffle generator (31-bit LFSR per stage, as in
+/// the paper).
+pub fn table4() -> (Vec<(usize, ResourceReport)>, String) {
+    resource_table(
+        "Table IV — Knuth shuffle random permutation generator (31-bit LFSR per stage)",
+        |n| {
+            shuffle_netlist(
+                n,
+                ShuffleOptions {
+                    lfsr_width: 31,
+                    pipelined: false,
+                    seed: 1,
+                },
+            )
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_resources_grow_monotonically() {
+        let (rows, text) = table3();
+        assert!(text.contains("Table III"));
+        for w in rows.windows(2) {
+            assert!(
+                w[1].1.total_luts >= w[0].1.total_luts,
+                "LUTs must grow with n"
+            );
+            assert!(w[1].1.registers >= w[0].1.registers);
+        }
+    }
+
+    #[test]
+    fn table3_fmax_decreases_with_n() {
+        let (rows, _) = table3();
+        let first = rows.first().unwrap().1.fmax_mhz;
+        let last = rows.last().unwrap().1.fmax_mhz;
+        assert!(
+            first > last,
+            "deeper stages must lower Fmax: {first} vs {last}"
+        );
+    }
+
+    #[test]
+    fn table4_registers_track_lfsr_count() {
+        // n stages-1 LFSRs × 31 bits, no pipeline ranks.
+        let (rows, _) = table4();
+        for (n, report) in &rows {
+            assert_eq!(report.registers, (n - 1) * 31, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn quadratic_resource_shape() {
+        // The paper: both circuits are O(n²). Compare n = 8 → 16.
+        let (rows3, _) = table3();
+        let luts = |rows: &Vec<(usize, ResourceReport)>, n: usize| {
+            rows.iter().find(|(m, _)| *m == n).unwrap().1.total_luts as f64
+        };
+        let ratio = luts(&rows3, 16) / luts(&rows3, 8);
+        assert!(ratio > 3.0, "super-linear growth expected: {ratio}");
+    }
+}

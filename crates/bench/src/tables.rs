@@ -1,0 +1,171 @@
+//! Table I (the factorial number system) and Table II (SRC-6 vs Xeon
+//! rate comparison).
+
+use crate::with_commas;
+use hwperm_bignum::Ubig;
+use hwperm_circuits::{ConverterOptions, IndexToPermConverter};
+use hwperm_factoradic::{factorials_u64, to_digits_u64, unrank_u64};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Renders Table I: the factorial number system for `n = 4` — digits,
+/// reconstruction, and the corresponding permutation for N = 0…23.
+pub fn table1() -> String {
+    let mut out = String::new();
+    writeln!(out, "Table I — factorial number system, n = 4").unwrap();
+    writeln!(out, "{:>3}  {:^11}  {:^26}  {:^11}", "N", "s3 s2 s1 s0", "value", "permutation").unwrap();
+    for n_val in 0..24u64 {
+        let d = to_digits_u64(4, n_val);
+        let value = format!(
+            "{}*3!+{}*2!+{}*1!+{}*0! = {:2}",
+            d[0], d[1], d[2], d[3],
+            d[0] as u64 * 6 + d[1] as u64 * 2 + d[2] as u64
+        );
+        let perm = unrank_u64(4, n_val);
+        let perm_str: String = perm.as_slice().iter().map(|e| e.to_string()).collect();
+        writeln!(out, "{n_val:>3}  {} {} {} {}      {value:<26}  {perm_str:^11}", d[0], d[1], d[2], d[3]).unwrap();
+    }
+    out
+}
+
+/// One row of Table II.
+#[derive(Debug, Clone)]
+pub struct Table2Row {
+    /// Permutation size.
+    pub n: usize,
+    /// Modeled FPGA time per permutation (ns) — one clock at 100 MHz.
+    pub fpga_ns: f64,
+    /// Measured software time per permutation (ns).
+    pub cpu_ns: f64,
+    /// Iterations used for the software measurement.
+    pub iterations: u64,
+    /// `cpu_ns / fpga_ns`.
+    pub speedup: f64,
+}
+
+/// Runs the Table II experiment: software unranking rate (the paper's
+/// Xeon C program) vs the pipelined circuit's one-permutation-per-clock
+/// rate at the SRC-6's 100 MHz.
+///
+/// `scale` divides the per-`n` iteration counts (use 100+ in debug
+/// tests, 1 for the real run). The pipelined-rate premise (exactly
+/// `perms + latency − 1` clocks for `perms` permutations) is verified
+/// structurally on a small stream before timing.
+pub fn table2(scale: u64) -> (Vec<Table2Row>, String) {
+    assert!(scale >= 1);
+    // Verify the 1-perm/clock premise on the netlist itself.
+    let mut pipe = IndexToPermConverter::with_options(
+        4,
+        ConverterOptions {
+            pipelined: true,
+            perm_input_port: false,
+        },
+    );
+    let indices: Vec<Ubig> = (0..24u64).map(Ubig::from).collect();
+    assert_eq!(pipe.convert_stream(&indices).len(), 24);
+
+    let mut rows = Vec::new();
+    for n in 2..=10usize {
+        // The paper's iteration ladder: more for small n.
+        let iterations = match n {
+            2..=5 => 10_000_000,
+            6..=8 => 2_500_000,
+            _ => 500_000,
+        } / scale;
+        let iterations = iterations.max(1000);
+        let nfact = factorials_u64(n)[n];
+        // Allocation-free unranking into a reused buffer — the analogue
+        // of the paper's C code writing each permutation into a fixed
+        // "array of ints".
+        let mut unranker = hwperm_factoradic::Unranker::new(n);
+        let mut buf = Vec::with_capacity(n);
+        let start = Instant::now();
+        let mut sink = 0u64;
+        for i in 0..iterations {
+            unranker.unrank_into(i % nfact, &mut buf);
+            // Fold the output so the optimizer cannot elide the work.
+            sink = sink.wrapping_add(buf[0] as u64);
+        }
+        let elapsed = start.elapsed();
+        std::hint::black_box(sink);
+        let cpu_ns = elapsed.as_nanos() as f64 / iterations as f64;
+        let fpga_ns = 10.0; // one 100 MHz clock, as on the SRC-6
+        rows.push(Table2Row {
+            n,
+            fpga_ns,
+            cpu_ns,
+            iterations,
+            speedup: cpu_ns / fpga_ns,
+        });
+    }
+
+    let mut out = String::new();
+    writeln!(
+        out,
+        "Table II — per-permutation time: modeled SRC-6 (100 MHz, 1 perm/clock) vs host CPU"
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "{:>3}  {:>12}  {:>12}  {:>12}  {:>9}",
+        "n", "FPGA (ns)", "CPU (ns)", "#iterations", "speedup"
+    )
+    .unwrap();
+    for r in &rows {
+        writeln!(
+            out,
+            "{:>3}  {:>12.0}  {:>12.1}  {:>12}  {:>8.0}x",
+            r.n,
+            r.fpga_ns,
+            r.cpu_ns,
+            with_commas(r.iterations),
+            r.speedup
+        )
+        .unwrap();
+    }
+    writeln!(
+        out,
+        "(paper: 95x at n = 2 rising to 1,820x at n = 10 against a 2005-era Xeon)"
+    )
+    .unwrap();
+    (rows, out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_contains_known_rows() {
+        let t = table1();
+        // N = 11: digits 1 2 1 0, permutation 1320.
+        assert!(t.contains("1 2 1 0"), "{t}");
+        assert!(t.contains("1320"));
+        // N = 23: permutation 3210.
+        assert!(t.contains("3210"));
+        assert_eq!(t.lines().count(), 26);
+    }
+
+    #[test]
+    fn table2_rows_have_positive_speedup() {
+        let (rows, text) = table2(500);
+        assert_eq!(rows.len(), 9);
+        for r in &rows {
+            assert!(r.cpu_ns > 0.0);
+            assert!(r.speedup > 0.0);
+        }
+        assert!(text.contains("Table II"));
+    }
+
+    #[test]
+    fn table2_speedup_is_large_for_big_n() {
+        // Even a modern CPU takes well over 10 ns to unrank a 10-element
+        // permutation — the shape of the paper's result.
+        let (rows, _) = table2(500);
+        let n10 = rows.iter().find(|r| r.n == 10).unwrap();
+        assert!(n10.speedup > 3.0, "speedup = {}", n10.speedup);
+        // Speedup grows with n (compare ends of the ladder).
+        let n2 = rows.iter().find(|r| r.n == 2).unwrap();
+        assert!(n10.cpu_ns > n2.cpu_ns);
+    }
+}

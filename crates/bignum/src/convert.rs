@@ -1,0 +1,82 @@
+//! Decimal parsing for [`Ubig`].
+
+use crate::{ParseUbigError, Ubig};
+use std::str::FromStr;
+
+/// 10^19, the largest power of ten that fits in a `u64` limb.
+pub(crate) const DEC_CHUNK: u64 = 10_000_000_000_000_000_000;
+pub(crate) const DEC_CHUNK_DIGITS: usize = 19;
+
+impl Ubig {
+    /// Parses a decimal string (ASCII digits only, optional leading zeros).
+    pub fn from_decimal(s: &str) -> Result<Ubig, ParseUbigError> {
+        if s.is_empty() {
+            return Err(ParseUbigError::Empty);
+        }
+        let bytes = s.as_bytes();
+        if let Some(pos) = bytes.iter().position(|b| !b.is_ascii_digit()) {
+            return Err(ParseUbigError::InvalidDigit(pos));
+        }
+        let mut acc = Ubig::zero();
+        let mut i = 0;
+        while i < bytes.len() {
+            let take = (bytes.len() - i).min(DEC_CHUNK_DIGITS);
+            let chunk: u64 = s[i..i + take].parse().expect("validated digits");
+            let scale = 10u64.pow(take as u32);
+            acc = acc.mul_u64(scale);
+            acc.add_u64_assign(chunk);
+            i += take;
+        }
+        Ok(acc)
+    }
+}
+
+impl FromStr for Ubig {
+    type Err = ParseUbigError;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Ubig::from_decimal(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_small() {
+        assert_eq!(Ubig::from_decimal("0").unwrap(), Ubig::zero());
+        assert_eq!(Ubig::from_decimal("42").unwrap().to_u64(), Some(42));
+    }
+
+    #[test]
+    fn parse_leading_zeros() {
+        assert_eq!(Ubig::from_decimal("000123").unwrap().to_u64(), Some(123));
+    }
+
+    #[test]
+    fn parse_known_factorial() {
+        let f = Ubig::from_decimal("15511210043330985984000000").unwrap();
+        assert_eq!(f, Ubig::factorial(25));
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert_eq!(Ubig::from_decimal(""), Err(ParseUbigError::Empty));
+        assert_eq!(Ubig::from_decimal("12a3"), Err(ParseUbigError::InvalidDigit(2)));
+        assert_eq!(Ubig::from_decimal("-5"), Err(ParseUbigError::InvalidDigit(0)));
+    }
+
+    #[test]
+    fn fromstr_trait() {
+        let v: Ubig = "3628800".parse().unwrap();
+        assert_eq!(v, Ubig::factorial(10));
+    }
+
+    #[test]
+    fn display_parse_roundtrip() {
+        for n in [0u64, 1, 5, 20, 21, 34, 35, 50, 100] {
+            let f = Ubig::factorial(n);
+            assert_eq!(Ubig::from_decimal(&f.to_string()).unwrap(), f, "n = {n}");
+        }
+    }
+}

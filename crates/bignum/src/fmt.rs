@@ -1,0 +1,88 @@
+//! `Display`/`Debug`/binary formatting for [`Ubig`].
+
+use crate::convert::{DEC_CHUNK, DEC_CHUNK_DIGITS};
+use crate::Ubig;
+use std::fmt;
+
+impl fmt::Display for Ubig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return f.pad_integral(true, "", "0");
+        }
+        // Peel 19-digit chunks off the low end, then print high-to-low.
+        let mut chunks = Vec::new();
+        let mut cur = self.clone();
+        while !cur.is_zero() {
+            let (q, r) = cur.divrem_u64(DEC_CHUNK);
+            chunks.push(r);
+            cur = q;
+        }
+        let mut s = chunks.last().unwrap().to_string();
+        for chunk in chunks.iter().rev().skip(1) {
+            s.push_str(&format!("{chunk:0width$}", width = DEC_CHUNK_DIGITS));
+        }
+        f.pad_integral(true, "", &s)
+    }
+}
+
+impl fmt::Debug for Ubig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Ubig({self})")
+    }
+}
+
+impl fmt::Binary for Ubig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return f.pad_integral(true, "0b", "0");
+        }
+        let mut s = String::with_capacity(self.bit_len());
+        for i in (0..self.bit_len()).rev() {
+            s.push(if self.bit(i) { '1' } else { '0' });
+        }
+        f.pad_integral(true, "0b", &s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Ubig;
+
+    #[test]
+    fn display_zero_and_small() {
+        assert_eq!(Ubig::zero().to_string(), "0");
+        assert_eq!(Ubig::from(987654321u64).to_string(), "987654321");
+    }
+
+    #[test]
+    fn display_pads_interior_chunks_with_zeros() {
+        // 10^19 + 7 must print as 1 followed by eighteen zeros and a 7,
+        // not as "1" + "7".
+        let v = Ubig::from(10_000_000_000_000_000_007u128);
+        assert_eq!(v.to_string(), "10000000000000000007");
+    }
+
+    #[test]
+    fn display_known_large_factorials() {
+        assert_eq!(
+            Ubig::factorial(30).to_string(),
+            "265252859812191058636308480000000"
+        );
+        assert_eq!(
+            Ubig::factorial(52).to_string(),
+            "80658175170943878571660636856403766975289505440883277824000000000000"
+        );
+    }
+
+    #[test]
+    fn binary_format() {
+        assert_eq!(format!("{:b}", Ubig::from(10u64)), "1010");
+        assert_eq!(format!("{:#b}", Ubig::from(5u64)), "0b101");
+        assert_eq!(format!("{:b}", Ubig::zero()), "0");
+    }
+
+    #[test]
+    fn debug_wraps_display() {
+        assert_eq!(format!("{:?}", Ubig::from(7u64)), "Ubig(7)");
+    }
+}

@@ -1,0 +1,54 @@
+#![warn(missing_docs)]
+
+//! Arbitrary-precision unsigned integer arithmetic.
+//!
+//! The index fed to the paper's converter ranges over `[0, n!)`, and
+//! `n!` overflows `u64` at `n = 21` and `u128` at `n = 35`. The circuit
+//! generator sizes its index bus as `⌈log₂ n!⌉` bits for arbitrary `n`,
+//! so the software side needs exact big-integer arithmetic. This crate
+//! provides [`Ubig`], a little-endian `u64`-limb unsigned integer with
+//! exactly the operations the rest of the workspace needs: schoolbook
+//! multiplication, Knuth Algorithm D division, shifts, bit access,
+//! decimal I/O, and factorials.
+//!
+//! No `unsafe`, no dependencies.
+//!
+//! # Example
+//!
+//! ```
+//! use hwperm_bignum::Ubig;
+//!
+//! let f = Ubig::factorial(25);
+//! assert_eq!(f.to_string(), "15511210043330985984000000");
+//! assert_eq!(f.bit_len(), 84); // the paper's index bus width for n = 25
+//! ```
+
+mod arith;
+mod convert;
+mod div;
+mod fmt;
+mod ubig;
+
+pub use ubig::Ubig;
+
+/// Errors produced when parsing a [`Ubig`] from a string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseUbigError {
+    /// The input was empty.
+    Empty,
+    /// The input contained a non-digit character at the given byte offset.
+    InvalidDigit(usize),
+}
+
+impl std::fmt::Display for ParseUbigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseUbigError::Empty => write!(f, "cannot parse an empty string as Ubig"),
+            ParseUbigError::InvalidDigit(pos) => {
+                write!(f, "invalid decimal digit at byte offset {pos}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseUbigError {}

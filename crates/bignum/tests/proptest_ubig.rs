@@ -1,0 +1,107 @@
+//! Property-based tests: `Ubig` arithmetic must agree with `u128` on the
+//! range where both are defined, and must satisfy ring axioms beyond it.
+
+use hwperm_bignum::Ubig;
+use proptest::prelude::*;
+
+/// Strategy for a Ubig with up to `limbs` random limbs.
+fn ubig(limbs: usize) -> impl Strategy<Value = Ubig> {
+    prop::collection::vec(any::<u64>(), 0..=limbs).prop_map(Ubig::from_limbs)
+}
+
+proptest! {
+    #[test]
+    fn add_matches_u128(a in any::<u64>(), b in any::<u64>()) {
+        let sum = &Ubig::from(a) + &Ubig::from(b);
+        prop_assert_eq!(sum.to_u128(), Some(a as u128 + b as u128));
+    }
+
+    #[test]
+    fn mul_matches_u128(a in any::<u64>(), b in any::<u64>()) {
+        let p = &Ubig::from(a) * &Ubig::from(b);
+        prop_assert_eq!(p.to_u128(), Some(a as u128 * b as u128));
+    }
+
+    #[test]
+    fn divrem_matches_u128(a in any::<u128>(), b in 1u128..) {
+        let (q, r) = Ubig::from(a).divrem(&Ubig::from(b));
+        prop_assert_eq!(q.to_u128(), Some(a / b));
+        prop_assert_eq!(r.to_u128(), Some(a % b));
+    }
+
+    #[test]
+    fn add_commutes(a in ubig(6), b in ubig(6)) {
+        prop_assert_eq!(&a + &b, &b + &a);
+    }
+
+    #[test]
+    fn add_associates(a in ubig(4), b in ubig(4), c in ubig(4)) {
+        prop_assert_eq!(&(&a + &b) + &c, &a + &(&b + &c));
+    }
+
+    #[test]
+    fn mul_commutes(a in ubig(5), b in ubig(5)) {
+        prop_assert_eq!(&a * &b, &b * &a);
+    }
+
+    #[test]
+    fn mul_distributes(a in ubig(3), b in ubig(3), c in ubig(3)) {
+        prop_assert_eq!(&a * &(&b + &c), &(&a * &b) + &(&a * &c));
+    }
+
+    #[test]
+    fn sub_inverts_add(a in ubig(6), b in ubig(6)) {
+        prop_assert_eq!(&(&a + &b) - &b, a);
+    }
+
+    #[test]
+    fn divrem_reconstructs(a in ubig(8), b in ubig(4)) {
+        prop_assume!(!b.is_zero());
+        let (q, r) = a.divrem(&b);
+        prop_assert!(r < b);
+        prop_assert_eq!(&(&q * &b) + &r, a);
+    }
+
+    #[test]
+    fn divrem_u64_agrees_with_divrem(a in ubig(8), d in 1u64..) {
+        let (q1, r1) = a.divrem_u64(d);
+        let (q2, r2) = a.divrem(&Ubig::from(d));
+        prop_assert_eq!(q1, q2);
+        prop_assert_eq!(Ubig::from(r1), r2);
+    }
+
+    #[test]
+    fn shl_shr_roundtrip(a in ubig(6), bits in 0usize..512) {
+        prop_assert_eq!(a.shl_bits(bits).shr_bits(bits), a);
+    }
+
+    #[test]
+    fn shl_is_mul_by_power_of_two(a in ubig(6), bits in 0usize..63) {
+        prop_assert_eq!(a.shl_bits(bits), a.mul_u64(1u64 << bits));
+    }
+
+    #[test]
+    fn decimal_roundtrip(a in ubig(6)) {
+        let s = a.to_string();
+        prop_assert_eq!(Ubig::from_decimal(&s).unwrap(), a);
+    }
+
+    #[test]
+    fn ordering_consistent_with_subtraction(a in ubig(6), b in ubig(6)) {
+        match a.cmp(&b) {
+            std::cmp::Ordering::Less => prop_assert!(a.checked_sub(&b).is_none()),
+            _ => prop_assert!(a.checked_sub(&b).is_some()),
+        }
+    }
+
+    #[test]
+    fn bit_len_bounds_value(a in ubig(6)) {
+        prop_assume!(!a.is_zero());
+        let n = a.bit_len();
+        prop_assert!(a.bit(n - 1));
+        prop_assert!(!a.bit(n));
+        // 2^(n-1) <= a < 2^n
+        prop_assert!(Ubig::one().shl_bits(n - 1) <= a);
+        prop_assert!(a < Ubig::one().shl_bits(n));
+    }
+}

@@ -1,0 +1,214 @@
+//! LUT-cascade realization of the converter (Section II.B: "Note that
+//! this circuit can be implemented as an LUT cascade", citing Sasao's
+//! *Memory Based Logic Synthesis*).
+//!
+//! In the cascade form, each stage's digit-extraction logic — the
+//! comparator bank plus the `A−B` subtractor of Fig. 1 — collapses into
+//! one memory lookup: a ROM indexed by the running index that returns
+//! the stage digit and the reduced index ("inputs and outputs that
+//! carry index reduced by the values contributed by higher order
+//! digits"). The partially completed permutation travels on
+//! pass-through rails, exactly as in the paper's description; here the
+//! digits are folded into the permutation at the end via the Lehmer
+//! decoding, which is what the rails compute.
+//!
+//! The trade-off this realization exposes (and the reason memory-based
+//! synthesis is attractive on FPGAs with block RAM): stage `j` needs
+//! `2^(W_j)` words where `W_j = ⌈log₂ (n−j)!⌉` — the first stages are
+//! BRAM-sized for small `n` and blow up quickly, while the comparator
+//! form stays `O(n²)` LUTs. [`LutCascadeConverter::memory_bits`]
+//! quantifies that.
+
+use hwperm_bignum::Ubig;
+use hwperm_perm::Permutation;
+
+/// Per-stage ROM of the cascade.
+#[derive(Debug, Clone)]
+struct CascadeStage {
+    /// Packed entries: `(digit << next_bits) | reduced_index`.
+    rom: Vec<u32>,
+    /// Input address width `W_j`.
+    in_bits: usize,
+    /// Digit field width.
+    digit_bits: usize,
+    /// Reduced-index field width `W_{j+1}`.
+    next_bits: usize,
+}
+
+/// Memory-based (LUT cascade) realization of the index → permutation
+/// converter.
+///
+/// ```
+/// use hwperm_circuits::LutCascadeConverter;
+/// use hwperm_bignum::Ubig;
+///
+/// let mut cascade = LutCascadeConverter::new(4);
+/// assert_eq!(cascade.convert(&Ubig::from(11u64)).as_slice(), &[1, 3, 2, 0]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct LutCascadeConverter {
+    stages: Vec<CascadeStage>,
+    n: usize,
+    total: Ubig,
+}
+
+impl LutCascadeConverter {
+    /// Builds the cascade ROMs for `n`-element permutations.
+    ///
+    /// # Panics
+    /// Panics if `n < 2`, or if the first-stage ROM would exceed 2²⁴
+    /// entries (`n > 10`) — the point of the cascade analysis is exactly
+    /// that this representation stops scaling there.
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 2, "cascade requires n >= 2");
+        let total = Ubig::factorial(n as u64);
+        let w0 = (&total - &Ubig::one()).bit_len().max(1);
+        assert!(
+            w0 <= 24,
+            "first-stage ROM would need 2^{w0} entries; the LUT cascade form \
+             is only practical for small n (use IndexToPermConverter instead)"
+        );
+        let mut stages = Vec::with_capacity(n - 1);
+        for j in 0..n - 1 {
+            let r = (n - j) as u64; // remaining elements at this stage
+            let f = Ubig::factorial(r - 1).to_u64().expect("n ≤ 10");
+            let span = f * r; // index domain size at this stage
+            let in_bits = (64 - (span - 1).leading_zeros()).max(1) as usize;
+            let digit_bits = (64 - (r - 1).leading_zeros()).max(1) as usize;
+            let next_bits = if f > 1 {
+                (64 - (f - 1).leading_zeros()) as usize
+            } else {
+                1
+            };
+            let mut rom = vec![0u32; 1usize << in_bits];
+            for (idx, entry) in rom.iter_mut().enumerate() {
+                let idx = idx as u64;
+                if idx < span {
+                    let digit = (idx / f) as u32;
+                    let reduced = (idx % f) as u32;
+                    *entry = (digit << next_bits) | reduced;
+                }
+                // Addresses ≥ span are unreachable; left as zero.
+            }
+            stages.push(CascadeStage {
+                rom,
+                in_bits,
+                digit_bits,
+                next_bits,
+            });
+        }
+        LutCascadeConverter { stages, n, total }
+    }
+
+    /// Number of elements `n`.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of cascade cells (`n − 1`).
+    pub fn stage_count(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// Total ROM bits across all stages (the Table-III-equivalent cost
+    /// metric for the memory-based realization).
+    pub fn memory_bits(&self) -> u64 {
+        self.stages
+            .iter()
+            .map(|s| (s.rom.len() as u64) * (s.digit_bits + s.next_bits) as u64)
+            .sum()
+    }
+
+    /// Per-stage `(address_bits, data_bits)` — what would map to BRAMs.
+    pub fn stage_shapes(&self) -> Vec<(usize, usize)> {
+        self.stages
+            .iter()
+            .map(|s| (s.in_bits, s.digit_bits + s.next_bits))
+            .collect()
+    }
+
+    /// Converts an index by walking the ROM cascade and decoding the
+    /// collected digits.
+    ///
+    /// # Panics
+    /// Panics if `index >= n!`.
+    pub fn convert(&mut self, index: &Ubig) -> Permutation {
+        assert!(*index < self.total, "index out of range for n = {}", self.n);
+        let mut running = index.to_u64().expect("n ≤ 10 so the index fits u64");
+        let mut digits = Vec::with_capacity(self.n);
+        for stage in &self.stages {
+            let entry = stage.rom[running as usize];
+            let digit = entry >> stage.next_bits;
+            let reduced = entry & ((1u32 << stage.next_bits) - 1);
+            debug_assert!(digit < (1 << stage.digit_bits));
+            digits.push(digit);
+            running = reduced as u64;
+        }
+        digits.push(0); // the s_0 placeholder
+        debug_assert_eq!(running, 0);
+        Permutation::from_lehmer(&digits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hwperm_factoradic::unrank_u64;
+
+    #[test]
+    fn matches_software_exhaustively_n4_n5() {
+        for n in [4usize, 5] {
+            let mut cascade = LutCascadeConverter::new(n);
+            let total: u64 = (1..=n as u64).product();
+            for i in 0..total {
+                assert_eq!(
+                    cascade.convert(&Ubig::from(i)),
+                    unrank_u64(n, i),
+                    "n = {n}, N = {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn matches_gate_level_converter() {
+        use crate::IndexToPermConverter;
+        let mut cascade = LutCascadeConverter::new(7);
+        let mut gates = IndexToPermConverter::new(7);
+        for i in (0..5040u64).step_by(97) {
+            assert_eq!(cascade.convert(&Ubig::from(i)), gates.convert_u64(i));
+        }
+    }
+
+    #[test]
+    fn stage_shapes_shrink_down_the_cascade() {
+        let cascade = LutCascadeConverter::new(6);
+        let shapes = cascade.stage_shapes();
+        assert_eq!(shapes.len(), 5);
+        for w in shapes.windows(2) {
+            assert!(w[0].0 > w[1].0, "address width must shrink: {shapes:?}");
+        }
+        // First stage covers the whole index: ⌈log₂ 720⌉ = 10 bits.
+        assert_eq!(shapes[0].0, 10);
+    }
+
+    #[test]
+    fn memory_grows_factorially_not_quadratically() {
+        let m6 = LutCascadeConverter::new(6).memory_bits();
+        let m8 = LutCascadeConverter::new(8).memory_bits();
+        // 8!/6! = 56× index-space growth dominates the ROM cost.
+        assert!(m8 > m6 * 20, "{m6} -> {m8}");
+    }
+
+    #[test]
+    #[should_panic(expected = "only practical for small n")]
+    fn oversized_cascade_rejected() {
+        LutCascadeConverter::new(12);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn index_range_checked() {
+        LutCascadeConverter::new(4).convert(&Ubig::from(24u64));
+    }
+}

@@ -1,0 +1,96 @@
+//! Differential property tests: every generated circuit must agree with
+//! its software reference on random parameters and inputs.
+
+use hwperm_bignum::Ubig;
+use hwperm_circuits::*;
+use hwperm_factoradic::{factorials_u64, rank_u64, unrank_combination, unrank_u64};
+use proptest::prelude::*;
+
+proptest! {
+    // Circuit construction dominates runtime, so keep case counts modest.
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn converter_matches_unrank(n in 2usize..=8, seed in any::<u64>()) {
+        let nfact = factorials_u64(n)[n];
+        let mut conv = IndexToPermConverter::new(n);
+        // Several indices per constructed circuit.
+        for step in 0..8u64 {
+            let index = seed.wrapping_mul(step.wrapping_add(1)) % nfact;
+            prop_assert_eq!(conv.convert_u64(index), unrank_u64(n, index));
+        }
+    }
+
+    #[test]
+    fn converter_rank_roundtrip(n in 2usize..=7, seed in any::<u64>()) {
+        let nfact = factorials_u64(n)[n];
+        let index = seed % nfact;
+        let mut conv = IndexToPermConverter::new(n);
+        prop_assert_eq!(rank_u64(&conv.convert_u64(index)), index);
+    }
+
+    #[test]
+    fn pipelined_stream_matches_software(n in 3usize..=6, seed in any::<u64>()) {
+        let nfact = factorials_u64(n)[n];
+        let opts = ConverterOptions { pipelined: true, perm_input_port: false };
+        let mut conv = IndexToPermConverter::with_options(n, opts);
+        let indices: Vec<u64> = (0..12).map(|i| seed.rotate_left(i * 5) % nfact).collect();
+        let ubigs: Vec<Ubig> = indices.iter().map(|&i| Ubig::from(i)).collect();
+        let out = conv.convert_stream(&ubigs);
+        prop_assert_eq!(out.len(), indices.len());
+        for (i, p) in indices.iter().zip(&out) {
+            prop_assert_eq!(p, &unrank_u64(n, *i));
+        }
+    }
+
+    #[test]
+    fn shuffle_circuit_tracks_model(n in 2usize..=5, seed in any::<u64>()) {
+        let opts = ShuffleOptions { lfsr_width: 12, pipelined: false, seed };
+        let mut hw = KnuthShuffleCircuit::with_options(n, opts);
+        let mut sw = KnuthShuffleModel::with_options(n, opts);
+        for _ in 0..40 {
+            prop_assert_eq!(hw.next_permutation(), sw.next_permutation());
+        }
+    }
+
+    #[test]
+    fn combination_converter_matches_unrank(
+        n in 2usize..=9,
+        k_seed in any::<u64>(),
+        i_seed in any::<u64>(),
+    ) {
+        let k = (k_seed % (n as u64 + 1)) as usize;
+        let mut conv = IndexToCombinationConverter::new(n, k);
+        let total = conv.total().to_u64().unwrap();
+        let index = i_seed % total;
+        prop_assert_eq!(
+            conv.convert(&Ubig::from(index)),
+            unrank_combination(n, k, &Ubig::from(index))
+        );
+    }
+
+    #[test]
+    fn sorter_matches_std_sort(seed in any::<u64>()) {
+        let mut sorter = SortingNetwork::new(6, 10);
+        let mut s = seed | 1;
+        let keys: Vec<u64> = (0..6).map(|_| {
+            s ^= s << 13; s ^= s >> 7; s ^= s << 17;
+            s % 1024
+        }).collect();
+        let mut expected = keys.clone();
+        expected.sort_unstable();
+        prop_assert_eq!(sorter.sort(&keys), expected);
+    }
+
+    #[test]
+    fn random_index_generator_yields_valid_permutations(
+        n in 2usize..=5,
+        seed in any::<u64>(),
+    ) {
+        let mut generator = RandomIndexGenerator::new(n, seed);
+        let mut model = RandomIndexModel::with_lfsr_width(n, generator.lfsr_width(), seed);
+        for _ in 0..25 {
+            prop_assert_eq!(generator.next_permutation(), model.next_permutation());
+        }
+    }
+}

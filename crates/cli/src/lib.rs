@@ -1,0 +1,475 @@
+#![warn(missing_docs)]
+
+//! Implementation of the `hwperm` command-line tool.
+//!
+//! All command logic lives here (returning `Result<String, CliError>`)
+//! so the test suite can drive it without spawning processes; `main.rs`
+//! only does I/O.
+
+use hwperm_bignum::Ubig;
+use hwperm_circuits::{
+    converter_netlist, shuffle_netlist, ConverterOptions, IndexToPermConverter,
+    KnuthShuffleCircuit, PermToIndexConverter, ShuffleOptions, SortingNetwork,
+};
+use hwperm_core::{CircuitRandomSource, RandomPermSource, SoftwareRandomSource};
+use hwperm_factoradic::{
+    rank, rank_combination, rank_variation, unrank, unrank_combination, unrank_variation,
+    IndexedPermutations,
+};
+use hwperm_logic::ResourceReport;
+use hwperm_perm::Permutation;
+use hwperm_rng::BiasReport;
+use std::fmt;
+
+/// Errors reported to the user (exit status 2).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CliError(pub String);
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+fn err(msg: impl Into<String>) -> CliError {
+    CliError(msg.into())
+}
+
+/// The usage text printed by `hwperm help`.
+pub const USAGE: &str = "\
+hwperm — index ↔ permutation conversion (Butler & Sasao, RAW 2012)
+
+usage: hwperm <command> [args]
+
+  unrank <n> <index>             the <index>-th permutation of {0..n-1}
+  rank <e0> <e1> ...             lexicographic index of a permutation
+  combination <n> <k> <index>    the <index>-th k-combination
+  rank-combination <n> <e...>    index of a sorted k-combination
+  variation <n> <k> <index>      the <index>-th ordered k-selection
+  rank-variation <n> <e...>      index of an ordered k-selection
+  random <n> [count] [seed]      uniform random permutations (software)
+  random-circuit <n> [count]     random permutations from the Fig. 3 netlist
+  all <n> [start] [end]          list permutations by index range
+  resources <circuit> <n>        LUT/ALM/register estimate
+                                 (circuit: converter | converter-pipelined |
+                                  shuffle | rank)
+  bias <m> <k>                   pigeonhole bias of an m-bit LFSR over [0,k)
+  sort <key> <key> ...           sort through the selection network
+  verify <n>                     netlist vs software cross-check
+  verilog <circuit> <n>          emit synthesizable structural Verilog
+  help                           this text
+";
+
+fn parse_usize(s: &str, what: &str) -> Result<usize, CliError> {
+    s.parse().map_err(|_| err(format!("invalid {what}: {s:?}")))
+}
+
+fn parse_ubig(s: &str, what: &str) -> Result<Ubig, CliError> {
+    Ubig::from_decimal(s).map_err(|e| err(format!("invalid {what} {s:?}: {e}")))
+}
+
+fn parse_perm(args: &[String]) -> Result<Permutation, CliError> {
+    let v: Vec<u32> = args
+        .iter()
+        .map(|s| s.parse().map_err(|_| err(format!("invalid element {s:?}"))))
+        .collect::<Result<_, _>>()?;
+    Permutation::try_from_vec(v).map_err(|e| err(e.to_string()))
+}
+
+/// Executes one command; `args` excludes the program name.
+pub fn run(args: &[String]) -> Result<String, CliError> {
+    let Some(command) = args.first() else {
+        return Err(err(USAGE));
+    };
+    let rest = &args[1..];
+    match command.as_str() {
+        "help" | "--help" | "-h" => Ok(USAGE.to_string()),
+        "unrank" => {
+            let [n, index] = rest else {
+                return Err(err("usage: hwperm unrank <n> <index>"));
+            };
+            let n = parse_usize(n, "n")?;
+            let index = parse_ubig(index, "index")?;
+            if index >= Ubig::factorial(n as u64) {
+                return Err(err(format!("index must be below {n}!")));
+            }
+            Ok(format!("{}\n", unrank(n, &index)))
+        }
+        "rank" => {
+            let perm = parse_perm(rest)?;
+            Ok(format!("{}\n", rank(&perm)))
+        }
+        "combination" => {
+            let [n, k, index] = rest else {
+                return Err(err("usage: hwperm combination <n> <k> <index>"));
+            };
+            let (n, k) = (parse_usize(n, "n")?, parse_usize(k, "k")?);
+            if k > n {
+                return Err(err(format!("k = {k} exceeds n = {n}")));
+            }
+            let index = parse_ubig(index, "index")?;
+            if index >= hwperm_factoradic::binomial(n as u64, k as u64) {
+                return Err(err(format!("index must be below C({n}, {k})")));
+            }
+            let c = unrank_combination(n, k, &index);
+            Ok(format!("{}\n", join(&c)))
+        }
+        "rank-combination" => {
+            let [n, elems @ ..] = rest else {
+                return Err(err("usage: hwperm rank-combination <n> <e0> <e1> ..."));
+            };
+            let n = parse_usize(n, "n")?;
+            let v: Vec<u32> = elems
+                .iter()
+                .map(|s| s.parse().map_err(|_| err(format!("invalid element {s:?}"))))
+                .collect::<Result<_, _>>()?;
+            if !v.windows(2).all(|w| w[0] < w[1]) || v.iter().any(|&e| e as usize >= n) {
+                return Err(err("elements must be strictly increasing and < n"));
+            }
+            Ok(format!("{}\n", rank_combination(n, &v)))
+        }
+        "variation" => {
+            let [n, k, index] = rest else {
+                return Err(err("usage: hwperm variation <n> <k> <index>"));
+            };
+            let (n, k) = (parse_usize(n, "n")?, parse_usize(k, "k")?);
+            if k > n {
+                return Err(err(format!("k = {k} exceeds n = {n}")));
+            }
+            let index = parse_ubig(index, "index")?;
+            if index >= hwperm_factoradic::falling_factorial(n as u64, k as u64) {
+                return Err(err("index must be below n!/(n-k)!".to_string()));
+            }
+            Ok(format!("{}\n", join(&unrank_variation(n, k, &index))))
+        }
+        "rank-variation" => {
+            let [n, elems @ ..] = rest else {
+                return Err(err("usage: hwperm rank-variation <n> <e0> <e1> ..."));
+            };
+            let n = parse_usize(n, "n")?;
+            let v: Vec<u32> = elems
+                .iter()
+                .map(|s| s.parse().map_err(|_| err(format!("invalid element {s:?}"))))
+                .collect::<Result<_, _>>()?;
+            let distinct: std::collections::HashSet<_> = v.iter().collect();
+            if distinct.len() != v.len() || v.iter().any(|&e| e as usize >= n) {
+                return Err(err("elements must be distinct and < n"));
+            }
+            Ok(format!("{}\n", rank_variation(n, &v)))
+        }
+        "random" => {
+            let n = parse_usize(rest.first().ok_or_else(|| err("usage: hwperm random <n> [count] [seed]"))?, "n")?;
+            let count: usize = rest.get(1).map_or(Ok(1), |s| parse_usize(s, "count"))?;
+            let seed: u64 = rest
+                .get(2)
+                .map_or(Ok(0xD1CE), |s| s.parse().map_err(|_| err("invalid seed")))?;
+            let mut src = SoftwareRandomSource::new(n, seed);
+            Ok(render_random(&mut src, count))
+        }
+        "random-circuit" => {
+            let n = parse_usize(
+                rest.first()
+                    .ok_or_else(|| err("usage: hwperm random-circuit <n> [count]"))?,
+                "n",
+            )?;
+            if n < 2 {
+                return Err(err("circuit generation requires n >= 2"));
+            }
+            let count: usize = rest.get(1).map_or(Ok(1), |s| parse_usize(s, "count"))?;
+            let mut src = CircuitRandomSource::new(n);
+            Ok(render_random(&mut src, count))
+        }
+        "all" => {
+            let n = parse_usize(
+                rest.first().ok_or_else(|| err("usage: hwperm all <n> [start] [end]"))?,
+                "n",
+            )?;
+            let start = rest
+                .get(1)
+                .map_or(Ok(Ubig::zero()), |s| parse_ubig(s, "start"))?;
+            let end = rest
+                .get(2)
+                .map_or(Ok(Ubig::factorial(n as u64)), |s| parse_ubig(s, "end"))?;
+            if start > Ubig::factorial(n as u64) {
+                return Err(err("start beyond n!"));
+            }
+            let mut out = String::new();
+            for (index, perm) in IndexedPermutations::new(n, start, end) {
+                out.push_str(&format!("{index:>6}  {perm}\n"));
+            }
+            Ok(out)
+        }
+        "resources" => {
+            let [circuit, n] = rest else {
+                return Err(err("usage: hwperm resources <circuit> <n>"));
+            };
+            let n = parse_usize(n, "n")?;
+            if n < 2 {
+                return Err(err("circuits require n >= 2"));
+            }
+            let report = match circuit.as_str() {
+                "converter" => ResourceReport::of(&converter_netlist(
+                    n,
+                    ConverterOptions::default(),
+                )),
+                "converter-pipelined" => ResourceReport::of(&converter_netlist(
+                    n,
+                    ConverterOptions {
+                        pipelined: true,
+                        perm_input_port: false,
+                    },
+                )),
+                "shuffle" => ResourceReport::of(&shuffle_netlist(
+                    n,
+                    ShuffleOptions::default(),
+                )),
+                "rank" => PermToIndexConverter::new(n).report(),
+                other => return Err(err(format!("unknown circuit {other:?}"))),
+            };
+            Ok(format!("{report}\n"))
+        }
+        "bias" => {
+            let [m, k] = rest else {
+                return Err(err("usage: hwperm bias <m> <k>"));
+            };
+            let m = parse_usize(m, "m")?;
+            let k: u64 = k.parse().map_err(|_| err("invalid k"))?;
+            if !(2..=63).contains(&m) {
+                return Err(err("m must be 2..=63"));
+            }
+            if k == 0 || k as u128 >= (1u128 << m) {
+                return Err(err("k must be in 1..2^m"));
+            }
+            let r = BiasReport::analytic(m, k);
+            Ok(format!(
+                "m = {m}, k = {k}: counts {}..{}, ratio {:.6}, difference {:.6}%\n",
+                r.min_count,
+                r.max_count,
+                r.probability_ratio(),
+                r.difference_percent()
+            ))
+        }
+        "sort" => {
+            let keys: Vec<u64> = rest
+                .iter()
+                .map(|s| s.parse().map_err(|_| err(format!("invalid key {s:?}"))))
+                .collect::<Result<_, _>>()?;
+            if keys.len() < 2 {
+                return Err(err("need at least two keys"));
+            }
+            let width = keys
+                .iter()
+                .map(|&k| (64 - k.leading_zeros()) as usize)
+                .max()
+                .unwrap()
+                .max(1);
+            if width > 63 {
+                return Err(err("keys must fit 63 bits"));
+            }
+            let mut sorter = SortingNetwork::new(keys.len(), width);
+            let sorted = sorter.sort(&keys);
+            Ok(format!(
+                "{}\n",
+                sorted
+                    .iter()
+                    .map(|k| k.to_string())
+                    .collect::<Vec<_>>()
+                    .join(" ")
+            ))
+        }
+        "verilog" => {
+            let [circuit, n] = rest else {
+                return Err(err(
+                    "usage: hwperm verilog <circuit> <n>  (circuit: converter | converter-pipelined | shuffle)",
+                ));
+            };
+            let n = parse_usize(n, "n")?;
+            if n < 2 {
+                return Err(err("circuits require n >= 2"));
+            }
+            let (netlist, name) = match circuit.as_str() {
+                "converter" => (
+                    converter_netlist(n, ConverterOptions::default()),
+                    format!("index_to_perm_{n}"),
+                ),
+                "converter-pipelined" => (
+                    converter_netlist(
+                        n,
+                        ConverterOptions {
+                            pipelined: true,
+                            perm_input_port: false,
+                        },
+                    ),
+                    format!("index_to_perm_pipe_{n}"),
+                ),
+                "shuffle" => (
+                    shuffle_netlist(n, ShuffleOptions::default()),
+                    format!("knuth_shuffle_{n}"),
+                ),
+                other => return Err(err(format!("unknown circuit {other:?}"))),
+            };
+            Ok(hwperm_logic::to_verilog(&netlist, &name))
+        }
+        "verify" => {
+            let n = parse_usize(
+                rest.first().ok_or_else(|| err("usage: hwperm verify <n>"))?,
+                "n",
+            )?;
+            if !(2..=8).contains(&n) {
+                return Err(err("verify sweeps exhaustively; n must be 2..=8"));
+            }
+            let mut conv = IndexToPermConverter::new(n);
+            let total: u64 = (1..=n as u64).product();
+            for i in 0..total {
+                if conv.convert_u64(i) != hwperm_factoradic::unrank_u64(n, i) {
+                    return Err(err(format!("MISMATCH at index {i}")));
+                }
+            }
+            // Also one shuffle-circuit output validity check.
+            let mut shuffle = KnuthShuffleCircuit::new(n);
+            let p = shuffle.next_permutation();
+            Permutation::try_from_slice(p.as_slice())
+                .map_err(|e| err(format!("shuffle output invalid: {e}")))?;
+            Ok(format!("OK: all {total} conversions match software for n = {n}\n"))
+        }
+        other => Err(err(format!("unknown command {other:?}\n\n{USAGE}"))),
+    }
+}
+
+fn render_random(src: &mut dyn RandomPermSource, count: usize) -> String {
+    let mut out = String::new();
+    for _ in 0..count {
+        out.push_str(&format!("{}\n", src.next_permutation()));
+    }
+    out
+}
+
+fn join(v: &[u32]) -> String {
+    v.iter()
+        .map(|e| e.to_string())
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn call(args: &[&str]) -> Result<String, CliError> {
+        let owned: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        run(&owned)
+    }
+
+    #[test]
+    fn unrank_and_rank_roundtrip() {
+        assert_eq!(call(&["unrank", "4", "11"]).unwrap(), "1 3 2 0\n");
+        assert_eq!(call(&["rank", "1", "3", "2", "0"]).unwrap(), "11\n");
+    }
+
+    #[test]
+    fn unrank_rejects_out_of_range() {
+        assert!(call(&["unrank", "4", "24"]).is_err());
+        assert!(call(&["unrank", "4", "banana"]).is_err());
+    }
+
+    #[test]
+    fn big_n_unrank_works() {
+        let out = call(&["unrank", "25", "15511210043330985983999999"]).unwrap();
+        // Last permutation of 25 elements: 24 23 ... 0.
+        assert!(out.starts_with("24 23 22"));
+    }
+
+    #[test]
+    fn combination_commands() {
+        assert_eq!(call(&["combination", "5", "3", "0"]).unwrap(), "0 1 2\n");
+        assert_eq!(call(&["rank-combination", "5", "2", "3", "4"]).unwrap(), "9\n");
+        assert!(call(&["combination", "5", "3", "10"]).is_err());
+        assert!(call(&["rank-combination", "5", "3", "2"]).is_err());
+    }
+
+    #[test]
+    fn variation_commands() {
+        assert_eq!(call(&["variation", "5", "2", "0"]).unwrap(), "0 1\n");
+        assert_eq!(call(&["rank-variation", "5", "0", "1"]).unwrap(), "0\n");
+        assert!(call(&["variation", "5", "2", "20"]).is_err());
+    }
+
+    #[test]
+    fn random_is_seeded_and_counted() {
+        let a = call(&["random", "6", "3", "99"]).unwrap();
+        let b = call(&["random", "6", "3", "99"]).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.lines().count(), 3);
+        for line in a.lines() {
+            assert!(line.parse::<Permutation>().is_ok());
+        }
+    }
+
+    #[test]
+    fn random_circuit_emits_valid_permutations() {
+        let out = call(&["random-circuit", "4", "5"]).unwrap();
+        assert_eq!(out.lines().count(), 5);
+        for line in out.lines() {
+            assert!(line.parse::<Permutation>().is_ok());
+        }
+    }
+
+    #[test]
+    fn all_lists_range() {
+        let out = call(&["all", "3"]).unwrap();
+        assert_eq!(out.lines().count(), 6);
+        let out = call(&["all", "4", "10", "13"]).unwrap();
+        assert_eq!(out.lines().count(), 3);
+        assert!(out.contains("1 3 0 2"));
+    }
+
+    #[test]
+    fn resources_reports() {
+        for circuit in ["converter", "converter-pipelined", "shuffle", "rank"] {
+            let out = call(&["resources", circuit, "5"]).unwrap();
+            assert!(out.contains("LUTs"), "{circuit}: {out}");
+        }
+        assert!(call(&["resources", "nonsense", "5"]).is_err());
+    }
+
+    #[test]
+    fn bias_matches_paper_example() {
+        let out = call(&["bias", "5", "24"]).unwrap();
+        assert!(out.contains("ratio 2.0"), "{out}");
+    }
+
+    #[test]
+    fn sort_through_network() {
+        assert_eq!(call(&["sort", "9", "3", "7", "3"]).unwrap(), "3 3 7 9\n");
+        assert!(call(&["sort", "5"]).is_err());
+    }
+
+    #[test]
+    fn verify_passes() {
+        assert!(call(&["verify", "5"]).unwrap().contains("OK"));
+        assert!(call(&["verify", "20"]).is_err());
+    }
+
+    #[test]
+    fn verilog_command_emits_module() {
+        let out = call(&["verilog", "converter", "4"]).unwrap();
+        assert!(out.contains("module index_to_perm_4("));
+        assert!(out.contains("endmodule"));
+        let pipe = call(&["verilog", "converter-pipelined", "4"]).unwrap();
+        assert!(pipe.contains("always @(posedge clk)"));
+        assert!(call(&["verilog", "bogus", "4"]).is_err());
+    }
+
+    #[test]
+    fn unknown_command_shows_usage() {
+        let e = call(&["frobnicate"]).unwrap_err();
+        assert!(e.0.contains("usage"));
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        assert!(call(&["help"]).unwrap().contains("unrank"));
+    }
+}

@@ -1,0 +1,12 @@
+//! The `hwperm` binary: thin I/O shell over [`hwperm_cli::run`].
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match hwperm_cli::run(&args) {
+        Ok(output) => print!("{output}"),
+        Err(e) => {
+            eprintln!("hwperm: {e}");
+            std::process::exit(2);
+        }
+    }
+}

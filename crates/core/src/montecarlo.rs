@@ -1,0 +1,137 @@
+//! The paper's Section III Monte-Carlo experiments.
+
+use crate::sources::RandomPermSource;
+use std::collections::BTreeMap;
+
+/// Outcome of the derangement experiment (Section III.C).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DerangementResult {
+    /// Permutation size.
+    pub n: usize,
+    /// Permutations generated.
+    pub samples: u64,
+    /// How many were derangements.
+    pub derangements: u64,
+    /// `e ≈ samples / derangements` (since `d_n = ⌊n!/e⌉`).
+    pub e_estimate: f64,
+}
+
+/// Runs the paper's derangement experiment: generate `samples` random
+/// permutations, count derangements, estimate `e`.
+///
+/// The paper's run: 1 048 576 random 4-element permutations gave 385 707
+/// derangements and `e ≈ 2.7185`; repeated for n = 8 and n = 16.
+pub fn derangement_experiment(
+    source: &mut dyn RandomPermSource,
+    samples: u64,
+) -> DerangementResult {
+    let mut derangements = 0u64;
+    for _ in 0..samples {
+        if source.next_permutation().is_derangement() {
+            derangements += 1;
+        }
+    }
+    DerangementResult {
+        n: source.n(),
+        samples,
+        derangements,
+        e_estimate: samples as f64 / derangements as f64,
+    }
+}
+
+/// The Fig. 4 histogram: counts of each permutation (keyed by its packed
+/// word value, the paper's vertical axis) over `samples` draws.
+///
+/// Returns a map from packed word value to occurrence count; for `n = 4`
+/// it has 24 entries between 27 (`0123`) and 228 (`3210`).
+pub fn fig4_histogram(source: &mut dyn RandomPermSource, samples: u64) -> BTreeMap<u64, u64> {
+    let mut hist = BTreeMap::new();
+    for _ in 0..samples {
+        let p = source.next_permutation();
+        let word = p.pack().to_u64().expect("histogram limited to small n");
+        *hist.entry(word).or_insert(0) += 1;
+    }
+    hist
+}
+
+/// Chi-square statistic of `counts` against the uniform distribution.
+/// Degrees of freedom = `counts.len() − 1`.
+pub fn chi_square_uniform(counts: &[u64]) -> f64 {
+    let total: u64 = counts.iter().sum();
+    let expected = total as f64 / counts.len() as f64;
+    counts
+        .iter()
+        .map(|&c| {
+            let d = c as f64 - expected;
+            d * d / expected
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sources::{CircuitRandomSource, SoftwareRandomSource};
+    use hwperm_circuits::ShuffleOptions;
+
+    #[test]
+    fn derangement_probability_converges() {
+        // P(derangement) → 1/e; for n = 4 it is 9/24 = 0.375 exactly.
+        let mut src = SoftwareRandomSource::new(4, 42);
+        let result = derangement_experiment(&mut src, 50_000);
+        let p = result.derangements as f64 / result.samples as f64;
+        assert!((p - 0.375).abs() < 0.01, "p = {p}");
+        assert!((result.e_estimate - 8.0 / 3.0).abs() < 0.08, "{}", result.e_estimate);
+    }
+
+    #[test]
+    fn derangement_e_for_n8_close_to_true_e() {
+        let mut src = SoftwareRandomSource::new(8, 7);
+        let result = derangement_experiment(&mut src, 40_000);
+        assert!(
+            (result.e_estimate - std::f64::consts::E).abs() < 0.1,
+            "e ≈ {}",
+            result.e_estimate
+        );
+    }
+
+    #[test]
+    fn fig4_histogram_covers_all_24_permutations() {
+        let mut src = CircuitRandomSource::with_options(
+            4,
+            ShuffleOptions {
+                lfsr_width: 16,
+                pipelined: false,
+                seed: 5,
+            },
+        );
+        let hist = fig4_histogram(&mut src, 6000);
+        assert_eq!(hist.len(), 24);
+        // Corner values from the paper's Fig. 4 axis.
+        assert!(hist.contains_key(&27), "identity 0123 = 00011011");
+        assert!(hist.contains_key(&228), "reversal 3210 = 11100100");
+        assert_eq!(hist.values().sum::<u64>(), 6000);
+    }
+
+    #[test]
+    fn fig4_distribution_is_uniform() {
+        let mut src = SoftwareRandomSource::new(4, 11);
+        let hist = fig4_histogram(&mut src, 24_000);
+        let counts: Vec<u64> = hist.values().copied().collect();
+        let chi2 = chi_square_uniform(&counts);
+        // 23 dof, 99.9th percentile ≈ 49.7.
+        assert!(chi2 < 49.7, "chi2 = {chi2}");
+    }
+
+    #[test]
+    fn chi_square_of_perfectly_uniform_is_zero() {
+        assert_eq!(chi_square_uniform(&[100, 100, 100, 100]), 0.0);
+    }
+
+    #[test]
+    fn chi_square_detects_skew() {
+        let uniform = chi_square_uniform(&[250, 250, 250, 250]);
+        let skewed = chi_square_uniform(&[400, 200, 200, 200]);
+        assert!(skewed > uniform + 50.0);
+    }
+}

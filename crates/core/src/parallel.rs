@@ -1,0 +1,195 @@
+//! Parallel block generation over the index space.
+//!
+//! The paper's converter exists so "parallel machines interact through a
+//! shared memory" can each derive their own permutations. The software
+//! analogue: split `[0, n!)` (or any sub-range) into per-worker blocks,
+//! unrank each block's start once (`O(n²)`), then walk lexicographic
+//! successors (`O(n)` amortized). Workers share nothing but the final
+//! reduction, done over crossbeam scoped threads.
+
+use crossbeam::thread;
+use hwperm_bignum::Ubig;
+use hwperm_factoradic::IndexedPermutations;
+use hwperm_perm::Permutation;
+
+/// A partition of an index range into contiguous worker blocks.
+#[derive(Debug, Clone)]
+pub struct ParallelPlan {
+    n: usize,
+    /// Block boundaries: `blocks[i]..blocks[i+1]` is worker `i`'s range.
+    boundaries: Vec<Ubig>,
+}
+
+impl ParallelPlan {
+    /// Splits `[start, end)` (clamped to `n!`) into `workers` near-equal
+    /// blocks.
+    ///
+    /// # Panics
+    /// Panics if `workers == 0` or `start > end`.
+    pub fn new(n: usize, start: &Ubig, end: &Ubig, workers: usize) -> Self {
+        assert!(workers >= 1, "need at least one worker");
+        let nfact = Ubig::factorial(n as u64);
+        let end = end.clone().min(nfact);
+        assert!(*start <= end, "start beyond end");
+        let span = &end - start;
+        let (per, _) = span.divrem_u64(workers as u64);
+        let mut boundaries = Vec::with_capacity(workers + 1);
+        let mut cursor = start.clone();
+        for _ in 0..workers {
+            boundaries.push(cursor.clone());
+            cursor = &cursor + &per;
+        }
+        boundaries.push(end); // the last block absorbs the remainder
+        ParallelPlan { n, boundaries }
+    }
+
+    /// The whole space `[0, n!)` over `workers` blocks.
+    pub fn full(n: usize, workers: usize) -> Self {
+        Self::new(n, &Ubig::zero(), &Ubig::factorial(n as u64), workers)
+    }
+
+    /// Number of worker blocks.
+    pub fn workers(&self) -> usize {
+        self.boundaries.len() - 1
+    }
+
+    /// Iterator over worker `i`'s block.
+    pub fn block(&self, i: usize) -> IndexedPermutations {
+        IndexedPermutations::new(
+            self.n,
+            self.boundaries[i].clone(),
+            self.boundaries[i + 1].clone(),
+        )
+    }
+}
+
+/// Counts permutations in `[start, end)` satisfying `predicate`, fanned
+/// out over `workers` OS threads.
+pub fn parallel_count<F>(plan: &ParallelPlan, predicate: F) -> u64
+where
+    F: Fn(&Permutation) -> bool + Sync,
+{
+    parallel_reduce(
+        plan,
+        |block| block.filter(|(_, p)| predicate(p)).count() as u64,
+        0u64,
+        |a, b| a + b,
+    )
+}
+
+/// General fork–join reduction: `map` runs once per worker block on its
+/// own thread; results are folded with `combine` (order-independent
+/// combines recommended; blocks are combined in worker order).
+pub fn parallel_reduce<T, M, C>(plan: &ParallelPlan, map: M, init: T, combine: C) -> T
+where
+    T: Send,
+    M: Fn(IndexedPermutations) -> T + Sync,
+    C: Fn(T, T) -> T,
+{
+    let results: Vec<T> = thread::scope(|scope| {
+        let handles: Vec<_> = (0..plan.workers())
+            .map(|i| {
+                let block = plan.block(i);
+                let map = &map;
+                scope.spawn(move |_| map(block))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
+    })
+    .expect("thread scope failed");
+    results.into_iter().fold(init, combine)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_blocks_tile_the_range() {
+        let plan = ParallelPlan::full(5, 4);
+        assert_eq!(plan.workers(), 4);
+        let total: usize = (0..4).map(|i| plan.block(i).count()).sum();
+        assert_eq!(total, 120);
+        // Blocks are disjoint and ordered.
+        let mut last = None;
+        for i in 0..4 {
+            for (index, _) in plan.block(i) {
+                if let Some(prev) = last.take() {
+                    assert!(index > prev);
+                }
+                last = Some(index);
+            }
+        }
+    }
+
+    #[test]
+    fn remainder_goes_to_last_block() {
+        // 120 over 7 workers: blocks of 17, last gets 120 − 6·17 = 18.
+        let plan = ParallelPlan::full(5, 7);
+        let sizes: Vec<usize> = (0..7).map(|i| plan.block(i).count()).collect();
+        assert_eq!(sizes[..6], [17; 6]);
+        assert_eq!(sizes[6], 18);
+    }
+
+    #[test]
+    fn parallel_count_matches_serial_derangements() {
+        // Known: d_6 = 265 derangements of 6 elements.
+        let serial = IndexedPermutations::all(6)
+            .filter(|(_, p)| p.is_derangement())
+            .count() as u64;
+        assert_eq!(serial, 265);
+        for workers in [1usize, 2, 3, 8] {
+            let plan = ParallelPlan::full(6, workers);
+            assert_eq!(
+                parallel_count(&plan, |p| p.is_derangement()),
+                265,
+                "workers = {workers}"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_reduce_collects_extremes() {
+        // Max inversions over all of S_5 must be 10 regardless of split.
+        let plan = ParallelPlan::full(5, 3);
+        let max_inv = parallel_reduce(
+            &plan,
+            |block| block.map(|(_, p)| p.inversions()).max().unwrap_or(0),
+            0,
+            u64::max,
+        );
+        assert_eq!(max_inv, 10);
+    }
+
+    #[test]
+    fn sub_range_plans() {
+        let plan = ParallelPlan::new(5, &Ubig::from(10u64), &Ubig::from(50u64), 4);
+        let total: usize = (0..4).map(|i| plan.block(i).count()).sum();
+        assert_eq!(total, 40);
+        assert_eq!(plan.block(0).next().unwrap().0.to_u64(), Some(10));
+    }
+
+    #[test]
+    fn end_clamped_to_n_factorial() {
+        let plan = ParallelPlan::new(4, &Ubig::zero(), &Ubig::from(10_000u64), 2);
+        let total: usize = (0..2).map(|i| plan.block(i).count()).sum();
+        assert_eq!(total, 24);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_workers_rejected() {
+        ParallelPlan::full(4, 0);
+    }
+
+    #[test]
+    fn more_workers_than_items() {
+        let plan = ParallelPlan::new(4, &Ubig::zero(), &Ubig::from(3u64), 8);
+        let total: usize = (0..8).map(|i| plan.block(i).count()).sum();
+        assert_eq!(total, 3);
+        assert_eq!(parallel_count(&plan, |_| true), 3);
+    }
+}

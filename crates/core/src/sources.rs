@@ -1,0 +1,291 @@
+//! Unified permutation sources.
+
+use hwperm_bignum::Ubig;
+use hwperm_circuits::{
+    ConverterOptions, IndexToPermConverter, KnuthShuffleCircuit, RandomIndexGenerator,
+    ShuffleOptions,
+};
+use hwperm_factoradic::unrank;
+use hwperm_perm::{shuffle::knuth_shuffle, Permutation};
+use hwperm_rng::XorShift64Star;
+
+/// Anything that maps an index in `[0, n!)` to the corresponding
+/// permutation in lexicographic order.
+pub trait PermutationSource {
+    /// Number of elements `n`.
+    fn n(&self) -> usize;
+
+    /// The `index`-th permutation.
+    ///
+    /// # Panics
+    /// Implementations panic if `index >= n!`.
+    fn permutation(&mut self, index: &Ubig) -> Permutation;
+
+    /// Convenience for small indices.
+    fn permutation_u64(&mut self, index: u64) -> Permutation {
+        self.permutation(&Ubig::from(index))
+    }
+}
+
+/// Pure-software unranking (the paper's microprocessor baseline).
+#[derive(Debug, Clone)]
+pub struct SoftwareSource {
+    n: usize,
+}
+
+impl SoftwareSource {
+    /// A software source for `n`-element permutations.
+    pub fn new(n: usize) -> Self {
+        SoftwareSource { n }
+    }
+}
+
+impl PermutationSource for SoftwareSource {
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn permutation(&mut self, index: &Ubig) -> Permutation {
+        unrank(self.n, index)
+    }
+}
+
+/// The Fig. 1 netlist, simulated bit-accurately.
+#[derive(Debug, Clone)]
+pub struct CircuitSource {
+    converter: IndexToPermConverter,
+}
+
+impl CircuitSource {
+    /// Combinational circuit source.
+    pub fn new(n: usize) -> Self {
+        CircuitSource {
+            converter: IndexToPermConverter::new(n),
+        }
+    }
+
+    /// Pipelined circuit source (latency `n − 1`, 1 permutation/clock).
+    pub fn pipelined(n: usize) -> Self {
+        CircuitSource {
+            converter: IndexToPermConverter::with_options(
+                n,
+                ConverterOptions {
+                    pipelined: true,
+                    perm_input_port: false,
+                },
+            ),
+        }
+    }
+
+    /// Access to the wrapped converter (resource reports, streaming).
+    pub fn converter_mut(&mut self) -> &mut IndexToPermConverter {
+        &mut self.converter
+    }
+}
+
+impl PermutationSource for CircuitSource {
+    fn n(&self) -> usize {
+        self.converter.n()
+    }
+
+    fn permutation(&mut self, index: &Ubig) -> Permutation {
+        self.converter.convert(index)
+    }
+}
+
+/// The memory-based (LUT cascade) realization — Section II.B's remark.
+#[derive(Debug, Clone)]
+pub struct CascadeSource {
+    cascade: hwperm_circuits::LutCascadeConverter,
+}
+
+impl CascadeSource {
+    /// A cascade source (practical for `n ≤ 10`; see
+    /// [`hwperm_circuits::LutCascadeConverter`]).
+    pub fn new(n: usize) -> Self {
+        CascadeSource {
+            cascade: hwperm_circuits::LutCascadeConverter::new(n),
+        }
+    }
+
+    /// Total ROM bits of the cascade.
+    pub fn memory_bits(&self) -> u64 {
+        self.cascade.memory_bits()
+    }
+}
+
+impl PermutationSource for CascadeSource {
+    fn n(&self) -> usize {
+        self.cascade.n()
+    }
+
+    fn permutation(&mut self, index: &Ubig) -> Permutation {
+        self.cascade.convert(index)
+    }
+}
+
+/// Anything that emits a stream of (approximately) uniform random
+/// permutations.
+pub trait RandomPermSource {
+    /// Number of elements `n`.
+    fn n(&self) -> usize;
+
+    /// The next random permutation.
+    fn next_permutation(&mut self) -> Permutation;
+}
+
+/// Software Knuth shuffle over an unbiased host RNG.
+#[derive(Debug, Clone)]
+pub struct SoftwareRandomSource {
+    n: usize,
+    rng: XorShift64Star,
+}
+
+impl SoftwareRandomSource {
+    /// A software random source.
+    pub fn new(n: usize, seed: u64) -> Self {
+        SoftwareRandomSource {
+            n,
+            rng: XorShift64Star::new(seed),
+        }
+    }
+}
+
+impl RandomPermSource for SoftwareRandomSource {
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn next_permutation(&mut self) -> Permutation {
+        knuth_shuffle(self.n, &mut self.rng)
+    }
+}
+
+/// The Fig. 3 Knuth shuffle circuit (bit-accurate netlist simulation).
+#[derive(Debug, Clone)]
+pub struct CircuitRandomSource {
+    circuit: KnuthShuffleCircuit,
+}
+
+impl CircuitRandomSource {
+    /// Default-configured circuit source.
+    pub fn new(n: usize) -> Self {
+        CircuitRandomSource {
+            circuit: KnuthShuffleCircuit::new(n),
+        }
+    }
+
+    /// Circuit source with explicit options.
+    pub fn with_options(n: usize, options: ShuffleOptions) -> Self {
+        CircuitRandomSource {
+            circuit: KnuthShuffleCircuit::with_options(n, options),
+        }
+    }
+
+    /// Access to the wrapped circuit.
+    pub fn circuit_mut(&mut self) -> &mut KnuthShuffleCircuit {
+        &mut self.circuit
+    }
+}
+
+impl RandomPermSource for CircuitRandomSource {
+    fn n(&self) -> usize {
+        self.circuit.n()
+    }
+
+    fn next_permutation(&mut self) -> Permutation {
+        self.circuit.next_permutation()
+    }
+}
+
+/// The Fig. 2 random-index method (LFSR → ×n! → ≫m → converter).
+#[derive(Debug, Clone)]
+pub struct RandomIndexSource {
+    generator: RandomIndexGenerator,
+}
+
+impl RandomIndexSource {
+    /// Default-width generator.
+    pub fn new(n: usize, seed: u64) -> Self {
+        RandomIndexSource {
+            generator: RandomIndexGenerator::new(n, seed),
+        }
+    }
+}
+
+impl RandomPermSource for RandomIndexSource {
+    fn n(&self) -> usize {
+        self.generator.n()
+    }
+
+    fn next_permutation(&mut self) -> Permutation {
+        self.generator.next_permutation()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn software_and_circuit_sources_agree() {
+        let mut sw = SoftwareSource::new(6);
+        let mut hw = CircuitSource::new(6);
+        for index in [0u64, 1, 100, 719] {
+            assert_eq!(sw.permutation_u64(index), hw.permutation_u64(index));
+        }
+    }
+
+    #[test]
+    fn all_three_realizations_agree() {
+        // Software, gate-level comparator circuit, and memory cascade.
+        let mut backends: Vec<Box<dyn PermutationSource>> = vec![
+            Box::new(SoftwareSource::new(6)),
+            Box::new(CircuitSource::new(6)),
+            Box::new(CascadeSource::new(6)),
+        ];
+        for index in [0u64, 3, 359, 719] {
+            let results: Vec<_> = backends
+                .iter_mut()
+                .map(|b| b.permutation_u64(index))
+                .collect();
+            assert_eq!(results[0], results[1]);
+            assert_eq!(results[1], results[2]);
+        }
+    }
+
+    #[test]
+    fn pipelined_source_agrees_too() {
+        let mut sw = SoftwareSource::new(5);
+        let mut hw = CircuitSource::pipelined(5);
+        for index in [0u64, 42, 119] {
+            assert_eq!(sw.permutation_u64(index), hw.permutation_u64(index));
+        }
+    }
+
+    #[test]
+    fn random_sources_emit_valid_permutations() {
+        let sources: Vec<Box<dyn RandomPermSource>> = vec![
+            Box::new(SoftwareRandomSource::new(6, 1)),
+            Box::new(CircuitRandomSource::new(6)),
+            Box::new(RandomIndexSource::new(6, 1)),
+        ];
+        for mut src in sources {
+            for _ in 0..20 {
+                let p = src.next_permutation();
+                assert_eq!(p.n(), 6);
+                assert!(Permutation::try_from_slice(p.as_slice()).is_ok());
+            }
+        }
+    }
+
+    #[test]
+    fn software_random_source_is_seeded() {
+        let seq = |seed| {
+            let mut s = SoftwareRandomSource::new(8, seed);
+            (0..5).map(|_| s.next_permutation()).collect::<Vec<_>>()
+        };
+        assert_eq!(seq(9), seq(9));
+        assert_ne!(seq(9), seq(10));
+    }
+}

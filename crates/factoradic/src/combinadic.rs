@@ -1,0 +1,176 @@
+//! The combinatorial number system (combinadic): index ↔ combination.
+//!
+//! The paper presents itself as a companion to Butler & Sasao's
+//! *Index to Constant Weight Codeword Converter* (ARC 2011, reference \[4\]):
+//! the same index-to-combinatorial-object idea with `C(n, k)` constant-
+//! weight codewords instead of `n!` permutations. This module is the
+//! software reference for that companion circuit; the netlist version
+//! lives in `hwperm-circuits`.
+//!
+//! A `k`-combination of `{0, …, n−1}` is ranked in lexicographic order of
+//! its sorted element list. Unranking greedily picks the smallest leading
+//! element whose "suffix block" of `C(n−1−c, k−1)` combinations contains
+//! the index — structurally the same compare-subtract cascade as the
+//! factorial converter.
+
+use hwperm_bignum::Ubig;
+
+/// Binomial coefficient `C(n, k)` as a [`Ubig`], via the multiplicative
+/// formula with exact intermediate division.
+pub fn binomial(n: u64, k: u64) -> Ubig {
+    if k > n {
+        return Ubig::zero();
+    }
+    let k = k.min(n - k);
+    let mut acc = Ubig::one();
+    for i in 0..k {
+        acc = acc.mul_u64(n - i);
+        let (q, r) = acc.divrem_u64(i + 1);
+        debug_assert_eq!(r, 0, "binomial intermediate must divide exactly");
+        acc = q;
+    }
+    acc
+}
+
+/// The `index`-th `k`-combination of `{0, …, n−1}` in lexicographic order,
+/// returned as a sorted element list.
+///
+/// # Panics
+/// Panics if `index >= C(n, k)`.
+pub fn unrank_combination(n: usize, k: usize, index: &Ubig) -> Vec<u32> {
+    assert!(
+        *index < binomial(n as u64, k as u64),
+        "combination index out of range for C({n}, {k})"
+    );
+    let mut out = Vec::with_capacity(k);
+    let mut rem = index.clone();
+    let mut next_candidate = 0u64; // smallest element still available
+    let mut slots_left = k as u64;
+    let mut universe_left = n as u64;
+    while slots_left > 0 {
+        // Greedy: element `c` leads a block of C(universe_left-1, slots_left-1)
+        // combinations; advance c until the index falls inside its block.
+        let block = binomial(universe_left - 1, slots_left - 1);
+        if rem < block {
+            out.push(next_candidate as u32);
+            slots_left -= 1;
+        } else {
+            rem = &rem - &block;
+        }
+        next_candidate += 1;
+        universe_left -= 1;
+    }
+    debug_assert!(rem.is_zero());
+    out
+}
+
+/// Lexicographic rank of a sorted `k`-combination of `{0, …, n−1}`
+/// (inverse of [`unrank_combination`]).
+///
+/// # Panics
+/// Panics if `elements` is not strictly increasing or contains values `>= n`.
+pub fn rank_combination(n: usize, elements: &[u32]) -> Ubig {
+    let k = elements.len();
+    let mut acc = Ubig::zero();
+    let mut prev: i64 = -1;
+    for (i, &e) in elements.iter().enumerate() {
+        assert!((e as usize) < n, "element {e} out of range");
+        assert!(e as i64 > prev, "elements must be strictly increasing");
+        // All combinations whose i-th element is smaller than e but larger
+        // than the (i-1)-th element rank below this one.
+        for c in (prev + 1) as u64..e as u64 {
+            acc += &binomial((n as u64) - c - 1, (k - i - 1) as u64);
+        }
+        prev = e as i64;
+    }
+    acc
+}
+
+/// Renders a combination as the constant-weight codeword the companion
+/// paper outputs: an `n`-bit word with ones at the chosen positions
+/// (bit `n−1−e` set for element `e`, MSB-first like the permutation word).
+pub fn to_codeword(n: usize, elements: &[u32]) -> Ubig {
+    let mut w = Ubig::zero();
+    for &e in elements {
+        assert!((e as usize) < n);
+        w.set_bit(n - 1 - e as usize, true);
+    }
+    w
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binomial_pascal_row() {
+        let row: Vec<u64> = (0..=6).map(|k| binomial(6, k).to_u64().unwrap()).collect();
+        assert_eq!(row, vec![1, 6, 15, 20, 15, 6, 1]);
+        assert_eq!(binomial(5, 9), Ubig::zero());
+    }
+
+    #[test]
+    fn binomial_large_exact() {
+        // C(100, 50) — 97 bits.
+        assert_eq!(
+            binomial(100, 50).to_string(),
+            "100891344545564193334812497256"
+        );
+    }
+
+    #[test]
+    fn unrank_first_and_last() {
+        assert_eq!(unrank_combination(5, 3, &Ubig::zero()), vec![0, 1, 2]);
+        let last = binomial(5, 3) - Ubig::one();
+        assert_eq!(unrank_combination(5, 3, &last), vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn rank_unrank_roundtrip_exhaustive() {
+        let (n, k) = (7usize, 3usize);
+        let total = binomial(n as u64, k as u64).to_u64().unwrap();
+        let mut prev: Option<Vec<u32>> = None;
+        for i in 0..total {
+            let c = unrank_combination(n, k, &Ubig::from(i));
+            assert_eq!(c.len(), k);
+            assert!(c.windows(2).all(|w| w[0] < w[1]), "sorted strictly");
+            assert_eq!(rank_combination(n, &c).to_u64(), Some(i));
+            if let Some(p) = prev {
+                assert!(p < c, "lexicographic order");
+            }
+            prev = Some(c);
+        }
+    }
+
+    #[test]
+    fn edge_weights() {
+        // k = 0: single empty combination.
+        assert_eq!(unrank_combination(5, 0, &Ubig::zero()), Vec::<u32>::new());
+        assert_eq!(rank_combination(5, &[]), Ubig::zero());
+        // k = n: single full combination.
+        assert_eq!(unrank_combination(4, 4, &Ubig::zero()), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn unrank_rejects_overflow_index() {
+        unrank_combination(5, 2, &Ubig::from(10u64)); // C(5,2) = 10
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn rank_rejects_unsorted() {
+        rank_combination(5, &[2, 1]);
+    }
+
+    #[test]
+    fn codeword_bits() {
+        // Elements {0, 3} of n = 5 → bits 4 and 1 → 0b10010.
+        assert_eq!(to_codeword(5, &[0, 3]).to_u64(), Some(0b10010));
+        // Weight is preserved.
+        let c = unrank_combination(10, 4, &Ubig::from(100u64));
+        let w = to_codeword(10, &c);
+        let ones = (0..10).filter(|&i| w.bit(i)).count();
+        assert_eq!(ones, 4);
+    }
+}

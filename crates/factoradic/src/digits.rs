@@ -1,0 +1,233 @@
+//! Index ↔ digit-vector conversion in the factorial number system.
+//!
+//! Digit vectors are most-significant first: `digits[0] = s_{n−1}, …,
+//! digits[n−1] = s_0` (always 0), matching both Table I's column order and
+//! the Lehmer code of the corresponding permutation.
+
+use hwperm_bignum::Ubig;
+
+/// The factorials `0!, 1!, …, 20!` that fit in a `u64`.
+///
+/// # Panics
+/// Panics if `n > 20` (use [`Ubig::factorial`] beyond that).
+pub fn factorials_u64(n: usize) -> Vec<u64> {
+    assert!(n <= 20, "factorials above 20! overflow u64; use the Ubig path");
+    let mut out = Vec::with_capacity(n + 1);
+    let mut acc = 1u64;
+    out.push(1);
+    for k in 1..=n as u64 {
+        acc *= k;
+        out.push(acc);
+    }
+    out
+}
+
+/// Digits of `index` in the factorial number system for `n` elements,
+/// via div/mod (the conventional software algorithm).
+///
+/// # Panics
+/// Panics if `n > 20` or `index >= n!`.
+pub fn to_digits_u64(n: usize, index: u64) -> Vec<u32> {
+    let facts = factorials_u64(n);
+    assert!(
+        index < facts[n],
+        "index {index} out of range for n = {n} (n! = {})",
+        facts[n]
+    );
+    let mut digits = Vec::with_capacity(n);
+    let mut rem = index;
+    for i in (0..n).rev() {
+        let f = facts[i];
+        digits.push((rem / f) as u32);
+        rem %= f;
+    }
+    digits
+}
+
+/// Digits of `index`, via the paper's greedy compare-subtract algorithm
+/// (observation 3 in Section II.A): "the left digit is the maximum
+/// `s_{n−1}` such that `s_{n−1}(n−1)! ≤ N`. Then we form
+/// `N − s_{n−1}(n−1)!` and repeat". No division — each digit is found by
+/// at most `i` comparisons against the precomputed multiples `1·i!, …,
+/// i·i!`, exactly like the Fig. 1 comparator bank.
+///
+/// # Panics
+/// Panics if `n > 20` or `index >= n!`.
+pub fn to_digits_greedy(n: usize, index: u64) -> Vec<u32> {
+    let facts = factorials_u64(n);
+    assert!(index < facts[n], "index {index} out of range for n = {n}");
+    let mut digits = Vec::with_capacity(n);
+    let mut rem = index;
+    for i in (0..n).rev() {
+        let f = facts[i];
+        // Thermometer comparison: count multiples of i! that fit.
+        let mut s = 0u32;
+        while (s as u64 + 1) * f <= rem && (s as usize) < i {
+            s += 1;
+        }
+        rem -= s as u64 * f;
+        digits.push(s);
+    }
+    debug_assert_eq!(rem, 0);
+    digits
+}
+
+/// Digits of an arbitrary-precision `index` for any `n`, via div/mod.
+///
+/// # Panics
+/// Panics if `index >= n!`.
+pub fn to_digits(n: usize, index: &Ubig) -> Vec<u32> {
+    // Build n!, checking the range.
+    let nfact = Ubig::factorial(n as u64);
+    assert!(*index < nfact, "index out of range for n = {n}");
+    // Divide out radix positions from the least-significant end:
+    // rem = index; s_1 = rem % 2, rem /= 2; s_2 = rem % 3, rem /= 3; ...
+    // This avoids recomputing large factorials and is how positional
+    // systems with mixed radix are normally decomposed.
+    let mut ls_digits = vec![0u32]; // s_0 placeholder
+    let mut rem = index.clone();
+    for radix in 2..=n as u64 {
+        let (q, r) = rem.divrem_u64(radix);
+        ls_digits.push(r as u32);
+        rem = q;
+    }
+    debug_assert!(rem.is_zero());
+    ls_digits.reverse();
+    if n == 0 {
+        Vec::new()
+    } else {
+        ls_digits
+    }
+}
+
+/// Reassembles an index from its factorial-number-system digits
+/// (most-significant first): Horner evaluation in the mixed radix.
+pub fn from_digits(digits: &[u32]) -> Ubig {
+    // Horner evaluation MSD-first: acc ← acc·(n−i) + dᵢ. Digit 0 thereby
+    // accumulates the weight (n−1)·(n−2)⋯1 = (n−1)!, digit n−1 weight 1.
+    let n = digits.len();
+    let mut acc = Ubig::zero();
+    for (i, &d) in digits.iter().enumerate() {
+        debug_assert!((d as usize) <= n - 1 - i, "digit {d} exceeds bound at {i}");
+        acc = acc.mul_u64((n - i) as u64);
+        acc.add_u64_assign(d as u64);
+    }
+    acc
+}
+
+/// `u64` fast path of [`from_digits`].
+///
+/// # Panics
+/// Panics if the digit vector is longer than 20 (result may overflow).
+pub fn from_digits_u64(digits: &[u32]) -> u64 {
+    let n = digits.len();
+    assert!(n <= 20, "use from_digits for n > 20");
+    let mut acc = 0u64;
+    for (i, &d) in digits.iter().enumerate() {
+        debug_assert!((d as usize) <= n - 1 - i);
+        acc = acc * (n - i) as u64 + d as u64;
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Table I of the paper, in full: (N, digits s3 s2 s1 s0).
+    const TABLE_I: [(u64, [u32; 4]); 24] = [
+        (0, [0, 0, 0, 0]),
+        (1, [0, 0, 1, 0]),
+        (2, [0, 1, 0, 0]),
+        (3, [0, 1, 1, 0]),
+        (4, [0, 2, 0, 0]),
+        (5, [0, 2, 1, 0]),
+        (6, [1, 0, 0, 0]),
+        (7, [1, 0, 1, 0]),
+        (8, [1, 1, 0, 0]),
+        (9, [1, 1, 1, 0]),
+        (10, [1, 2, 0, 0]),
+        (11, [1, 2, 1, 0]),
+        (12, [2, 0, 0, 0]),
+        (13, [2, 0, 1, 0]),
+        (14, [2, 1, 0, 0]),
+        (15, [2, 1, 1, 0]),
+        (16, [2, 2, 0, 0]),
+        (17, [2, 2, 1, 0]),
+        (18, [3, 0, 0, 0]),
+        (19, [3, 0, 1, 0]),
+        (20, [3, 1, 0, 0]),
+        (21, [3, 1, 1, 0]),
+        (22, [3, 2, 0, 0]),
+        (23, [3, 2, 1, 0]),
+    ];
+
+    #[test]
+    fn table_i_digits() {
+        for (n_val, digits) in TABLE_I {
+            assert_eq!(to_digits_u64(4, n_val), digits, "N = {n_val}");
+            assert_eq!(from_digits_u64(&digits), n_val);
+        }
+    }
+
+    #[test]
+    fn greedy_matches_divmod_exhaustively_n5() {
+        for index in 0..120 {
+            assert_eq!(to_digits_greedy(5, index), to_digits_u64(5, index));
+        }
+    }
+
+    #[test]
+    fn ubig_path_matches_u64_path() {
+        for n in 1..=8usize {
+            let nfact = factorials_u64(n)[n];
+            for index in (0..nfact).step_by((nfact as usize / 37).max(1)) {
+                assert_eq!(
+                    to_digits(n, &Ubig::from(index)),
+                    to_digits_u64(n, index),
+                    "n = {n}, N = {index}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn max_index_has_digits_i() {
+        // Observation 1: N_max is represented by digits (n−1)(n−2)…1 0
+        // and equals n! − 1.
+        let digits = to_digits_u64(6, 719);
+        assert_eq!(digits, vec![5, 4, 3, 2, 1, 0]);
+    }
+
+    #[test]
+    fn digit_bounds_hold() {
+        for index in [0u64, 1, 100, 5039] {
+            let d = to_digits_u64(7, index);
+            for (i, &s) in d.iter().enumerate() {
+                assert!((s as usize) <= 7 - 1 - i);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn index_equal_to_n_factorial_rejected() {
+        to_digits_u64(4, 24);
+    }
+
+    #[test]
+    fn big_roundtrip_n30() {
+        // n = 30 needs 108 bits of index.
+        let index = &Ubig::factorial(30) - &Ubig::from(12345u64);
+        let digits = to_digits(30, &index);
+        assert_eq!(digits.len(), 30);
+        assert_eq!(from_digits(&digits), index);
+    }
+
+    #[test]
+    fn zero_and_one_element() {
+        assert_eq!(to_digits(0, &Ubig::zero()), Vec::<u32>::new());
+        assert_eq!(to_digits(1, &Ubig::zero()), vec![0]);
+        assert_eq!(from_digits(&[]), Ubig::zero());
+    }
+}

@@ -1,0 +1,192 @@
+//! Streaming enumeration of permutations by index range.
+//!
+//! `IndexedPermutations` unranks a block boundary once (`O(n²)`) and
+//! then walks lexicographic successors/predecessors (`O(n)` amortized)
+//! — the pattern that lets parallel machines (the paper's motivating
+//! application) split `[0, n!)` into disjoint blocks, one per worker.
+//! The iterator is double-ended: workers can also drain a block from
+//! the high end (`.rev()`), useful for meet-in-the-middle searches.
+
+use crate::rank::unrank;
+use hwperm_bignum::Ubig;
+use hwperm_perm::Permutation;
+
+/// Double-ended iterator over `(index, permutation)` pairs for indices
+/// in `[start, end)`.
+#[derive(Clone)]
+pub struct IndexedPermutations {
+    n: usize,
+    /// Next index to yield from the front.
+    front: Ubig,
+    /// Exclusive upper bound (moves down under back iteration).
+    back: Ubig,
+    /// Cached permutation at `front`, if already computed.
+    front_perm: Option<Permutation>,
+    /// Cached permutation at `back − 1`, if already computed.
+    back_perm: Option<Permutation>,
+}
+
+impl IndexedPermutations {
+    /// Enumerates permutations of `{0, …, n−1}` with indices in
+    /// `[start, end)`; `end` is clamped to `n!`.
+    ///
+    /// # Panics
+    /// Panics if `start > n!` (an empty range at the top is allowed).
+    pub fn new(n: usize, start: Ubig, end: Ubig) -> Self {
+        let nfact = Ubig::factorial(n as u64);
+        assert!(start <= nfact, "start index beyond n!");
+        let end = end.min(nfact);
+        IndexedPermutations {
+            n,
+            front: start,
+            back: end,
+            front_perm: None,
+            back_perm: None,
+        }
+    }
+
+    /// The whole range `[0, n!)`.
+    pub fn all(n: usize) -> Self {
+        Self::new(n, Ubig::zero(), Ubig::factorial(n as u64))
+    }
+
+    fn remaining(&self) -> Ubig {
+        if self.front >= self.back {
+            Ubig::zero()
+        } else {
+            &self.back - &self.front
+        }
+    }
+}
+
+impl Iterator for IndexedPermutations {
+    type Item = (Ubig, Permutation);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.front >= self.back {
+            return None;
+        }
+        let perm = self
+            .front_perm
+            .take()
+            .unwrap_or_else(|| unrank(self.n, &self.front));
+        let index = self.front.clone();
+        self.front.add_u64_assign(1);
+        if self.front < self.back {
+            self.front_perm = perm.next_lex();
+            debug_assert!(self.front_perm.is_some(), "successor must exist below n!");
+        }
+        Some((index, perm))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        match self.remaining().to_u64() {
+            Some(r) if r <= usize::MAX as u64 => (r as usize, Some(r as usize)),
+            _ => (usize::MAX, None),
+        }
+    }
+}
+
+impl DoubleEndedIterator for IndexedPermutations {
+    fn next_back(&mut self) -> Option<Self::Item> {
+        if self.front >= self.back {
+            return None;
+        }
+        self.back = self.back.checked_sub(&Ubig::one()).expect("back > 0");
+        let perm = self
+            .back_perm
+            .take()
+            .unwrap_or_else(|| unrank(self.n, &self.back));
+        if self.front < self.back {
+            self.back_perm = perm.prev_lex();
+            debug_assert!(self.back_perm.is_some(), "predecessor must exist above 0");
+        }
+        Some((self.back.clone(), perm))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rank::rank;
+
+    #[test]
+    fn full_enumeration_matches_unrank() {
+        let mut count = 0u64;
+        for (index, perm) in IndexedPermutations::all(5) {
+            assert_eq!(rank(&perm), index);
+            count += 1;
+        }
+        assert_eq!(count, 120);
+    }
+
+    #[test]
+    fn block_covers_exact_range() {
+        let block: Vec<_> =
+            IndexedPermutations::new(5, Ubig::from(17u64), Ubig::from(42u64)).collect();
+        assert_eq!(block.len(), 25);
+        assert_eq!(block[0].0.to_u64(), Some(17));
+        assert_eq!(block.last().unwrap().0.to_u64(), Some(41));
+    }
+
+    #[test]
+    fn disjoint_blocks_tile_the_space() {
+        // Three workers over n = 4: blocks [0,8), [8,16), [16,24).
+        let mut all = Vec::new();
+        for w in 0..3u64 {
+            let it = IndexedPermutations::new(4, Ubig::from(w * 8), Ubig::from((w + 1) * 8));
+            all.extend(it.map(|(_, p)| p));
+        }
+        assert_eq!(all.len(), 24);
+        let uniq: std::collections::HashSet<_> = all.iter().map(|p| p.as_slice().to_vec()).collect();
+        assert_eq!(uniq.len(), 24);
+    }
+
+    #[test]
+    fn end_clamped_to_n_factorial() {
+        let it = IndexedPermutations::new(3, Ubig::from(4u64), Ubig::from(1000u64));
+        assert_eq!(it.count(), 2); // indices 4 and 5 only
+    }
+
+    #[test]
+    fn empty_range_yields_nothing() {
+        let mut it = IndexedPermutations::new(4, Ubig::from(5u64), Ubig::from(5u64));
+        assert_eq!(it.next(), None);
+        assert_eq!(it.next_back(), None);
+    }
+
+    #[test]
+    fn size_hint_is_exact_for_small_ranges() {
+        let it = IndexedPermutations::new(6, Ubig::from(10u64), Ubig::from(60u64));
+        assert_eq!(it.size_hint(), (50, Some(50)));
+    }
+
+    #[test]
+    fn reverse_iteration_matches_forward_reversed() {
+        let forward: Vec<_> = IndexedPermutations::all(5).collect();
+        let mut backward: Vec<_> = IndexedPermutations::all(5).rev().collect();
+        backward.reverse();
+        assert_eq!(forward, backward);
+    }
+
+    #[test]
+    fn meet_in_the_middle_consumption() {
+        let mut it = IndexedPermutations::new(4, Ubig::from(2u64), Ubig::from(8u64));
+        // Alternate front/back pulls; indices must interleave correctly.
+        assert_eq!(it.next().unwrap().0.to_u64(), Some(2));
+        assert_eq!(it.next_back().unwrap().0.to_u64(), Some(7));
+        assert_eq!(it.next().unwrap().0.to_u64(), Some(3));
+        assert_eq!(it.next_back().unwrap().0.to_u64(), Some(6));
+        assert_eq!(it.next().unwrap().0.to_u64(), Some(4));
+        assert_eq!(it.next_back().unwrap().0.to_u64(), Some(5));
+        assert_eq!(it.next(), None);
+        assert_eq!(it.next_back(), None);
+    }
+
+    #[test]
+    fn reverse_permutations_are_correct() {
+        for (index, perm) in IndexedPermutations::all(4).rev() {
+            assert_eq!(rank(&perm), index);
+        }
+    }
+}

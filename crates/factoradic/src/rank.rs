@@ -1,0 +1,197 @@
+//! Permutation rank/unrank: the bijection `[0, n!) ↔ S_n` realized by
+//! the paper's converter circuit (Table I's rightmost column).
+
+use crate::digits::{from_digits, to_digits, to_digits_u64};
+use hwperm_bignum::Ubig;
+use hwperm_perm::Permutation;
+
+/// The `index`-th permutation of `{0, …, n−1}` in lexicographic order —
+/// the software reference for the Fig. 1 circuit.
+///
+/// # Panics
+/// Panics if `index >= n!`.
+pub fn unrank(n: usize, index: &Ubig) -> Permutation {
+    Permutation::from_lehmer(&to_digits(n, index))
+}
+
+/// `u64` fast path of [`unrank`] (requires `n ≤ 20`).
+///
+/// # Panics
+/// Panics if `n > 20` or `index >= n!`.
+pub fn unrank_u64(n: usize, index: u64) -> Permutation {
+    Permutation::from_lehmer(&to_digits_u64(n, index))
+}
+
+/// Reusable state for allocation-free bulk unranking (the Table II CPU
+/// baseline in its fastest form): factorials are precomputed once and
+/// the remaining-element scratch is reused across calls.
+#[derive(Debug, Clone)]
+pub struct Unranker {
+    n: usize,
+    factorials: Vec<u64>,
+    scratch: Vec<u32>,
+}
+
+impl Unranker {
+    /// An unranker for `n`-element permutations (`n ≤ 20`).
+    pub fn new(n: usize) -> Self {
+        Unranker {
+            n,
+            factorials: crate::digits::factorials_u64(n),
+            scratch: Vec::with_capacity(n),
+        }
+    }
+
+    /// Writes the `index`-th permutation into `out` (resized to `n`).
+    /// No heap allocation after warm-up.
+    ///
+    /// # Panics
+    /// Panics if `index >= n!`.
+    pub fn unrank_into(&mut self, index: u64, out: &mut Vec<u32>) {
+        let n = self.n;
+        assert!(index < self.factorials[n], "index out of range for n = {n}");
+        self.scratch.clear();
+        self.scratch.extend(0..n as u32);
+        out.clear();
+        let mut rem = index;
+        for i in (0..n).rev() {
+            let f = self.factorials[i];
+            let digit = (rem / f) as usize;
+            rem %= f;
+            out.push(self.scratch.remove(digit));
+        }
+    }
+
+    /// Allocating convenience wrapper (equivalent to [`unrank_u64`]).
+    pub fn unrank(&mut self, index: u64) -> Permutation {
+        let mut out = Vec::with_capacity(self.n);
+        self.unrank_into(index, &mut out);
+        Permutation::from_vec_unchecked(out)
+    }
+}
+
+/// Non-panicking [`unrank`]: `None` when `index >= n!`.
+pub fn try_unrank(n: usize, index: &Ubig) -> Option<Permutation> {
+    if *index >= Ubig::factorial(n as u64) {
+        None
+    } else {
+        Some(unrank(n, index))
+    }
+}
+
+/// The lexicographic index of a permutation (inverse of [`unrank`]).
+pub fn rank(perm: &Permutation) -> Ubig {
+    from_digits(&perm.lehmer())
+}
+
+/// `u64` fast path of [`rank`] (requires `n ≤ 20`).
+pub fn rank_u64(perm: &Permutation) -> u64 {
+    crate::digits::from_digits_u64(&perm.lehmer())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Table I's rightmost column: the permutation for each N, n = 4.
+    const TABLE_I_PERMS: [[u32; 4]; 24] = [
+        [0, 1, 2, 3],
+        [0, 1, 3, 2],
+        [0, 2, 1, 3],
+        [0, 2, 3, 1],
+        [0, 3, 1, 2],
+        [0, 3, 2, 1],
+        [1, 0, 2, 3],
+        [1, 0, 3, 2],
+        [1, 2, 0, 3],
+        [1, 2, 3, 0],
+        [1, 3, 0, 2],
+        [1, 3, 2, 0],
+        [2, 0, 1, 3],
+        [2, 0, 3, 1],
+        [2, 1, 0, 3],
+        [2, 1, 3, 0],
+        [2, 3, 0, 1],
+        [2, 3, 1, 0],
+        [3, 0, 1, 2],
+        [3, 0, 2, 1],
+        [3, 1, 0, 2],
+        [3, 1, 2, 0],
+        [3, 2, 0, 1],
+        [3, 2, 1, 0],
+    ];
+
+    #[test]
+    fn table_i_permutations() {
+        for (i, expected) in TABLE_I_PERMS.iter().enumerate() {
+            assert_eq!(unrank_u64(4, i as u64).as_slice(), expected, "N = {i}");
+        }
+    }
+
+    #[test]
+    fn rank_inverts_unrank_exhaustively_n6() {
+        for index in 0..720u64 {
+            let p = unrank_u64(6, index);
+            assert_eq!(rank_u64(&p), index);
+            assert_eq!(rank(&p).to_u64(), Some(index));
+        }
+    }
+
+    #[test]
+    fn unrank_order_matches_next_lex() {
+        let mut cur = Permutation::identity(5);
+        for index in 0..120u64 {
+            assert_eq!(unrank_u64(5, index), cur, "N = {index}");
+            if let Some(next) = cur.next_lex() {
+                cur = next;
+            }
+        }
+    }
+
+    #[test]
+    fn big_unrank_agrees_with_small() {
+        for index in [0u64, 1, 999, 3_628_799] {
+            assert_eq!(unrank(10, &Ubig::from(index)), unrank_u64(10, index));
+        }
+    }
+
+    #[test]
+    fn unrank_n25_extremes() {
+        // Beyond u64: first and last permutations of n = 25.
+        let last_index = &Ubig::factorial(25) - &Ubig::one();
+        assert!(unrank(25, &Ubig::zero()).is_identity());
+        assert_eq!(unrank(25, &last_index), Permutation::last_lex(25));
+    }
+
+    #[test]
+    fn try_unrank_range_check() {
+        assert!(try_unrank(4, &Ubig::from(23u64)).is_some());
+        assert!(try_unrank(4, &Ubig::from(24u64)).is_none());
+    }
+
+    #[test]
+    fn unranker_matches_unrank_u64_exhaustively() {
+        let mut unranker = Unranker::new(5);
+        let mut buf = Vec::new();
+        for i in 0..120u64 {
+            unranker.unrank_into(i, &mut buf);
+            assert_eq!(buf, unrank_u64(5, i).into_vec(), "N = {i}");
+            assert_eq!(unranker.unrank(i), unrank_u64(5, i));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn unranker_range_check() {
+        Unranker::new(4).unrank(24);
+    }
+
+    #[test]
+    fn rank_of_extremes() {
+        assert_eq!(rank(&Permutation::identity(8)), Ubig::zero());
+        assert_eq!(
+            rank(&Permutation::last_lex(8)).to_u64(),
+            Some(40320 - 1)
+        );
+    }
+}

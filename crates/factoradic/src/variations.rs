@@ -1,0 +1,144 @@
+//! Variations (k-permutations): rank/unrank for ordered selections of
+//! `k` distinct elements from `{0, …, n−1}`.
+//!
+//! A natural generalization of the paper's converter — the Fig. 1
+//! cascade truncated after `k` stages enumerates exactly these
+//! `n·(n−1)⋯(n−k+1)` objects (the truncated circuit lives in
+//! `hwperm_circuits`). The index decomposes in the mixed radix
+//! `(n, n−1, …, n−k+1)` exactly as the full factorial number system
+//! does, with digit `i` weighted by the falling factorial
+//! `(n−1−i)!/(n−k)!`.
+
+use hwperm_bignum::Ubig;
+
+/// Falling factorial `n·(n−1)⋯(n−k+1)` (`k = 0` ⇒ 1).
+///
+/// # Panics
+/// Panics if `k > n`.
+pub fn falling_factorial(n: u64, k: u64) -> Ubig {
+    assert!(k <= n, "cannot take {k} falling terms from {n}");
+    let mut acc = Ubig::one();
+    for i in 0..k {
+        acc = acc.mul_u64(n - i);
+    }
+    acc
+}
+
+/// The `index`-th variation (ordered `k`-selection) of `{0, …, n−1}` in
+/// lexicographic order.
+///
+/// # Panics
+/// Panics if `k > n` or `index >= n!/(n−k)!`.
+pub fn unrank_variation(n: usize, k: usize, index: &Ubig) -> Vec<u32> {
+    let total = falling_factorial(n as u64, k as u64);
+    assert!(*index < total, "variation index out of range");
+    let mut remaining: Vec<u32> = (0..n as u32).collect();
+    let mut out = Vec::with_capacity(k);
+    let mut rem = index.clone();
+    for i in 0..k {
+        // Completions after fixing slot i: (n−1−i)·(n−2−i)⋯(n−k+1).
+        let block = falling_factorial((n - 1 - i) as u64, (k - 1 - i) as u64);
+        let (digit, r) = rem.divrem(&block);
+        let digit = digit.to_u64().expect("digit < n fits u64") as usize;
+        out.push(remaining.remove(digit));
+        rem = r;
+    }
+    debug_assert!(rem.is_zero());
+    out
+}
+
+/// Lexicographic rank of a variation (inverse of [`unrank_variation`]).
+///
+/// # Panics
+/// Panics if elements repeat or exceed `n − 1`.
+pub fn rank_variation(n: usize, elements: &[u32]) -> Ubig {
+    let k = elements.len();
+    assert!(k <= n);
+    let mut used = vec![false; n];
+    let mut acc = Ubig::zero();
+    for (i, &e) in elements.iter().enumerate() {
+        assert!((e as usize) < n, "element {e} out of range");
+        assert!(!used[e as usize], "element {e} repeated");
+        // Digit = number of unused elements smaller than e.
+        let digit = (0..e as usize).filter(|&s| !used[s]).count() as u64;
+        let block = falling_factorial((n - 1 - i) as u64, (k - 1 - i) as u64);
+        acc += &block.mul_u64(digit);
+        used[e as usize] = true;
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn falling_factorial_values() {
+        assert_eq!(falling_factorial(5, 0).to_u64(), Some(1));
+        assert_eq!(falling_factorial(5, 2).to_u64(), Some(20));
+        assert_eq!(falling_factorial(5, 5).to_u64(), Some(120));
+        assert_eq!(falling_factorial(10, 3).to_u64(), Some(720));
+    }
+
+    #[test]
+    fn k_equals_n_matches_permutation_unranking() {
+        use crate::rank::unrank_u64;
+        for index in 0..120u64 {
+            assert_eq!(
+                unrank_variation(5, 5, &Ubig::from(index)),
+                unrank_u64(5, index).into_vec()
+            );
+        }
+    }
+
+    #[test]
+    fn exhaustive_roundtrip_5_choose_3() {
+        // 5·4·3 = 60 variations, lexicographically ordered and distinct.
+        let mut prev: Option<Vec<u32>> = None;
+        for index in 0..60u64 {
+            let v = unrank_variation(5, 3, &Ubig::from(index));
+            assert_eq!(v.len(), 3);
+            let distinct: std::collections::HashSet<_> = v.iter().collect();
+            assert_eq!(distinct.len(), 3);
+            assert_eq!(rank_variation(5, &v).to_u64(), Some(index));
+            if let Some(p) = prev {
+                assert!(p < v, "lexicographic order at {index}");
+            }
+            prev = Some(v);
+        }
+    }
+
+    #[test]
+    fn first_and_last() {
+        assert_eq!(unrank_variation(6, 2, &Ubig::zero()), vec![0, 1]);
+        let last = falling_factorial(6, 2) - Ubig::one();
+        assert_eq!(unrank_variation(6, 2, &last), vec![5, 4]);
+    }
+
+    #[test]
+    fn k_zero_single_empty_variation() {
+        assert_eq!(unrank_variation(7, 0, &Ubig::zero()), Vec::<u32>::new());
+        assert_eq!(rank_variation(7, &[]), Ubig::zero());
+    }
+
+    #[test]
+    fn big_n_variation() {
+        // n = 30, k = 10: ~49 bits; still exercises Ubig paths.
+        let total = falling_factorial(30, 10);
+        let index = total.divrem_u64(3).0;
+        let v = unrank_variation(30, 10, &index);
+        assert_eq!(rank_variation(30, &v), index);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn index_overflow_rejected() {
+        unrank_variation(4, 2, &Ubig::from(12u64)); // 4·3 = 12
+    }
+
+    #[test]
+    #[should_panic(expected = "repeated")]
+    fn rank_rejects_repeats() {
+        rank_variation(5, &[1, 1]);
+    }
+}

@@ -1,0 +1,133 @@
+//! Property tests: rank/unrank bijection, digit algorithms agreement,
+//! and combinadic invariants.
+
+use hwperm_bignum::Ubig;
+use hwperm_factoradic::*;
+use hwperm_perm::Permutation;
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn unrank_then_rank_u64(n in 1usize..=10, seed in any::<u64>()) {
+        let nfact = factorials_u64(n)[n];
+        let index = seed % nfact;
+        let p = unrank_u64(n, index);
+        prop_assert_eq!(rank_u64(&p), index);
+    }
+
+    #[test]
+    fn greedy_digits_match_divmod(n in 1usize..=10, seed in any::<u64>()) {
+        let nfact = factorials_u64(n)[n];
+        let index = seed % nfact;
+        prop_assert_eq!(to_digits_greedy(n, index), to_digits_u64(n, index));
+    }
+
+    #[test]
+    fn digits_roundtrip_u64(n in 1usize..=12, seed in any::<u64>()) {
+        let nfact = factorials_u64(n)[n];
+        let index = seed % nfact;
+        prop_assert_eq!(from_digits_u64(&to_digits_u64(n, index)), index);
+    }
+
+    #[test]
+    fn big_unrank_rank_roundtrip(n in 21usize..=30, limbs in prop::collection::vec(any::<u64>(), 3)) {
+        // Random big index reduced mod n!.
+        let raw = Ubig::from_limbs(limbs);
+        let index = raw.divrem(&Ubig::factorial(n as u64)).1;
+        let p = unrank(n, &index);
+        prop_assert_eq!(rank(&p), index);
+    }
+
+    #[test]
+    fn adjacent_indices_are_lex_successors(n in 2usize..=9, seed in any::<u64>()) {
+        let nfact = factorials_u64(n)[n];
+        let index = seed % (nfact - 1);
+        let p = unrank_u64(n, index);
+        let q = unrank_u64(n, index + 1);
+        prop_assert_eq!(p.next_lex().unwrap(), q);
+    }
+
+    #[test]
+    fn rank_respects_lex_order(n in 2usize..=8, a in any::<u64>(), b in any::<u64>()) {
+        let nfact = factorials_u64(n)[n];
+        let (ia, ib) = (a % nfact, b % nfact);
+        let (pa, pb) = (unrank_u64(n, ia), unrank_u64(n, ib));
+        prop_assert_eq!(ia.cmp(&ib), pa.as_slice().cmp(pb.as_slice()));
+    }
+
+    #[test]
+    fn combination_roundtrip(n in 1usize..=16, k_seed in any::<u64>(), i_seed in any::<u64>()) {
+        let k = (k_seed % (n as u64 + 1)) as usize;
+        let total = binomial(n as u64, k as u64);
+        let index = Ubig::from(i_seed).divrem(&total).1;
+        let c = unrank_combination(n, k, &index);
+        prop_assert_eq!(c.len(), k);
+        prop_assert!(c.windows(2).all(|w| w[0] < w[1]));
+        prop_assert_eq!(rank_combination(n, &c), index);
+    }
+
+    #[test]
+    fn binomial_recurrence(n in 1u64..=40, k_seed in any::<u64>()) {
+        let k = k_seed % (n + 1);
+        let lhs = binomial(n, k);
+        let rhs = if k == 0 || k == n {
+            Ubig::one()
+        } else {
+            binomial(n - 1, k - 1) + binomial(n - 1, k)
+        };
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn indexed_iterator_matches_unrank(n in 2usize..=7, seed in any::<u64>()) {
+        let nfact = factorials_u64(n)[n];
+        let start = seed % nfact;
+        let end = (start + 20).min(nfact);
+        let collected: Vec<_> =
+            IndexedPermutations::new(n, Ubig::from(start), Ubig::from(end)).collect();
+        prop_assert_eq!(collected.len() as u64, end - start);
+        for (i, (index, p)) in collected.iter().enumerate() {
+            prop_assert_eq!(index.to_u64(), Some(start + i as u64));
+            prop_assert_eq!(p.clone(), unrank_u64(n, start + i as u64));
+        }
+    }
+
+    #[test]
+    fn variation_roundtrip(n in 1usize..=14, k_seed in any::<u64>(), i_seed in any::<u64>()) {
+        let k = (k_seed % (n as u64 + 1)) as usize;
+        let total = falling_factorial(n as u64, k as u64);
+        let index = Ubig::from(i_seed).divrem(&total).1;
+        let v = unrank_variation(n, k, &index);
+        prop_assert_eq!(v.len(), k);
+        let distinct: std::collections::HashSet<_> = v.iter().collect();
+        prop_assert_eq!(distinct.len(), k);
+        prop_assert_eq!(rank_variation(n, &v), index);
+    }
+
+    #[test]
+    fn variation_with_k_n_is_permutation_unrank(n in 2usize..=9, seed in any::<u64>()) {
+        let nfact = factorials_u64(n)[n];
+        let index = seed % nfact;
+        prop_assert_eq!(
+            unrank_variation(n, n, &Ubig::from(index)),
+            unrank_u64(n, index).into_vec()
+        );
+    }
+
+    #[test]
+    fn variation_order_matches_index_order(n in 2usize..=7, seed in any::<u64>()) {
+        let k = 1 + (seed % (n as u64 - 1)) as usize;
+        let total = falling_factorial(n as u64, k as u64).to_u64().unwrap();
+        let i = seed % (total - 1);
+        let a = unrank_variation(n, k, &Ubig::from(i));
+        let b = unrank_variation(n, k, &Ubig::from(i + 1));
+        prop_assert!(a < b, "lexicographic order broken at {i}");
+    }
+
+    #[test]
+    fn unrank_produces_valid_permutation(n in 1usize..=20, seed in any::<u64>()) {
+        let nfact = factorials_u64(n)[n];
+        let p = unrank_u64(n, seed % nfact);
+        prop_assert!(Permutation::try_from_slice(p.as_slice()).is_ok());
+    }
+}

@@ -1,0 +1,32 @@
+#![warn(missing_docs)]
+
+//! Unique-permutation hashing.
+//!
+//! The paper's headline motivation: "a circuit is needed in the hardware
+//! implementation of unique-permutation hash functions to specify how
+//! parallel machines interact through a shared memory. Such hash
+//! functions yield the minimal possible contention, as they probe each
+//! location with the same probability regardless of which locations are
+//! currently occupied" (citing Dolev, Lahiani & Haviv, *Unique
+//! permutation hashing*).
+//!
+//! [`UniquePermTable`] assigns every key a probe sequence that is a full
+//! permutation of the buckets, obtained by hashing the key to an index
+//! in `[0, n!)` and unranking it — exactly the conversion the paper's
+//! circuit performs per memory request. [`LinearProbeTable`] and
+//! [`DoubleHashTable`] are the classical baselines, and
+//! [`contention::ContentionStats`] measures the probe distribution that
+//! distinguishes them.
+
+pub mod contention;
+mod tables;
+
+pub use tables::{DoubleHashTable, LinearProbeTable, ProbeTable, UniquePermTable};
+
+/// splitmix64 bit-mixer used as the key hash throughout this crate.
+pub(crate) fn mix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E3779B97F4A7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}

@@ -1,0 +1,373 @@
+//! Open-addressing tables differing only in their probe sequences.
+
+use crate::mix64;
+use hwperm_factoradic::{factorials_u64, unrank_u64};
+use hwperm_perm::Permutation;
+
+/// Common interface for the probe-sequence strategies.
+pub trait ProbeTable {
+    /// Bucket capacity `n`.
+    fn capacity(&self) -> usize;
+
+    /// Number of stored keys.
+    fn len(&self) -> usize;
+
+    /// `true` if no keys are stored.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The first `capacity` probe targets for `key`, in order.
+    fn probe_sequence(&self, key: u64) -> Vec<usize>;
+
+    /// Inserts `key`; returns the number of buckets probed (1 = first
+    /// try), or `None` if the table is full or the key already present.
+    fn insert(&mut self, key: u64) -> Option<usize>;
+
+    /// Looks `key` up; returns the number of probes needed if present.
+    fn lookup(&self, key: u64) -> Option<usize>;
+}
+
+/// Shared bucket storage.
+#[derive(Debug, Clone)]
+struct Buckets {
+    slots: Vec<Option<u64>>,
+    len: usize,
+}
+
+impl Buckets {
+    fn new(n: usize) -> Self {
+        Buckets {
+            slots: vec![None; n],
+            len: 0,
+        }
+    }
+
+    fn insert_via(&mut self, key: u64, seq: impl Iterator<Item = usize>) -> Option<usize> {
+        for (probes, bucket) in seq.enumerate() {
+            match self.slots[bucket] {
+                None => {
+                    self.slots[bucket] = Some(key);
+                    self.len += 1;
+                    return Some(probes + 1);
+                }
+                Some(existing) if existing == key => return None,
+                Some(_) => continue,
+            }
+        }
+        None
+    }
+
+    fn lookup_via(&self, key: u64, seq: impl Iterator<Item = usize>) -> Option<usize> {
+        for (probes, bucket) in seq.enumerate() {
+            match self.slots[bucket] {
+                Some(existing) if existing == key => return Some(probes + 1),
+                None => return None, // probe chain broken ⇒ absent
+                Some(_) => continue,
+            }
+        }
+        None
+    }
+}
+
+/// Unique-permutation hashing: the probe sequence of a key is the
+/// permutation of all buckets unranked from `hash(key) mod n!`.
+///
+/// Every key probes every bucket exactly once, and — key property — the
+/// *t*-th probe of a random key is uniform over all buckets, independent
+/// of occupancy.
+///
+/// ```
+/// use hwperm_hash::{ProbeTable, UniquePermTable};
+///
+/// let mut t = UniquePermTable::new(8);
+/// assert_eq!(t.insert(42), Some(1));
+/// assert_eq!(t.lookup(42), Some(1));
+/// assert_eq!(t.lookup(43), None);
+/// ```
+#[derive(Debug, Clone)]
+pub struct UniquePermTable {
+    buckets: Buckets,
+    nfact: u64,
+}
+
+impl UniquePermTable {
+    /// A table with `n` buckets.
+    ///
+    /// # Panics
+    /// Panics if `n` is 0 or greater than 20 (`n!` must fit in `u64`;
+    /// the hardware converter handles larger `n`, the software table
+    /// keeps to the fast path).
+    pub fn new(n: usize) -> Self {
+        assert!((1..=20).contains(&n), "capacity must be 1..=20");
+        UniquePermTable {
+            buckets: Buckets::new(n),
+            nfact: factorials_u64(n)[n],
+        }
+    }
+
+    /// The full probe permutation of a key (the object the paper's
+    /// circuit produces from the hashed index).
+    pub fn probe_permutation(&self, key: u64) -> Permutation {
+        let index = mix64(key) % self.nfact;
+        unrank_u64(self.buckets.slots.len(), index)
+    }
+}
+
+impl ProbeTable for UniquePermTable {
+    fn capacity(&self) -> usize {
+        self.buckets.slots.len()
+    }
+
+    fn len(&self) -> usize {
+        self.buckets.len
+    }
+
+    fn probe_sequence(&self, key: u64) -> Vec<usize> {
+        self.probe_permutation(key)
+            .into_vec()
+            .into_iter()
+            .map(|b| b as usize)
+            .collect()
+    }
+
+    fn insert(&mut self, key: u64) -> Option<usize> {
+        let seq = self.probe_sequence(key);
+        self.buckets.insert_via(key, seq.into_iter())
+    }
+
+    fn lookup(&self, key: u64) -> Option<usize> {
+        let seq = self.probe_sequence(key);
+        self.buckets.lookup_via(key, seq.into_iter())
+    }
+}
+
+/// Classical linear probing: start at `hash(key) mod n`, scan forward.
+#[derive(Debug, Clone)]
+pub struct LinearProbeTable {
+    buckets: Buckets,
+}
+
+impl LinearProbeTable {
+    /// A table with `n` buckets.
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 1);
+        LinearProbeTable {
+            buckets: Buckets::new(n),
+        }
+    }
+}
+
+impl ProbeTable for LinearProbeTable {
+    fn capacity(&self) -> usize {
+        self.buckets.slots.len()
+    }
+
+    fn len(&self) -> usize {
+        self.buckets.len
+    }
+
+    fn probe_sequence(&self, key: u64) -> Vec<usize> {
+        let n = self.capacity();
+        let start = (mix64(key) % n as u64) as usize;
+        (0..n).map(|i| (start + i) % n).collect()
+    }
+
+    fn insert(&mut self, key: u64) -> Option<usize> {
+        let seq = self.probe_sequence(key);
+        self.buckets.insert_via(key, seq.into_iter())
+    }
+
+    fn lookup(&self, key: u64) -> Option<usize> {
+        let seq = self.probe_sequence(key);
+        self.buckets.lookup_via(key, seq.into_iter())
+    }
+}
+
+/// Double hashing: stride chosen coprime to `n` from a second hash.
+#[derive(Debug, Clone)]
+pub struct DoubleHashTable {
+    buckets: Buckets,
+}
+
+impl DoubleHashTable {
+    /// A table with `n` buckets.
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 1);
+        DoubleHashTable {
+            buckets: Buckets::new(n),
+        }
+    }
+
+    fn stride(&self, key: u64) -> usize {
+        let n = self.capacity();
+        if n == 1 {
+            return 1;
+        }
+        // Any stride coprime to n visits every bucket; scan candidates
+        // derived from a second hash.
+        let h2 = mix64(key ^ 0xD1B5_4A32_D192_ED03);
+        let mut s = 1 + (h2 % (n as u64 - 1)) as usize;
+        while gcd(s, n) != 1 {
+            s = 1 + (s % (n - 1));
+        }
+        s
+    }
+}
+
+fn gcd(a: usize, b: usize) -> usize {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+impl ProbeTable for DoubleHashTable {
+    fn capacity(&self) -> usize {
+        self.buckets.slots.len()
+    }
+
+    fn len(&self) -> usize {
+        self.buckets.len
+    }
+
+    fn probe_sequence(&self, key: u64) -> Vec<usize> {
+        let n = self.capacity();
+        let start = (mix64(key) % n as u64) as usize;
+        let stride = self.stride(key);
+        (0..n).map(|i| (start + i * stride) % n).collect()
+    }
+
+    fn insert(&mut self, key: u64) -> Option<usize> {
+        let seq = self.probe_sequence(key);
+        self.buckets.insert_via(key, seq.into_iter())
+    }
+
+    fn lookup(&self, key: u64) -> Option<usize> {
+        let seq = self.probe_sequence(key);
+        self.buckets.lookup_via(key, seq.into_iter())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tables(n: usize) -> Vec<Box<dyn ProbeTable>> {
+        vec![
+            Box::new(UniquePermTable::new(n)),
+            Box::new(LinearProbeTable::new(n)),
+            Box::new(DoubleHashTable::new(n)),
+        ]
+    }
+
+    #[test]
+    fn probe_sequences_visit_every_bucket_once() {
+        for table in tables(12) {
+            for key in 0..50u64 {
+                let mut seq = table.probe_sequence(key);
+                seq.sort_unstable();
+                assert_eq!(seq, (0..12).collect::<Vec<_>>(), "key {key}");
+            }
+        }
+    }
+
+    #[test]
+    fn fill_to_capacity_then_reject() {
+        for mut_table in [0usize, 1, 2] {
+            let mut table = tables(8).swap_remove(mut_table);
+            for key in 0..8u64 {
+                assert!(table.insert(key * 1000 + 7).is_some(), "strategy {mut_table}");
+            }
+            assert_eq!(table.len(), 8);
+            assert_eq!(table.insert(999_999), None, "full table rejects");
+        }
+    }
+
+    #[test]
+    fn duplicate_insert_rejected() {
+        let mut t = UniquePermTable::new(8);
+        assert!(t.insert(5).is_some());
+        assert_eq!(t.insert(5), None);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn lookup_finds_all_inserted_keys() {
+        for mut table in tables(16) {
+            let keys: Vec<u64> = (0..12).map(|i| i * 7919 + 13).collect();
+            for &k in &keys {
+                table.insert(k);
+            }
+            for &k in &keys {
+                assert!(table.lookup(k).is_some(), "key {k} lost");
+            }
+            assert_eq!(table.lookup(424_242), None);
+        }
+    }
+
+    #[test]
+    fn probe_permutation_is_deterministic_per_key() {
+        let t = UniquePermTable::new(10);
+        assert_eq!(t.probe_permutation(99), t.probe_permutation(99));
+        // Different keys essentially always differ.
+        let distinct = (0..50u64)
+            .map(|k| t.probe_permutation(k).into_vec())
+            .collect::<std::collections::HashSet<_>>();
+        assert!(distinct.len() > 45);
+    }
+
+    #[test]
+    fn first_probe_uniformity_unique_perm() {
+        // The t-th probe of unique-permutation hashing is uniform over
+        // buckets. Check the first probe empirically.
+        let t = UniquePermTable::new(8);
+        let mut counts = [0u64; 8];
+        for key in 0..8000u64 {
+            counts[t.probe_sequence(key)[0]] += 1;
+        }
+        let expected = 1000.0;
+        let chi2: f64 = counts
+            .iter()
+            .map(|&c| (c as f64 - expected).powi(2) / expected)
+            .sum();
+        assert!(chi2 < 24.3, "chi2 = {chi2} (7 dof, 99.9th pct)"); // uniform
+    }
+
+    #[test]
+    fn second_probe_uniformity_distinguishes_strategies() {
+        // Linear probing's 2nd probe is fully determined by its 1st
+        // (start+1): conditioned on the first probe it has zero entropy,
+        // while unique-permutation hashing spreads it over the remaining
+        // buckets. Measure: distinct (probe1, probe2) pairs.
+        let up = UniquePermTable::new(8);
+        let lp = LinearProbeTable::new(8);
+        let pairs = |t: &dyn ProbeTable| {
+            (0..2000u64)
+                .map(|k| {
+                    let s = t.probe_sequence(k);
+                    (s[0], s[1])
+                })
+                .collect::<std::collections::HashSet<_>>()
+                .len()
+        };
+        assert_eq!(pairs(&lp), 8, "linear: second probe determined");
+        assert_eq!(pairs(&up), 56, "unique-perm: all 8×7 pairs occur");
+    }
+
+    #[test]
+    #[should_panic(expected = "1..=20")]
+    fn unique_perm_capacity_limit() {
+        UniquePermTable::new(21);
+    }
+
+    #[test]
+    fn capacity_one_tables_work() {
+        for mut table in tables(1) {
+            assert_eq!(table.insert(7), Some(1));
+            assert_eq!(table.lookup(7), Some(1));
+            assert_eq!(table.insert(8), None);
+        }
+    }
+}

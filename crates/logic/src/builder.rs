@@ -1,0 +1,339 @@
+//! Netlist construction: primitive gates with light peephole
+//! simplification (constant folding), so generated circuits don't carry
+//! dead logic into the resource reports.
+
+use crate::netlist::{Gate, NetId, Netlist, Port};
+use hwperm_bignum::Ubig;
+
+/// A bus is a list of nets, least-significant bit first.
+pub type Bus = Vec<NetId>;
+
+/// Incrementally builds a [`Netlist`]. All combinational combinators
+/// produce gates in topological order by construction.
+#[derive(Debug, Default)]
+pub struct Builder {
+    netlist: Netlist,
+    zero: Option<NetId>,
+    one: Option<NetId>,
+}
+
+impl Builder {
+    /// An empty builder.
+    pub fn new() -> Self {
+        Builder::default()
+    }
+
+    fn push(&mut self, gate: Gate) -> NetId {
+        let id = NetId(self.netlist.gates.len() as u32);
+        self.netlist.gates.push(gate);
+        id
+    }
+
+    fn gate(&self, id: NetId) -> Gate {
+        self.netlist.gates[id.index()]
+    }
+
+    /// Constant-value net of the given polarity (deduplicated).
+    pub fn constant(&mut self, value: bool) -> NetId {
+        let slot = if value { &mut self.one } else { &mut self.zero };
+        if let Some(id) = *slot {
+            return id;
+        }
+        let id = NetId(self.netlist.gates.len() as u32);
+        self.netlist.gates.push(Gate::Const(value));
+        if value {
+            self.one = Some(id);
+        } else {
+            self.zero = Some(id);
+        }
+        id
+    }
+
+    pub(crate) fn const_value(&self, id: NetId) -> Option<bool> {
+        match self.gate(id) {
+            Gate::Const(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Declares a `width`-bit primary input bus.
+    ///
+    /// # Panics
+    /// Panics if the port name is already taken.
+    pub fn input_bus(&mut self, name: &str, width: usize) -> Bus {
+        assert!(
+            self.netlist.input_port(name).is_none(),
+            "duplicate input port {name:?}"
+        );
+        let nets: Bus = (0..width).map(|_| self.push(Gate::Input)).collect();
+        self.netlist.inputs.push(Port {
+            name: name.to_string(),
+            nets: nets.clone(),
+        });
+        nets
+    }
+
+    /// Declares a named output bus.
+    ///
+    /// # Panics
+    /// Panics if the port name is already taken.
+    pub fn output_bus(&mut self, name: &str, bus: &[NetId]) {
+        assert!(
+            self.netlist.output_port(name).is_none(),
+            "duplicate output port {name:?}"
+        );
+        self.netlist.outputs.push(Port {
+            name: name.to_string(),
+            nets: bus.to_vec(),
+        });
+    }
+
+    /// Inverter, with folding of constants and double negation.
+    pub fn not(&mut self, x: NetId) -> NetId {
+        match self.gate(x) {
+            Gate::Const(v) => self.constant(!v),
+            Gate::Not(inner) => inner,
+            _ => self.push(Gate::Not(x)),
+        }
+    }
+
+    /// `true` iff one operand is the inversion of the other.
+    fn complementary(&self, x: NetId, y: NetId) -> bool {
+        self.gate(x) == Gate::Not(y) || self.gate(y) == Gate::Not(x)
+    }
+
+    /// 2-input AND with constant folding, idempotence, and
+    /// contradiction (`x ∧ ¬x = 0`) elimination.
+    pub fn and(&mut self, x: NetId, y: NetId) -> NetId {
+        match (self.const_value(x), self.const_value(y)) {
+            (Some(false), _) | (_, Some(false)) => self.constant(false),
+            (Some(true), _) => y,
+            (_, Some(true)) => x,
+            _ if x == y => x,
+            _ if self.complementary(x, y) => self.constant(false),
+            _ => self.push(Gate::And(x, y)),
+        }
+    }
+
+    /// 2-input OR with constant folding, idempotence, and tautology
+    /// (`x ∨ ¬x = 1`) elimination.
+    pub fn or(&mut self, x: NetId, y: NetId) -> NetId {
+        match (self.const_value(x), self.const_value(y)) {
+            (Some(true), _) | (_, Some(true)) => self.constant(true),
+            (Some(false), _) => y,
+            (_, Some(false)) => x,
+            _ if x == y => x,
+            _ if self.complementary(x, y) => self.constant(true),
+            _ => self.push(Gate::Or(x, y)),
+        }
+    }
+
+    /// 2-input XOR with constant folding and complement awareness
+    /// (`x ⊕ ¬x = 1`).
+    pub fn xor(&mut self, x: NetId, y: NetId) -> NetId {
+        match (self.const_value(x), self.const_value(y)) {
+            (Some(false), _) => y,
+            (_, Some(false)) => x,
+            (Some(true), _) => self.not(y),
+            (_, Some(true)) => self.not(x),
+            _ if x == y => self.constant(false),
+            _ if self.complementary(x, y) => self.constant(true),
+            _ => self.push(Gate::Xor(x, y)),
+        }
+    }
+
+    /// 2:1 mux: `sel ? b : a`, with folding.
+    pub fn mux(&mut self, sel: NetId, a: NetId, b: NetId) -> NetId {
+        match self.const_value(sel) {
+            Some(false) => return a,
+            Some(true) => return b,
+            None => {}
+        }
+        if a == b {
+            return a;
+        }
+        match (self.const_value(a), self.const_value(b)) {
+            (Some(false), Some(true)) => sel,
+            (Some(true), Some(false)) => self.not(sel),
+            (Some(false), None) => self.and(sel, b),
+            (None, Some(true)) => self.or(sel, a),
+            (Some(true), None) => {
+                let ns = self.not(sel);
+                self.or(ns, b)
+            }
+            (None, Some(false)) => {
+                let ns = self.not(sel);
+                self.and(ns, a)
+            }
+            _ => self.push(Gate::Mux { sel, a, b }),
+        }
+    }
+
+    /// D flip-flop with reset value `init`.
+    pub fn dff(&mut self, d: NetId, init: bool) -> NetId {
+        self.push(Gate::Dff { d, init })
+    }
+
+    /// A D flip-flop whose data input will be wired later with
+    /// [`Builder::connect_dff`] — the pattern needed for feedback loops
+    /// (LFSRs, counters), where next-state logic reads the register
+    /// outputs. Until connected, the flop holds its own output.
+    pub fn dff_deferred(&mut self, init: bool) -> NetId {
+        let id = NetId(self.netlist.gates.len() as u32);
+        self.netlist.gates.push(Gate::Dff { d: id, init });
+        id
+    }
+
+    /// Wires the data input of a flop created by [`Builder::dff_deferred`].
+    ///
+    /// # Panics
+    /// Panics if `q` is not a DFF.
+    pub fn connect_dff(&mut self, q: NetId, d: NetId) {
+        match &mut self.netlist.gates[q.index()] {
+            Gate::Dff { d: slot, .. } => *slot = d,
+            other => panic!("connect_dff on non-DFF gate {other:?}"),
+        }
+    }
+
+    /// Registers every bit of a bus (one pipeline rank).
+    pub fn register_bus(&mut self, bus: &[NetId], init: bool) -> Bus {
+        bus.iter().map(|&b| self.dff(b, init)).collect()
+    }
+
+    /// A bus wired to a constant value (LSB first, `width` bits).
+    ///
+    /// # Panics
+    /// Panics if `value` does not fit in `width` bits.
+    pub fn constant_bus(&mut self, width: usize, value: &Ubig) -> Bus {
+        assert!(
+            value.bit_len() <= width,
+            "constant {value} does not fit in {width} bits"
+        );
+        (0..width).map(|i| self.constant(value.bit(i))).collect()
+    }
+
+    /// Marks a net as part of a dedicated carry chain (see
+    /// [`Netlist::carry_nets`]). Constant-folded nets are skipped.
+    pub fn mark_carry(&mut self, net: NetId) {
+        if self.netlist.gates[net.index()].is_combinational() {
+            self.netlist.carry_nets.push(net);
+        }
+    }
+
+    /// Finalizes the netlist.
+    ///
+    /// Debug builds run [`Netlist::validate`].
+    pub fn finish(self) -> Netlist {
+        debug_assert_eq!(self.netlist.validate(), Ok(()));
+        self.netlist
+    }
+
+    /// Number of gates created so far (for structural assertions in tests).
+    pub fn gate_count(&self) -> usize {
+        self.netlist.gates.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants_are_deduplicated() {
+        let mut b = Builder::new();
+        let z1 = b.constant(false);
+        let z2 = b.constant(false);
+        let o = b.constant(true);
+        assert_eq!(z1, z2);
+        assert_ne!(z1, o);
+        assert_eq!(b.gate_count(), 2);
+    }
+
+    #[test]
+    fn double_negation_folds() {
+        let mut b = Builder::new();
+        let x = b.input_bus("x", 1)[0];
+        let n1 = b.not(x);
+        let n2 = b.not(n1);
+        assert_eq!(n2, x);
+    }
+
+    #[test]
+    fn and_or_folding() {
+        let mut b = Builder::new();
+        let x = b.input_bus("x", 1)[0];
+        let zero = b.constant(false);
+        let one = b.constant(true);
+        assert_eq!(b.and(x, zero), zero);
+        assert_eq!(b.and(x, one), x);
+        assert_eq!(b.or(x, one), one);
+        assert_eq!(b.or(x, zero), x);
+        assert_eq!(b.and(x, x), x);
+        assert_eq!(b.or(x, x), x);
+    }
+
+    #[test]
+    fn xor_folding() {
+        let mut b = Builder::new();
+        let x = b.input_bus("x", 1)[0];
+        let zero = b.constant(false);
+        let one = b.constant(true);
+        assert_eq!(b.xor(x, zero), x);
+        assert_eq!(b.xor(x, x), zero);
+        let nx = b.xor(x, one);
+        assert_eq!(b.gate(nx), Gate::Not(x));
+        let _ = nx;
+    }
+
+    #[test]
+    fn complementary_operand_folding() {
+        let mut b = Builder::new();
+        let x = b.input_bus("x", 1)[0];
+        let nx = b.not(x);
+        let zero = b.constant(false);
+        let one = b.constant(true);
+        assert_eq!(b.and(x, nx), zero);
+        assert_eq!(b.and(nx, x), zero);
+        assert_eq!(b.or(x, nx), one);
+        assert_eq!(b.xor(nx, x), one);
+    }
+
+    #[test]
+    fn mux_folding() {
+        let mut b = Builder::new();
+        let s = b.input_bus("s", 1)[0];
+        let x = b.input_bus("x", 1)[0];
+        let zero = b.constant(false);
+        let one = b.constant(true);
+        // sel ? 1 : 0  ==  sel
+        assert_eq!(b.mux(s, zero, one), s);
+        // same-value arms
+        assert_eq!(b.mux(s, x, x), x);
+        // sel ? x : 0  ==  sel & x
+        let m = b.mux(s, zero, x);
+        assert_eq!(b.gate(m), Gate::And(s, x));
+    }
+
+    #[test]
+    fn constant_bus_bits() {
+        let mut b = Builder::new();
+        let bus = b.constant_bus(4, &Ubig::from(0b1010u64));
+        let vals: Vec<bool> = bus.iter().map(|&n| b.const_value(n).unwrap()).collect();
+        assert_eq!(vals, vec![false, true, false, true]);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn constant_bus_checks_width() {
+        let mut b = Builder::new();
+        b.constant_bus(2, &Ubig::from(7u64));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate input port")]
+    fn duplicate_ports_rejected() {
+        let mut b = Builder::new();
+        b.input_bus("x", 1);
+        b.input_bus("x", 2);
+    }
+}

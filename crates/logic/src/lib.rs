@@ -1,0 +1,60 @@
+#![warn(missing_docs)]
+
+//! Gate-level hardware substrate.
+//!
+//! The paper evaluates its circuits on an SRC-6 reconfigurable computer
+//! (Virtex-II Pro) and reports synthesis results from an Altera
+//! Stratix IV. Neither is available, so this crate supplies the
+//! substitute substrate (see DESIGN.md §2):
+//!
+//! - [`Netlist`]: a flat array of primitive gates (`Const`, `Input`,
+//!   `Not`, `And`, `Or`, `Xor`, `Mux`, `Dff`) with named input/output
+//!   bus ports. Construction order is topological by design — a gate can
+//!   only reference already-created nets — so combinational evaluation
+//!   is a single in-order pass.
+//! - [`Builder`]: bus-level combinators (ripple adders/subtractors,
+//!   constant comparators, one-hot and binary muxes, decoders, shift-add
+//!   constant multipliers, register ranks) used by `hwperm-circuits` to
+//!   assemble the paper's Fig. 1/2/3 structures gate-by-gate.
+//! - [`Simulator`]: bit-accurate evaluation; [`Simulator::step`] models
+//!   one clock edge (combinational settle, then DFFs latch), so
+//!   pipelined circuits exhibit their real latency and one-result-per-
+//!   clock throughput.
+//! - [`tech`]: the stand-in for the FPGA tool reports behind Tables
+//!   III/IV — greedy ≤6-input LUT cone packing, a Stratix-IV-style ALM
+//!   packing estimate, register counts, and a logic-depth-based Fmax
+//!   model.
+//!
+//! ```
+//! use hwperm_logic::{Builder, Simulator};
+//! use hwperm_bignum::Ubig;
+//!
+//! let mut b = Builder::new();
+//! let a = b.input_bus("a", 8);
+//! let c = b.input_bus("b", 8);
+//! let (sum, _carry) = b.add(&a, &c);
+//! b.output_bus("sum", &sum);
+//!
+//! let mut sim = Simulator::new(b.finish());
+//! sim.set_input("a", &Ubig::from(37u64));
+//! sim.set_input("b", &Ubig::from(5u64));
+//! sim.eval();
+//! assert_eq!(sim.read_output("sum").to_u64(), Some(42));
+//! ```
+
+mod builder;
+mod buses;
+mod netlist;
+mod sim;
+pub mod blif;
+pub mod tech;
+pub mod vcd;
+pub mod verilog;
+
+pub use builder::{Builder, Bus};
+pub use netlist::{Gate, NetId, Netlist};
+pub use sim::Simulator;
+pub use tech::{ResourceReport, TimingModel};
+pub use blif::to_blif;
+pub use vcd::Tracer;
+pub use verilog::{to_testbench, to_verilog};

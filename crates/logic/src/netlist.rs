@@ -1,0 +1,346 @@
+//! The netlist data model: primitive gates and named ports.
+
+use std::fmt;
+
+/// Identifier of a net (the output of one gate). Nets are dense indices
+/// into [`Netlist::gates`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NetId(pub(crate) u32);
+
+impl NetId {
+    /// The raw index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A primitive gate. Every gate drives exactly one net.
+///
+/// The set is deliberately small — it is what the paper's comparator /
+/// subtractor / one-hot-MUX structures decompose into, and it keeps the
+/// LUT mapper honest (no macro-gates that would dodge technology mapping).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Gate {
+    /// Constant 0 or 1.
+    Const(bool),
+    /// Primary input bit (value supplied by the testbench).
+    Input,
+    /// Inverter.
+    Not(NetId),
+    /// 2-input AND.
+    And(NetId, NetId),
+    /// 2-input OR.
+    Or(NetId, NetId),
+    /// 2-input XOR.
+    Xor(NetId, NetId),
+    /// 2:1 multiplexer: output = if `sel` { `b` } else { `a` }.
+    Mux {
+        /// Select line.
+        sel: NetId,
+        /// Value when `sel = 0`.
+        a: NetId,
+        /// Value when `sel = 1`.
+        b: NetId,
+    },
+    /// D flip-flop: output is the registered value; `d` is latched on
+    /// every [`crate::Simulator::step`]. Reset value is `init`.
+    Dff {
+        /// Data input.
+        d: NetId,
+        /// Power-on / reset value.
+        init: bool,
+    },
+}
+
+impl Gate {
+    /// The nets this gate reads.
+    pub fn fanin(&self) -> impl Iterator<Item = NetId> {
+        let (a, b, c) = match *self {
+            Gate::Const(_) | Gate::Input => (None, None, None),
+            Gate::Not(x) => (Some(x), None, None),
+            Gate::And(x, y) | Gate::Or(x, y) | Gate::Xor(x, y) => (Some(x), Some(y), None),
+            Gate::Mux { sel, a, b } => (Some(sel), Some(a), Some(b)),
+            Gate::Dff { d, .. } => (Some(d), None, None),
+        };
+        [a, b, c].into_iter().flatten()
+    }
+
+    /// `true` for combinational gates (everything except `Input`, `Const`
+    /// and `Dff`, whose outputs do not depend on the current-cycle wave).
+    pub fn is_combinational(&self) -> bool {
+        !matches!(self, Gate::Const(_) | Gate::Input | Gate::Dff { .. })
+    }
+}
+
+/// A named bus port (list of nets, LSB first).
+#[derive(Debug, Clone)]
+pub struct Port {
+    /// Port name, unique within its direction.
+    pub name: String,
+    /// Nets, least-significant bit first.
+    pub nets: Vec<NetId>,
+}
+
+/// A complete circuit: gates in topological creation order plus named
+/// input/output ports.
+#[derive(Debug, Clone, Default)]
+pub struct Netlist {
+    pub(crate) gates: Vec<Gate>,
+    pub(crate) inputs: Vec<Port>,
+    pub(crate) outputs: Vec<Port>,
+    /// Nets that belong to a dedicated carry chain (set by the builder's
+    /// adder/subtractor combinators). The timing model charges these a
+    /// fraction of a LUT delay, like the hardened carry logic of real
+    /// FPGAs; everything else about them (simulation, LUT mapping) is
+    /// unchanged.
+    pub(crate) carry_nets: Vec<NetId>,
+}
+
+impl Netlist {
+    /// All gates, in topological (creation) order.
+    pub fn gates(&self) -> &[Gate] {
+        &self.gates
+    }
+
+    /// Number of gates (= number of nets).
+    pub fn len(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// `true` if the netlist has no gates.
+    pub fn is_empty(&self) -> bool {
+        self.gates.is_empty()
+    }
+
+    /// Named input ports.
+    pub fn input_ports(&self) -> &[Port] {
+        &self.inputs
+    }
+
+    /// Named output ports.
+    pub fn output_ports(&self) -> &[Port] {
+        &self.outputs
+    }
+
+    /// Looks up an input port by name.
+    pub fn input_port(&self, name: &str) -> Option<&Port> {
+        self.inputs.iter().find(|p| p.name == name)
+    }
+
+    /// Looks up an output port by name.
+    pub fn output_port(&self, name: &str) -> Option<&Port> {
+        self.outputs.iter().find(|p| p.name == name)
+    }
+
+    /// Nets marked as carry-chain members by the builder.
+    pub fn carry_nets(&self) -> &[NetId] {
+        &self.carry_nets
+    }
+
+    /// Number of D flip-flops (the "registers" column of Tables III/IV).
+    pub fn register_count(&self) -> usize {
+        self.gates
+            .iter()
+            .filter(|g| matches!(g, Gate::Dff { .. }))
+            .count()
+    }
+
+    /// Number of combinational gates.
+    pub fn combinational_count(&self) -> usize {
+        self.gates.iter().filter(|g| g.is_combinational()).count()
+    }
+
+    /// Liveness mask: a gate is live iff its value can reach an output
+    /// port, possibly through registers. Dead gates still simulate but
+    /// are excluded from resource estimation (synthesis tools sweep
+    /// them), and the mutation tests skip them.
+    pub fn live_mask(&self) -> Vec<bool> {
+        let mut live = vec![false; self.gates.len()];
+        let mut stack: Vec<usize> = Vec::new();
+        for port in &self.outputs {
+            for net in &port.nets {
+                stack.push(net.index());
+            }
+        }
+        while let Some(i) = stack.pop() {
+            if std::mem::replace(&mut live[i], true) {
+                continue;
+            }
+            for f in self.gates[i].fanin() {
+                stack.push(f.index());
+            }
+        }
+        live
+    }
+
+    /// Fanout count per net (how many gate inputs plus output-port bits
+    /// read it).
+    pub fn fanout(&self) -> Vec<u32> {
+        let mut fanout = vec![0u32; self.gates.len()];
+        for g in &self.gates {
+            for f in g.fanin() {
+                fanout[f.index()] += 1;
+            }
+        }
+        for port in &self.outputs {
+            for net in &port.nets {
+                fanout[net.index()] += 1;
+            }
+        }
+        fanout
+    }
+
+    /// Combinational logic depth in *gate* levels: inputs, constants and
+    /// DFF outputs are level 0; every combinational gate is one more than
+    /// its deepest fanin. (LUT-level depth, which drives the Fmax model,
+    /// lives in [`crate::tech`].)
+    pub fn gate_depth(&self) -> usize {
+        let mut level = vec![0usize; self.gates.len()];
+        let mut max = 0;
+        for (i, g) in self.gates.iter().enumerate() {
+            if g.is_combinational() {
+                level[i] = 1 + g.fanin().map(|f| level[f.index()]).max().unwrap_or(0);
+                max = max.max(level[i]);
+            }
+        }
+        max
+    }
+
+    /// Returns a copy with gate `i` replaced — the fault-injection hook
+    /// used by the mutation tests to prove the differential harness
+    /// actually detects broken circuits.
+    ///
+    /// # Panics
+    /// Panics if the replacement would break topological validity.
+    pub fn with_gate_replaced(&self, i: usize, gate: Gate) -> Netlist {
+        let mut mutated = self.clone();
+        mutated.gates[i] = gate;
+        mutated
+            .validate()
+            .expect("mutation must preserve structural validity");
+        mutated
+    }
+
+    /// Internal consistency check: every fanin references an earlier net
+    /// (except `Dff.d`, which may reference any net — state breaks the
+    /// cycle), and port nets are in range. Used by tests and debug builds.
+    pub fn validate(&self) -> Result<(), String> {
+        for (i, g) in self.gates.iter().enumerate() {
+            let allows_forward = matches!(g, Gate::Dff { .. });
+            for f in g.fanin() {
+                if f.index() >= self.gates.len() {
+                    return Err(format!("gate {i} references out-of-range net {}", f.index()));
+                }
+                if !allows_forward && f.index() >= i {
+                    return Err(format!(
+                        "combinational gate {i} references non-earlier net {} (cycle?)",
+                        f.index()
+                    ));
+                }
+            }
+        }
+        for port in self.inputs.iter().chain(&self.outputs) {
+            for net in &port.nets {
+                if net.index() >= self.gates.len() {
+                    return Err(format!("port {} references out-of-range net", port.name));
+                }
+            }
+        }
+        for port in &self.inputs {
+            for net in &port.nets {
+                if !matches!(self.gates[net.index()], Gate::Input) {
+                    return Err(format!("input port {} maps to a non-Input gate", port.name));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Netlist {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "netlist: {} gates ({} comb, {} regs), depth {} gate levels",
+            self.len(),
+            self.combinational_count(),
+            self.register_count(),
+            self.gate_depth()
+        )?;
+        for p in &self.inputs {
+            writeln!(f, "  in  {:<12} [{}]", p.name, p.nets.len())?;
+        }
+        for p in &self.outputs {
+            writeln!(f, "  out {:<12} [{}]", p.name, p.nets.len())?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Builder;
+
+    #[test]
+    fn fanin_iteration() {
+        let g = Gate::Mux {
+            sel: NetId(0),
+            a: NetId(1),
+            b: NetId(2),
+        };
+        let fanin: Vec<_> = g.fanin().collect();
+        assert_eq!(fanin, vec![NetId(0), NetId(1), NetId(2)]);
+        assert_eq!(Gate::Input.fanin().count(), 0);
+        assert_eq!(Gate::Not(NetId(5)).fanin().count(), 1);
+    }
+
+    #[test]
+    fn netlist_counts() {
+        let mut b = Builder::new();
+        let x = b.input_bus("x", 4);
+        let reg = b.register_bus(&x, false);
+        b.output_bus("y", &reg);
+        let n = b.finish();
+        assert_eq!(n.register_count(), 4);
+        assert_eq!(n.combinational_count(), 0);
+        assert_eq!(n.gate_depth(), 0);
+        n.validate().unwrap();
+    }
+
+    #[test]
+    fn depth_counts_longest_chain() {
+        // XOR chain over distinct inputs (NOT chains would constant-fold).
+        let mut b = Builder::new();
+        let x = b.input_bus("x", 6);
+        let mut cur = x[0];
+        for &bit in &x[1..] {
+            cur = b.xor(cur, bit);
+        }
+        b.output_bus("y", &[cur]);
+        assert_eq!(b.finish().gate_depth(), 5);
+    }
+
+    #[test]
+    fn validate_catches_forward_reference() {
+        // Hand-build a broken netlist.
+        let n = Netlist {
+            gates: vec![Gate::Not(NetId(1)), Gate::Input],
+            inputs: vec![],
+            outputs: vec![],
+            carry_nets: vec![],
+        };
+        assert!(n.validate().is_err());
+    }
+
+    #[test]
+    fn display_summary_mentions_ports() {
+        let mut b = Builder::new();
+        let x = b.input_bus("index", 5);
+        b.output_bus("out", &x);
+        let text = b.finish().to_string();
+        assert!(text.contains("index"));
+        assert!(text.contains("out"));
+    }
+}

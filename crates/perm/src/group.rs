@@ -1,0 +1,106 @@
+//! Additional group structure: powers, order, conjugation.
+
+use crate::Permutation;
+
+impl Permutation {
+    /// `self` composed with itself `k` times (`k = 0` gives the
+    //// identity). Binary exponentiation, `O(n log k)`.
+    pub fn power(&self, k: u64) -> Permutation {
+        let mut result = Permutation::identity(self.n());
+        let mut base = self.clone();
+        let mut k = k;
+        while k > 0 {
+            if k & 1 == 1 {
+                result = base.compose(&result);
+            }
+            base = base.compose(&base);
+            k >>= 1;
+        }
+        result
+    }
+
+    /// The order of the permutation in `S_n`: the least `k > 0` with
+    /// `self^k = id`, i.e. the lcm of the cycle lengths. `u128` covers
+    /// Landau's function comfortably for any practical `n`.
+    pub fn order(&self) -> u128 {
+        self.cycle_type()
+            .into_iter()
+            .fold(1u128, |acc, len| lcm(acc, len as u128))
+    }
+
+    /// Conjugation: `g ∘ self ∘ g⁻¹` — the relabeling of `self` by `g`.
+    /// Conjugate permutations always share a cycle type.
+    pub fn conjugate_by(&self, g: &Permutation) -> Permutation {
+        g.compose(self).compose(&g.inverse())
+    }
+}
+
+fn gcd(a: u128, b: u128) -> u128 {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+fn lcm(a: u128, b: u128) -> u128 {
+    a / gcd(a, b) * b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(v: &[u32]) -> Permutation {
+        Permutation::try_from_slice(v).unwrap()
+    }
+
+    #[test]
+    fn power_basics() {
+        let a = p(&[1, 2, 0]); // 3-cycle
+        assert!(a.power(0).is_identity());
+        assert_eq!(a.power(1), a);
+        assert_eq!(a.power(2), a.compose(&a));
+        assert!(a.power(3).is_identity());
+        assert_eq!(a.power(4), a);
+    }
+
+    #[test]
+    fn power_large_exponent() {
+        let a = p(&[1, 2, 3, 4, 0]); // 5-cycle
+        assert_eq!(a.power(1_000_000_000_001), a.power(1_000_000_000_001 % 5));
+    }
+
+    #[test]
+    fn order_is_lcm_of_cycles() {
+        // (0 1 2)(3 4): order lcm(3, 2) = 6.
+        let a = p(&[1, 2, 0, 4, 3]);
+        assert_eq!(a.order(), 6);
+        assert!(a.power(6).is_identity());
+        assert!(!a.power(3).is_identity());
+        assert_eq!(Permutation::identity(7).order(), 1);
+    }
+
+    #[test]
+    fn order_divides_group_order() {
+        // Lagrange: element order divides n! — spot check over S_5.
+        for perm in Permutation::all(5) {
+            assert_eq!(120 % perm.order(), 0, "{perm}");
+        }
+    }
+
+    #[test]
+    fn conjugation_preserves_cycle_type() {
+        let a = p(&[1, 2, 0, 4, 3]);
+        let g = p(&[4, 2, 0, 1, 3]);
+        let c = a.conjugate_by(&g);
+        assert_eq!(c.cycle_type(), a.cycle_type());
+        assert_ne!(c, a, "this pair is not commuting");
+    }
+
+    #[test]
+    fn conjugation_by_identity_is_noop() {
+        let a = p(&[3, 1, 0, 2]);
+        assert_eq!(a.conjugate_by(&Permutation::identity(4)), a);
+    }
+}

@@ -1,0 +1,141 @@
+//! Lexicographic order: successor, predecessor, first/last, and an
+//! iterator over all `n!` permutations.
+//!
+//! Lexicographic order over one-line notation is exactly the order induced
+//! by the factorial-number-system index (Table I of the paper), so these
+//! are used to cross-check the converter and to let parallel workers walk
+//! a block `[lo, hi)` after unranking `lo`.
+
+use crate::Permutation;
+
+impl Permutation {
+    /// The next permutation in lexicographic order, or `None` if `self`
+    /// is the last one (descending sequence). Classic Knuth Algorithm L.
+    pub fn next_lex(&self) -> Option<Permutation> {
+        let mut v = self.as_slice().to_vec();
+        let n = v.len();
+        if n < 2 {
+            return None;
+        }
+        // Longest descending suffix; pivot is just before it.
+        let mut i = n - 1;
+        while i > 0 && v[i - 1] >= v[i] {
+            i -= 1;
+        }
+        if i == 0 {
+            return None;
+        }
+        let pivot = i - 1;
+        // Smallest element in the suffix greater than the pivot.
+        let mut j = n - 1;
+        while v[j] <= v[pivot] {
+            j -= 1;
+        }
+        v.swap(pivot, j);
+        v[i..].reverse();
+        Some(Permutation::from_vec_unchecked(v))
+    }
+
+    /// The previous permutation in lexicographic order, or `None` if
+    /// `self` is the identity.
+    pub fn prev_lex(&self) -> Option<Permutation> {
+        let mut v = self.as_slice().to_vec();
+        let n = v.len();
+        if n < 2 {
+            return None;
+        }
+        let mut i = n - 1;
+        while i > 0 && v[i - 1] <= v[i] {
+            i -= 1;
+        }
+        if i == 0 {
+            return None;
+        }
+        let pivot = i - 1;
+        let mut j = n - 1;
+        while v[j] >= v[pivot] {
+            j -= 1;
+        }
+        v.swap(pivot, j);
+        v[i..].reverse();
+        Some(Permutation::from_vec_unchecked(v))
+    }
+
+    /// The lexicographically last permutation `n−1 … 1 0` (index `n!−1`).
+    pub fn last_lex(n: usize) -> Permutation {
+        Permutation::from_vec_unchecked((0..n as u32).rev().collect())
+    }
+
+    /// Iterator over all `n!` permutations in lexicographic (= index)
+    /// order, starting from the identity.
+    pub fn all(n: usize) -> AllPermutations {
+        AllPermutations {
+            next: Some(Permutation::identity(n)),
+        }
+    }
+}
+
+/// Iterator returned by [`Permutation::all`].
+#[derive(Clone)]
+pub struct AllPermutations {
+    next: Option<Permutation>,
+}
+
+impl Iterator for AllPermutations {
+    type Item = Permutation;
+
+    fn next(&mut self) -> Option<Permutation> {
+        let cur = self.next.take()?;
+        self.next = cur.next_lex();
+        Some(cur)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn next_lex_first_steps() {
+        let id = Permutation::identity(4);
+        let p1 = id.next_lex().unwrap();
+        assert_eq!(p1.as_slice(), &[0, 1, 3, 2]); // Table I, N = 1
+        let p2 = p1.next_lex().unwrap();
+        assert_eq!(p2.as_slice(), &[0, 2, 1, 3]); // Table I, N = 2
+    }
+
+    #[test]
+    fn last_has_no_successor_and_identity_no_predecessor() {
+        assert_eq!(Permutation::last_lex(4).next_lex(), None);
+        assert_eq!(Permutation::identity(4).prev_lex(), None);
+    }
+
+    #[test]
+    fn next_and_prev_are_inverse() {
+        let mut cur = Permutation::identity(5);
+        for _ in 0..50 {
+            let next = cur.next_lex().unwrap();
+            assert_eq!(next.prev_lex().unwrap(), cur);
+            cur = next;
+        }
+    }
+
+    #[test]
+    fn all_enumerates_n_factorial_distinct() {
+        let perms: Vec<_> = Permutation::all(5).collect();
+        assert_eq!(perms.len(), 120);
+        let set: std::collections::HashSet<_> = perms.iter().map(|p| p.as_slice().to_vec()).collect();
+        assert_eq!(set.len(), 120);
+        // Strictly increasing in lexicographic order.
+        for w in perms.windows(2) {
+            assert!(w[0].as_slice() < w[1].as_slice());
+        }
+    }
+
+    #[test]
+    fn degenerate_sizes() {
+        assert_eq!(Permutation::all(0).count(), 1);
+        assert_eq!(Permutation::all(1).count(), 1);
+        assert_eq!(Permutation::all(2).count(), 2);
+    }
+}

@@ -1,0 +1,250 @@
+//! Group operations and combinatorial structure: composition, inversion,
+//! parity, inversions, cycles, and Lehmer codes.
+
+use crate::Permutation;
+
+impl Permutation {
+    /// Composition `(self ∘ other)[i] = self[other[i]]` — apply `other`
+    /// first, then `self`.
+    pub fn compose(&self, other: &Permutation) -> Permutation {
+        assert_eq!(self.n(), other.n(), "compose: size mismatch");
+        Permutation::from_vec_unchecked(
+            other.as_slice().iter().map(|&j| self.at(j as usize)).collect(),
+        )
+    }
+
+    /// The inverse permutation: `inv[self[i]] = i`.
+    pub fn inverse(&self) -> Permutation {
+        let mut inv = vec![0u32; self.n()];
+        for (i, &v) in self.as_slice().iter().enumerate() {
+            inv[v as usize] = i as u32;
+        }
+        Permutation::from_vec_unchecked(inv)
+    }
+
+    /// `true` iff `self ∘ self` is the identity.
+    pub fn is_involution(&self) -> bool {
+        self.as_slice()
+            .iter()
+            .enumerate()
+            .all(|(i, &v)| self.at(v as usize) == i as u32)
+    }
+
+    /// Number of inversions: pairs `i < j` with `self[i] > self[j]`.
+    ///
+    /// Merge-sort counting, `O(n log n)`; the inversion count equals the
+    /// sum of the Lehmer digits, i.e. the digit sum of the paper's
+    /// factorial-number-system index in unary weights.
+    pub fn inversions(&self) -> u64 {
+        fn sort_count(v: &mut [u32], buf: &mut [u32]) -> u64 {
+            let n = v.len();
+            if n <= 1 {
+                return 0;
+            }
+            let mid = n / 2;
+            let mut count = sort_count(&mut v[..mid], buf) + sort_count(&mut v[mid..], buf);
+            let (mut i, mut j, mut k) = (0, mid, 0);
+            while i < mid && j < n {
+                if v[i] <= v[j] {
+                    buf[k] = v[i];
+                    i += 1;
+                } else {
+                    buf[k] = v[j];
+                    j += 1;
+                    count += (mid - i) as u64;
+                }
+                k += 1;
+            }
+            buf[k..k + mid - i].copy_from_slice(&v[i..mid]);
+            let copied = k + mid - i;
+            v[..copied].copy_from_slice(&buf[..copied]);
+            count
+        }
+        let mut v = self.as_slice().to_vec();
+        let mut buf = vec![0u32; v.len()];
+        sort_count(&mut v, &mut buf)
+    }
+
+    /// Parity: `true` for an even permutation (even number of inversions).
+    pub fn is_even(&self) -> bool {
+        self.inversions().is_multiple_of(2)
+    }
+
+    /// Sign: `+1` for even, `−1` for odd.
+    pub fn sign(&self) -> i8 {
+        if self.is_even() {
+            1
+        } else {
+            -1
+        }
+    }
+
+    /// Cycle decomposition; each cycle starts at its smallest element,
+    /// cycles sorted by starting element. Fixed points are length-1 cycles.
+    pub fn cycles(&self) -> Vec<Vec<u32>> {
+        let n = self.n();
+        let mut seen = vec![false; n];
+        let mut out = Vec::new();
+        for start in 0..n {
+            if seen[start] {
+                continue;
+            }
+            let mut cycle = Vec::new();
+            let mut cur = start;
+            while !seen[cur] {
+                seen[cur] = true;
+                cycle.push(cur as u32);
+                cur = self.at(cur) as usize;
+            }
+            out.push(cycle);
+        }
+        out
+    }
+
+    /// Multiset of cycle lengths, sorted ascending.
+    pub fn cycle_type(&self) -> Vec<usize> {
+        let mut t: Vec<usize> = self.cycles().iter().map(Vec::len).collect();
+        t.sort_unstable();
+        t
+    }
+
+    /// The Lehmer code `L` of this permutation:
+    /// `L[i] = #{ j > i : self[j] < self[i] }`.
+    ///
+    /// This is exactly the digit vector of the paper's factorial number
+    /// system: the index of the permutation is
+    /// `Σ L[i] · (n−1−i)!` (Section II, Table I). Always `L[i] ≤ n−1−i`
+    /// and `L[n−1] = 0` (the placeholder digit `s_0`).
+    pub fn lehmer(&self) -> Vec<u32> {
+        let n = self.n();
+        let v = self.as_slice();
+        let mut code = vec![0u32; n];
+        // O(n²); fine for the sizes circuits are generated at. The
+        // factoradic crate provides the O(n log n) ranking for bulk use.
+        for i in 0..n {
+            code[i] = v[i + 1..].iter().filter(|&&x| x < v[i]).count() as u32;
+        }
+        code
+    }
+
+    /// Reconstructs a permutation from its Lehmer code (inverse of
+    /// [`Permutation::lehmer`]). This is the *software reference* for the
+    /// paper's one-hot-MUX element-selection cascade: digit `L[i]` selects
+    /// the `L[i]`-th smallest of the not-yet-used elements.
+    ///
+    /// # Panics
+    /// Panics if any digit exceeds its bound `L[i] ≤ n−1−i`.
+    pub fn from_lehmer(code: &[u32]) -> Permutation {
+        let n = code.len();
+        let mut remaining: Vec<u32> = (0..n as u32).collect();
+        let mut out = Vec::with_capacity(n);
+        for (i, &d) in code.iter().enumerate() {
+            assert!(
+                (d as usize) < remaining.len(),
+                "Lehmer digit {d} at position {i} out of range (≤ {})",
+                n - 1 - i
+            );
+            out.push(remaining.remove(d as usize));
+        }
+        Permutation::from_vec_unchecked(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(v: &[u32]) -> Permutation {
+        Permutation::try_from_slice(v).unwrap()
+    }
+
+    #[test]
+    fn compose_applies_right_then_left() {
+        let a = p(&[1, 2, 0]); // position i -> element
+        let b = p(&[0, 2, 1]);
+        // (a∘b)[i] = a[b[i]]
+        assert_eq!(a.compose(&b), p(&[1, 0, 2]));
+    }
+
+    #[test]
+    fn compose_with_identity() {
+        let a = p(&[3, 0, 2, 1]);
+        let id = Permutation::identity(4);
+        assert_eq!(a.compose(&id), a);
+        assert_eq!(id.compose(&a), a);
+    }
+
+    #[test]
+    fn inverse_cancels() {
+        let a = p(&[2, 0, 3, 1]);
+        assert!(a.compose(&a.inverse()).is_identity());
+        assert!(a.inverse().compose(&a).is_identity());
+    }
+
+    #[test]
+    fn involutions() {
+        assert!(p(&[1, 0, 3, 2]).is_involution());
+        assert!(Permutation::identity(4).is_involution());
+        assert!(!p(&[1, 2, 0]).is_involution());
+    }
+
+    #[test]
+    fn inversions_small_cases() {
+        assert_eq!(Permutation::identity(5).inversions(), 0);
+        assert_eq!(p(&[1, 0]).inversions(), 1);
+        assert_eq!(p(&[3, 2, 1, 0]).inversions(), 6); // n(n-1)/2 for reversal
+        assert_eq!(p(&[2, 0, 1]).inversions(), 2);
+    }
+
+    #[test]
+    fn inversions_equal_lehmer_digit_sum() {
+        for v in [&[2u32, 0, 3, 1][..], &[4, 3, 2, 1, 0], &[0, 2, 1, 4, 3]] {
+            let perm = p(v);
+            let sum: u64 = perm.lehmer().iter().map(|&d| d as u64).sum();
+            assert_eq!(perm.inversions(), sum);
+        }
+    }
+
+    #[test]
+    fn sign_of_transposition_is_negative() {
+        assert_eq!(p(&[1, 0, 2, 3]).sign(), -1);
+        assert_eq!(Permutation::identity(4).sign(), 1);
+        // Sign is multiplicative.
+        let a = p(&[1, 0, 2, 3]);
+        let b = p(&[0, 2, 1, 3]);
+        assert_eq!(a.compose(&b).sign(), a.sign() * b.sign());
+    }
+
+    #[test]
+    fn cycles_cover_all_elements() {
+        let a = p(&[1, 2, 0, 4, 3, 5]);
+        assert_eq!(a.cycles(), vec![vec![0, 1, 2], vec![3, 4], vec![5]]);
+        assert_eq!(a.cycle_type(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn lehmer_of_identity_and_reversal() {
+        assert_eq!(Permutation::identity(4).lehmer(), vec![0, 0, 0, 0]);
+        assert_eq!(p(&[3, 2, 1, 0]).lehmer(), vec![3, 2, 1, 0]);
+    }
+
+    #[test]
+    fn lehmer_roundtrip_all_of_s4() {
+        // Exhaustive over all 24 permutations of n = 4 (Table I's domain).
+        let mut cur = Permutation::identity(4);
+        loop {
+            let code = cur.lehmer();
+            assert_eq!(Permutation::from_lehmer(&code), cur);
+            match cur.next_lex() {
+                Some(next) => cur = next,
+                None => break,
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn from_lehmer_rejects_bad_digit() {
+        Permutation::from_lehmer(&[4, 0, 0, 0]); // digit 4 > 3
+    }
+}

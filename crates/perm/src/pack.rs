@@ -1,0 +1,110 @@
+//! The paper's packed single-word encoding of a permutation.
+//!
+//! "In the circuit described by the Verilog code, each permutation was
+//! represented by a single word. Here, each word has `n log₂(n)` bits,
+//! which is 36 for n = 9." Element at position `i` occupies bits
+//! `[(n−1−i)·b, (n−i)·b)` where `b = ⌈log₂ n⌉` — position 0 is the
+//! most-significant field, matching the paper's example where `1 0 2 3`
+//! is the 8-bit binary number `01 00 10 11`.
+
+use crate::{bits_per_element, Permutation};
+use hwperm_bignum::Ubig;
+
+impl Permutation {
+    /// Packs the permutation into a single `n·⌈log₂n⌉`-bit word.
+    ///
+    /// ```
+    /// use hwperm_perm::Permutation;
+    /// // Paper Fig. 4 text: "0100 0010" ... for n = 4, permutation 1 0 2 3
+    /// // packs as 0b01_00_10_11.
+    /// let p = Permutation::try_from_slice(&[1, 0, 2, 3]).unwrap();
+    /// assert_eq!(p.pack().to_u64(), Some(0b01_00_10_11));
+    /// ```
+    pub fn pack(&self) -> Ubig {
+        let b = bits_per_element(self.n());
+        let mut out = Ubig::zero();
+        for (i, &v) in self.as_slice().iter().enumerate() {
+            let base = (self.n() - 1 - i) * b;
+            for bit in 0..b {
+                if (v >> bit) & 1 == 1 {
+                    out.set_bit(base + bit, true);
+                }
+            }
+        }
+        out
+    }
+
+    /// Unpacks a word produced by [`Permutation::pack`], validating that
+    /// the fields form a permutation.
+    pub fn unpack(n: usize, word: &Ubig) -> Result<Permutation, crate::PermError> {
+        let b = bits_per_element(n);
+        let mut v = Vec::with_capacity(n);
+        for i in 0..n {
+            let base = (n - 1 - i) * b;
+            let mut e = 0u32;
+            for bit in 0..b {
+                if word.bit(base + bit) {
+                    e |= 1 << bit;
+                }
+            }
+            v.push(e);
+        }
+        Permutation::try_from_vec(v)
+    }
+
+    /// Total width of the packed word in bits.
+    pub fn packed_width(n: usize) -> usize {
+        n * bits_per_element(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_byte_examples() {
+        // Section III.C: "00011011 and 00011110 represent 0123 and 0132".
+        let id = Permutation::identity(4);
+        assert_eq!(id.pack().to_u64(), Some(0b00_01_10_11));
+        let p = Permutation::try_from_slice(&[0, 1, 3, 2]).unwrap();
+        assert_eq!(p.pack().to_u64(), Some(0b00_01_11_10));
+    }
+
+    #[test]
+    fn fig4_corner_values() {
+        // Fig. 4: permutations 0123 and 3210 correspond to binary values
+        // 00011011 = 27 and 11100100 = 228.
+        assert_eq!(Permutation::identity(4).pack().to_u64(), Some(27));
+        assert_eq!(Permutation::last_lex(4).pack().to_u64(), Some(228));
+    }
+
+    #[test]
+    fn pack_unpack_roundtrip_exhaustive_n5() {
+        for p in Permutation::all(5) {
+            let w = p.pack();
+            assert_eq!(Permutation::unpack(5, &w).unwrap(), p);
+        }
+    }
+
+    #[test]
+    fn packed_width_matches_paper() {
+        assert_eq!(Permutation::packed_width(9), 36);
+        assert_eq!(Permutation::packed_width(4), 8);
+    }
+
+    #[test]
+    fn unpack_rejects_non_permutation_words() {
+        // 0b00_00_10_11: element 0 appears twice.
+        assert!(Permutation::unpack(4, &Ubig::from(0b00_00_10_11u64)).is_err());
+    }
+
+    #[test]
+    fn wide_permutation_packs_beyond_u64() {
+        // n = 20 needs 100 bits.
+        let p = Permutation::last_lex(20);
+        let w = p.pack();
+        assert!(w.bit_len() > 64);
+        assert_eq!(Permutation::unpack(20, &w).unwrap(), p);
+    }
+}

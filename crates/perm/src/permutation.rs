@@ -1,0 +1,267 @@
+//! The [`Permutation`] type: construction, validation, and basic queries.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// Errors from constructing a [`Permutation`] out of untrusted data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PermError {
+    /// An element is `>= n`.
+    OutOfRange {
+        /// Position of the offending element.
+        index: usize,
+        /// The offending element.
+        value: u32,
+        /// The permutation length.
+        n: usize,
+    },
+    /// An element occurs twice.
+    Duplicate {
+        /// The repeated element.
+        value: u32,
+    },
+}
+
+impl fmt::Display for PermError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PermError::OutOfRange { index, value, n } => write!(
+                f,
+                "element {value} at position {index} is out of range for a {n}-element permutation"
+            ),
+            PermError::Duplicate { value } => write!(f, "element {value} occurs more than once"),
+        }
+    }
+}
+
+impl std::error::Error for PermError {}
+
+/// A permutation of `{0, …, n−1}` in one-line notation: `self[i]` is the
+/// element placed at position `i`.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Permutation {
+    map: Vec<u32>,
+}
+
+impl Permutation {
+    /// The identity permutation `0 1 … n−1` (the paper's default input
+    /// permutation to both circuits).
+    pub fn identity(n: usize) -> Self {
+        Permutation {
+            map: (0..n as u32).collect(),
+        }
+    }
+
+    /// Validates that `v` is a permutation of `{0, …, n−1}`.
+    pub fn try_from_vec(v: Vec<u32>) -> Result<Self, PermError> {
+        let n = v.len();
+        let mut seen = vec![false; n];
+        for (index, &value) in v.iter().enumerate() {
+            if value as usize >= n {
+                return Err(PermError::OutOfRange { index, value, n });
+            }
+            if std::mem::replace(&mut seen[value as usize], true) {
+                return Err(PermError::Duplicate { value });
+            }
+        }
+        Ok(Permutation { map: v })
+    }
+
+    /// Like [`Permutation::try_from_vec`], from a borrowed slice.
+    pub fn try_from_slice(v: &[u32]) -> Result<Self, PermError> {
+        Self::try_from_vec(v.to_vec())
+    }
+
+    /// Builds a permutation without validation.
+    ///
+    /// Debug builds still assert validity; callers must guarantee `v` is a
+    /// permutation of `{0, …, n−1}` (e.g. output of a verified generator).
+    pub fn from_vec_unchecked(v: Vec<u32>) -> Self {
+        debug_assert!(
+            Self::try_from_slice(&v).is_ok(),
+            "from_vec_unchecked received a non-permutation"
+        );
+        Permutation { map: v }
+    }
+
+    /// Number of elements `n`.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.map.len()
+    }
+
+    /// The underlying one-line notation.
+    #[inline]
+    pub fn as_slice(&self) -> &[u32] {
+        &self.map
+    }
+
+    /// Consumes the permutation, returning its one-line notation.
+    pub fn into_vec(self) -> Vec<u32> {
+        self.map
+    }
+
+    /// Element at position `i`.
+    #[inline]
+    pub fn at(&self, i: usize) -> u32 {
+        self.map[i]
+    }
+
+    /// `true` iff this is the identity.
+    pub fn is_identity(&self) -> bool {
+        self.map.iter().enumerate().all(|(i, &v)| i as u32 == v)
+    }
+
+    /// Positions `i` with `self[i] == i`.
+    pub fn fixed_points(&self) -> Vec<usize> {
+        self.map
+            .iter()
+            .enumerate()
+            .filter(|&(i, &v)| i as u32 == v)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// A derangement has no fixed points (Section III.C of the paper).
+    pub fn is_derangement(&self) -> bool {
+        self.map.iter().enumerate().all(|(i, &v)| i as u32 != v)
+    }
+
+    /// Swaps the elements at positions `i` and `j` in place.
+    #[inline]
+    pub fn swap_positions(&mut self, i: usize, j: usize) {
+        self.map.swap(i, j);
+    }
+
+    /// Reorders `src` by this permutation: `out[i] = src[self[i]]`.
+    ///
+    /// This is the data-permutation reading used by the paper's FFT /
+    /// data-stream-reordering motivation.
+    pub fn apply<T: Clone>(&self, src: &[T]) -> Vec<T> {
+        assert_eq!(src.len(), self.n(), "apply: length mismatch");
+        self.map.iter().map(|&j| src[j as usize].clone()).collect()
+    }
+
+    /// Scatters `src` by this permutation: `out[self[i]] = src[i]`
+    /// (the inverse of [`Permutation::apply`]).
+    pub fn scatter<T: Clone + Default>(&self, src: &[T]) -> Vec<T> {
+        assert_eq!(src.len(), self.n(), "scatter: length mismatch");
+        let mut out = vec![T::default(); src.len()];
+        for (i, &j) in self.map.iter().enumerate() {
+            out[j as usize] = src[i].clone();
+        }
+        out
+    }
+}
+
+impl fmt::Display for Permutation {
+    /// One-line notation separated by spaces, e.g. `2 0 1 3`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for v in &self.map {
+            if !first {
+                write!(f, " ")?;
+            }
+            write!(f, "{v}")?;
+            first = false;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for Permutation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Permutation[{self}]")
+    }
+}
+
+impl FromStr for Permutation {
+    type Err = String;
+
+    /// Parses whitespace-separated one-line notation, e.g. `"2 0 1 3"`.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let v: Vec<u32> = s
+            .split_whitespace()
+            .map(|t| t.parse::<u32>().map_err(|e| format!("bad element {t:?}: {e}")))
+            .collect::<Result<_, _>>()?;
+        Permutation::try_from_vec(v).map_err(|e| e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_properties() {
+        let id = Permutation::identity(5);
+        assert!(id.is_identity());
+        assert_eq!(id.fixed_points(), vec![0, 1, 2, 3, 4]);
+        assert!(!id.is_derangement());
+    }
+
+    #[test]
+    fn zero_length_permutation_is_fine() {
+        let id = Permutation::identity(0);
+        assert!(id.is_identity());
+        assert!(id.is_derangement()); // vacuously
+        assert_eq!(id.n(), 0);
+    }
+
+    #[test]
+    fn validation_rejects_out_of_range() {
+        assert_eq!(
+            Permutation::try_from_slice(&[0, 4, 1]),
+            Err(PermError::OutOfRange { index: 1, value: 4, n: 3 })
+        );
+    }
+
+    #[test]
+    fn validation_rejects_duplicates() {
+        assert_eq!(
+            Permutation::try_from_slice(&[0, 1, 1, 2]),
+            Err(PermError::Duplicate { value: 1 })
+        );
+    }
+
+    #[test]
+    fn paper_example_derangements() {
+        // From Section III.C: "0123" has four fixed points, "0132" has ... ,
+        // "1032" is a derangement. (Paper text: permutation 3210-style
+        // examples; these are the canonical ones.)
+        assert_eq!(Permutation::try_from_slice(&[0, 1, 2, 3]).unwrap().fixed_points().len(), 4);
+        assert_eq!(Permutation::try_from_slice(&[0, 1, 3, 2]).unwrap().fixed_points().len(), 2);
+        assert!(Permutation::try_from_slice(&[1, 0, 3, 2]).unwrap().is_derangement());
+    }
+
+    #[test]
+    fn apply_and_scatter_are_inverse() {
+        let p = Permutation::try_from_slice(&[2, 0, 3, 1]).unwrap();
+        let data = vec!["a", "b", "c", "d"];
+        let forward = p.apply(&data);
+        assert_eq!(forward, vec!["c", "a", "d", "b"]);
+        let back = p.scatter(&forward);
+        assert_eq!(back, data);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn apply_checks_length() {
+        Permutation::identity(3).apply(&[1, 2]);
+    }
+
+    #[test]
+    fn display_and_parse_roundtrip() {
+        let p = Permutation::try_from_slice(&[3, 1, 0, 2]).unwrap();
+        assert_eq!(p.to_string(), "3 1 0 2");
+        assert_eq!("3 1 0 2".parse::<Permutation>().unwrap(), p);
+    }
+
+    #[test]
+    fn parse_rejects_invalid() {
+        assert!("0 0 1".parse::<Permutation>().is_err());
+        assert!("0 x".parse::<Permutation>().is_err());
+        // Empty string is the length-0 identity.
+        assert_eq!("".parse::<Permutation>().unwrap(), Permutation::identity(0));
+    }
+}

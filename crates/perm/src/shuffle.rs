@@ -1,0 +1,175 @@
+//! Software Knuth (Fisher–Yates) shuffle — the reference algorithm for the
+//! Section III circuit — plus the biased-integer variant the paper's Fig. 2
+//! random-integer block actually computes.
+
+use crate::Permutation;
+
+/// A source of uniform random integers: `next_below(k)` returns a value in
+/// `[0, k)`. Implementations live in `hwperm-rng` (LFSR-based, exactly the
+/// hardware behaviour) and in tests (deterministic sequences).
+pub trait RandomBelow {
+    /// A uniformly (or hardware-approximately-uniformly) distributed
+    /// integer in `[0, k)`. `k` must be at least 1.
+    fn next_below(&mut self, k: u64) -> u64;
+}
+
+/// Blanket impl so closures can be used directly in tests and examples.
+impl<F: FnMut(u64) -> u64> RandomBelow for F {
+    fn next_below(&mut self, k: u64) -> u64 {
+        self(k)
+    }
+}
+
+/// In-place Knuth shuffle, exactly the dataflow of the paper's Fig. 3
+/// cascade: stage `j` swaps position `j` with a random position in
+/// `[j, n)` ("an element is interchanged with itself or any of the
+/// elements to its right"). The final stage (`j = n−2`) either swaps the
+/// last two elements or not, with equal probability.
+pub fn knuth_shuffle_in_place<R: RandomBelow + ?Sized>(perm: &mut Permutation, rng: &mut R) {
+    let n = perm.n();
+    for j in 0..n.saturating_sub(1) {
+        let choices = (n - j) as u64;
+        let offset = rng.next_below(choices);
+        debug_assert!(offset < choices);
+        perm.swap_positions(j, j + offset as usize);
+    }
+}
+
+/// Applies the Knuth shuffle to the identity, producing a fresh uniformly
+/// random permutation (the paper's "Input Permutation" default).
+pub fn knuth_shuffle<R: RandomBelow + ?Sized>(n: usize, rng: &mut R) -> Permutation {
+    let mut p = Permutation::identity(n);
+    knuth_shuffle_in_place(&mut p, rng);
+    p
+}
+
+/// The *sorted-biased* generator of Oommen & Ng (cited in Section III.A as
+/// motivation: distributions producing "almost sorted" permutations with
+/// greater frequency). Each stage draws from a geometric-like distribution
+/// that favours offset 0 with weight `bias` (0 ⇒ uniform, large ⇒ nearly
+/// sorted). Used by the sorting-assessment example.
+pub fn biased_shuffle<R: RandomBelow + ?Sized>(n: usize, bias: u32, rng: &mut R) -> Permutation {
+    let mut p = Permutation::identity(n);
+    for j in 0..n.saturating_sub(1) {
+        let choices = (n - j) as u64;
+        // Take the min of (bias+1) uniform draws: skews toward 0, keeping
+        // support over the whole range so every permutation stays reachable.
+        let mut offset = rng.next_below(choices);
+        for _ in 0..bias {
+            offset = offset.min(rng.next_below(choices));
+        }
+        p.swap_positions(j, j + offset as usize);
+    }
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    /// Deterministic counter-based "RNG" for structural tests.
+    struct Cycler(u64);
+    impl RandomBelow for Cycler {
+        fn next_below(&mut self, k: u64) -> u64 {
+            self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (self.0 >> 33) % k
+        }
+    }
+
+    #[test]
+    fn shuffle_outputs_valid_permutations() {
+        let mut rng = Cycler(42);
+        for n in [0usize, 1, 2, 5, 16, 64] {
+            let p = knuth_shuffle(n, &mut rng);
+            assert_eq!(p.n(), n);
+            // Constructed through swaps of the identity, so validity is
+            // structural; re-validate anyway.
+            assert!(Permutation::try_from_slice(p.as_slice()).is_ok());
+        }
+    }
+
+    #[test]
+    fn zero_offsets_leave_identity() {
+        let mut rng = |_k: u64| 0u64;
+        let p = knuth_shuffle(6, &mut rng);
+        assert!(p.is_identity());
+    }
+
+    #[test]
+    fn max_offsets_rotate() {
+        // Always choosing the largest offset swaps j with n-1 at each stage.
+        let mut rng = |k: u64| k - 1;
+        let p = knuth_shuffle(4, &mut rng);
+        // Trace: 0123 -> 3120 -> 3021 -> 3012
+        assert_eq!(p.as_slice(), &[3, 0, 1, 2]);
+    }
+
+    #[test]
+    fn every_s3_permutation_reachable() {
+        // Drive the shuffle with all 3×2 = 6 offset combinations; each must
+        // yield a distinct permutation (the bijectivity that makes the
+        // Knuth shuffle uniform).
+        let mut seen = HashMap::new();
+        for a in 0..3u64 {
+            for b in 0..2u64 {
+                let mut seq = vec![a, b].into_iter();
+                let mut rng = |_k: u64| seq.next().unwrap();
+                let p = knuth_shuffle(3, &mut rng);
+                *seen.entry(p.as_slice().to_vec()).or_insert(0) += 1;
+            }
+        }
+        assert_eq!(seen.len(), 6);
+        assert!(seen.values().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn shuffle_is_roughly_uniform() {
+        // Chi-square sanity check on n = 3 over 6000 samples.
+        let mut rng = Cycler(7);
+        let mut counts = HashMap::new();
+        let trials = 6000;
+        for _ in 0..trials {
+            let p = knuth_shuffle(3, &mut rng);
+            *counts.entry(p.as_slice().to_vec()).or_insert(0u64) += 1;
+        }
+        assert_eq!(counts.len(), 6);
+        let expected = trials as f64 / 6.0;
+        let chi2: f64 = counts
+            .values()
+            .map(|&c| (c as f64 - expected).powi(2) / expected)
+            .sum();
+        // 5 degrees of freedom; 99.9th percentile ≈ 20.5.
+        assert!(chi2 < 20.5, "chi2 = {chi2}");
+    }
+
+    #[test]
+    fn biased_shuffle_prefers_sortedness() {
+        let mut rng = Cycler(123);
+        let trials = 500;
+        let n = 8;
+        let mut inv_uniform = 0u64;
+        let mut inv_biased = 0u64;
+        for _ in 0..trials {
+            inv_uniform += knuth_shuffle(n, &mut rng).inversions();
+            inv_biased += biased_shuffle(n, 3, &mut rng).inversions();
+        }
+        assert!(
+            inv_biased < inv_uniform,
+            "biased shuffle should average fewer inversions ({inv_biased} vs {inv_uniform})"
+        );
+    }
+
+    #[test]
+    fn biased_with_zero_bias_is_plain_shuffle() {
+        let p1 = {
+            let mut rng = Cycler(99);
+            biased_shuffle(10, 0, &mut rng)
+        };
+        let p2 = {
+            let mut rng = Cycler(99);
+            knuth_shuffle(10, &mut rng)
+        };
+        assert_eq!(p1, p2);
+    }
+}

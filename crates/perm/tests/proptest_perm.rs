@@ -1,0 +1,104 @@
+//! Property-based tests for permutation group laws and encodings.
+
+use hwperm_perm::{Permutation, shuffle};
+use proptest::prelude::*;
+
+/// Strategy producing a random permutation of size `2..=max_n` by shuffling
+/// with a proptest-driven offset sequence.
+fn permutation(max_n: usize) -> impl Strategy<Value = Permutation> {
+    (2usize..=max_n, any::<u64>()).prop_map(|(n, seed)| {
+        let mut state = seed | 1;
+        let mut rng = move |k: u64| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state % k
+        };
+        shuffle::knuth_shuffle(n, &mut rng)
+    })
+}
+
+proptest! {
+    #[test]
+    fn double_inverse_is_identity_map(p in permutation(40)) {
+        prop_assert_eq!(p.inverse().inverse(), p);
+    }
+
+    #[test]
+    fn compose_inverse_cancels(p in permutation(40)) {
+        prop_assert!(p.compose(&p.inverse()).is_identity());
+        prop_assert!(p.inverse().compose(&p).is_identity());
+    }
+
+    #[test]
+    fn lehmer_roundtrip(p in permutation(40)) {
+        prop_assert_eq!(Permutation::from_lehmer(&p.lehmer()), p);
+    }
+
+    #[test]
+    fn lehmer_digits_within_bounds(p in permutation(40)) {
+        let n = p.n();
+        for (i, &d) in p.lehmer().iter().enumerate() {
+            prop_assert!((d as usize) <= n - 1 - i);
+        }
+    }
+
+    #[test]
+    fn pack_unpack_roundtrip(p in permutation(30)) {
+        let n = p.n();
+        prop_assert_eq!(Permutation::unpack(n, &p.pack()).unwrap(), p);
+    }
+
+    #[test]
+    fn inversions_of_inverse_equal(p in permutation(30)) {
+        // A pair is inverted in p iff it is inverted in p^{-1}.
+        prop_assert_eq!(p.inversions(), p.inverse().inversions());
+    }
+
+    #[test]
+    fn sign_multiplicative(n in 2usize..=12, s1 in any::<u64>(), s2 in any::<u64>()) {
+        let make = |seed: u64| {
+            let mut state = seed | 1;
+            let mut rng = move |k: u64| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                state % k
+            };
+            shuffle::knuth_shuffle(n, &mut rng)
+        };
+        let (a, b) = (make(s1), make(s2));
+        prop_assert_eq!(a.compose(&b).sign(), a.sign() * b.sign());
+    }
+
+    #[test]
+    fn cycle_lengths_sum_to_n(p in permutation(40)) {
+        let total: usize = p.cycle_type().iter().sum();
+        prop_assert_eq!(total, p.n());
+    }
+
+    #[test]
+    fn next_lex_increases(p in permutation(20)) {
+        if let Some(next) = p.next_lex() {
+            prop_assert!(p.as_slice() < next.as_slice());
+            prop_assert_eq!(next.prev_lex().unwrap(), p);
+        } else {
+            // Only the descending permutation lacks a successor.
+            let n = p.n();
+            prop_assert_eq!(p, Permutation::last_lex(n));
+        }
+    }
+
+    #[test]
+    fn apply_then_inverse_apply_restores(p in permutation(25)) {
+        let data: Vec<u32> = (0..p.n() as u32).map(|x| x * 10 + 3).collect();
+        let permuted = p.apply(&data);
+        prop_assert_eq!(p.inverse().apply(&permuted), data);
+    }
+
+    #[test]
+    fn scatter_inverts_apply(p in permutation(25)) {
+        let data: Vec<u32> = (100..100 + p.n() as u32).collect();
+        prop_assert_eq!(p.scatter(&p.apply(&data)), data);
+    }
+}

@@ -1,0 +1,186 @@
+//! GF(2) polynomial arithmetic for validating the LFSR tap table.
+//!
+//! A tap set yields a maximal-length LFSR iff its characteristic
+//! polynomial is *primitive* over GF(2). Exhaustive period checks prove
+//! that for small widths (tests walk the full `2^m − 1` cycle up to
+//! `m = 20`); for the wide entries this module provides the strongest
+//! practical static check — Rabin's irreducibility test — which every
+//! primitive polynomial must pass, and which catches transcription
+//! errors (a random degree-64 polynomial is reducible with probability
+//! ≈ 63/64).
+
+/// A polynomial over GF(2) of degree ≤ 127, bit `i` = coefficient of
+/// `x^i`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Gf2Poly(pub u128);
+
+impl Gf2Poly {
+    /// The characteristic polynomial of a Fibonacci LFSR with the given
+    /// 1-indexed taps: `x^m + Σ_{t ∈ taps} x^{m−t}` … with the
+    /// convention used by [`crate::Lfsr`], tap `t` contributes `x^{t−?}`;
+    /// concretely: `p(x) = x^m + Σ x^{m−t} | t ∈ taps, t < m` + 1.
+    pub fn from_taps(m: usize, taps: &[u8]) -> Gf2Poly {
+        let mut bits = (1u128 << m) | 1; // x^m + 1 base (tap m and x^0)
+        for &t in taps {
+            let t = t as usize;
+            if t < m {
+                bits |= 1u128 << (m - t);
+            }
+        }
+        Gf2Poly(bits)
+    }
+
+    /// Degree of the polynomial (`0` for constants).
+    pub fn degree(self) -> usize {
+        (127 - self.0.leading_zeros()) as usize
+    }
+
+    /// Product modulo `modulus` (carry-less multiply + reduction).
+    pub fn mulmod(self, rhs: Gf2Poly, modulus: Gf2Poly) -> Gf2Poly {
+        let m = modulus.degree();
+        let mut acc = 0u128;
+        let mut a = self.0;
+        let mut b = rhs.0;
+        while b != 0 {
+            if b & 1 == 1 {
+                acc ^= a;
+            }
+            b >>= 1;
+            a <<= 1;
+            if (a >> m) & 1 == 1 {
+                a ^= modulus.0;
+            }
+        }
+        // acc is already reduced because every shift of `a` was.
+        Gf2Poly(acc)
+    }
+
+    /// `x^(2^k) mod modulus`, by repeated squaring of `x`.
+    pub fn x_pow_pow2(k: usize, modulus: Gf2Poly) -> Gf2Poly {
+        let mut acc = Gf2Poly(0b10); // x
+        for _ in 0..k {
+            acc = acc.mulmod(acc, modulus);
+        }
+        acc
+    }
+
+    /// Polynomial GCD over GF(2).
+    pub fn gcd(self, other: Gf2Poly) -> Gf2Poly {
+        let (mut a, mut b) = (self.0, other.0);
+        while b != 0 {
+            // a mod b by long division.
+            let db = 127 - b.leading_zeros();
+            loop {
+                if a == 0 {
+                    break;
+                }
+                let da = 127 - a.leading_zeros();
+                if da < db {
+                    break;
+                }
+                a ^= b << (da - db);
+            }
+            std::mem::swap(&mut a, &mut b);
+        }
+        Gf2Poly(a)
+    }
+
+    /// Rabin irreducibility test for a degree-`m` polynomial:
+    /// `x^(2^m) ≡ x (mod p)` and `gcd(x^(2^(m/q)) − x, p) = 1` for every
+    /// prime divisor `q` of `m`.
+    pub fn is_irreducible(self) -> bool {
+        let m = self.degree();
+        if m == 0 || self.0 & 1 == 0 {
+            return false; // divisible by x
+        }
+        let x = Gf2Poly(0b10);
+        if Gf2Poly::x_pow_pow2(m, self) != x {
+            return false;
+        }
+        for q in prime_divisors(m) {
+            let probe = Gf2Poly(Gf2Poly::x_pow_pow2(m / q, self).0 ^ x.0);
+            if probe.0 != 0 && self.gcd(probe).degree() != 0 {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// Distinct prime divisors of `n`.
+fn prime_divisors(mut n: usize) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut d = 2;
+    while d * d <= n {
+        if n.is_multiple_of(d) {
+            out.push(d);
+            while n.is_multiple_of(d) {
+                n /= d;
+            }
+        }
+        d += 1;
+    }
+    if n > 1 {
+        out.push(n);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::taps::max_len_taps;
+
+    #[test]
+    fn known_irreducible_polynomials() {
+        // x^2 + x + 1, x^3 + x + 1, x^4 + x + 1, x^8+x^4+x^3+x^2+1 (AES).
+        for bits in [0b111u128, 0b1011, 0b10011, 0b1_0001_1101] {
+            assert!(Gf2Poly(bits).is_irreducible(), "{bits:#b}");
+        }
+    }
+
+    #[test]
+    fn known_reducible_polynomials() {
+        // x^2 (divisible by x), x^2 + 1 = (x+1)^2, x^4 + x^2 + 1 = (x^2+x+1)^2.
+        for bits in [0b100u128, 0b101, 0b10101] {
+            assert!(!Gf2Poly(bits).is_irreducible(), "{bits:#b}");
+        }
+    }
+
+    #[test]
+    fn mulmod_agrees_with_small_field() {
+        // In GF(8) = GF(2)[x]/(x^3+x+1): (x+1)(x^2+1) = x^3+x^2+x+1
+        // ≡ x^2 (mod x^3+x+1) since x^3 ≡ x+1.
+        let p = Gf2Poly(0b1011);
+        let r = Gf2Poly(0b011).mulmod(Gf2Poly(0b101), p);
+        assert_eq!(r, Gf2Poly(0b100));
+    }
+
+    #[test]
+    fn gcd_of_coprime_is_one() {
+        let a = Gf2Poly(0b111); // x^2+x+1
+        let b = Gf2Poly(0b1011); // x^3+x+1
+        assert_eq!(a.gcd(b).degree(), 0);
+        // gcd(p, p) = p.
+        assert_eq!(a.gcd(a), a);
+    }
+
+    #[test]
+    fn every_table_entry_is_irreducible() {
+        // The static check covering all widths, including those too wide
+        // for the exhaustive period test.
+        for m in 2..=64usize {
+            let p = Gf2Poly::from_taps(m, max_len_taps(m));
+            assert_eq!(p.degree(), m);
+            assert!(p.is_irreducible(), "width {m} tap polynomial is reducible");
+        }
+    }
+
+    #[test]
+    fn prime_divisor_helper() {
+        assert_eq!(prime_divisors(1), Vec::<usize>::new());
+        assert_eq!(prime_divisors(12), vec![2, 3]);
+        assert_eq!(prime_divisors(64), vec![2]);
+        assert_eq!(prime_divisors(61), vec![61]);
+    }
+}

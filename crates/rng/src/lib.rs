@@ -1,0 +1,33 @@
+#![warn(missing_docs)]
+
+//! Randomness sources for the paper's Section III generators.
+//!
+//! The hardware side of the paper uses per-stage LFSRs feeding a
+//! "multiply by k, shift right by m, truncate" block (Fig. 2) to produce
+//! random integers in `[0, k)`. This crate provides:
+//!
+//! - [`Lfsr`]: a software-stepped Fibonacci LFSR with the standard
+//!   maximal-length tap table for widths 2…64 ([`taps::max_len_taps`]),
+//!   plus [`lfsr::GaloisLfsr`] for cross-checking;
+//! - [`lfsr::build_lfsr`]: the same LFSR as a netlist (DFF ring + XOR
+//!   feedback) on `hwperm-logic`, bit-equivalent to the software step —
+//!   tests prove sequence equality;
+//! - [`randint`]: the Fig. 2 block in software and netlist form, and
+//!   [`randint::BiasReport`] computing the *exact* pigeonhole
+//!   probabilities the paper discusses ("seven of the random integers
+//!   are generated from two random numbers, while 17 are generated from
+//!   one");
+//! - [`XorShift64Star`]: a fast host-side generator implementing
+//!   [`hwperm_perm::shuffle::RandomBelow`] for software baselines.
+
+pub mod gf2;
+pub mod lfsr;
+pub mod randint;
+pub mod taps;
+mod xorshift;
+
+pub use gf2::Gf2Poly;
+pub use lfsr::{GaloisLfsr, Lfsr};
+pub use randint::{random_integer, BiasReport, LfsrRandomBelow};
+pub use taps::max_len_taps;
+pub use xorshift::XorShift64Star;

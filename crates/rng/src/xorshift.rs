@@ -1,0 +1,155 @@
+//! Host-side pseudo-random generator for software baselines and tests.
+
+use hwperm_bignum::Ubig;
+use hwperm_perm::shuffle::RandomBelow;
+
+/// xorshift64\* — fast, decent-quality, dependency-free. Used where the
+/// experiment calls for a *software* RNG (e.g. the Xeon-side baseline of
+/// Table II and the Monte-Carlo harnesses), as opposed to the hardware-
+/// faithful LFSR sources.
+#[derive(Debug, Clone)]
+pub struct XorShift64Star {
+    state: u64,
+}
+
+impl XorShift64Star {
+    /// Seeds the generator (zero is remapped to a fixed odd constant).
+    pub fn new(seed: u64) -> Self {
+        XorShift64Star {
+            state: if seed == 0 { 0x9E3779B97F4A7C15 } else { seed },
+        }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+
+    /// Uniform value in `[0, k)` via Lemire's multiply-shift with
+    /// rejection (unbiased, unlike the hardware Fig. 2 block).
+    pub fn below(&mut self, k: u64) -> u64 {
+        assert!(k >= 1);
+        loop {
+            let x = self.next_u64();
+            let m = x as u128 * k as u128;
+            let low = m as u64;
+            if low >= k.wrapping_neg() % k {
+                return (m >> 64) as u64;
+            }
+        }
+    }
+
+    /// Uniform `Ubig` in `[0, bound)` by rejection over `bit_len(bound)`
+    /// random bits.
+    ///
+    /// # Panics
+    /// Panics if `bound` is zero.
+    pub fn below_ubig(&mut self, bound: &Ubig) -> Ubig {
+        assert!(!bound.is_zero(), "bound must be positive");
+        let bits = bound.bit_len();
+        let limbs = bits.div_ceil(64);
+        let top_bits = bits - (limbs - 1) * 64;
+        let top_mask = if top_bits == 64 {
+            u64::MAX
+        } else {
+            (1u64 << top_bits) - 1
+        };
+        loop {
+            let mut v: Vec<u64> = (0..limbs).map(|_| self.next_u64()).collect();
+            *v.last_mut().unwrap() &= top_mask;
+            let candidate = Ubig::from_limbs(v);
+            if candidate < *bound {
+                return candidate;
+            }
+        }
+    }
+}
+
+impl RandomBelow for XorShift64Star {
+    fn next_below(&mut self, k: u64) -> u64 {
+        self.below(k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut a = XorShift64Star::new(5);
+        let mut b = XorShift64Star::new(5);
+        for _ in 0..10 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn zero_seed_is_remapped() {
+        let mut g = XorShift64Star::new(0);
+        assert_ne!(g.next_u64(), 0);
+    }
+
+    #[test]
+    fn below_is_in_range_and_hits_everything() {
+        let mut g = XorShift64Star::new(42);
+        let k = 7u64;
+        let mut seen = [false; 7];
+        for _ in 0..500 {
+            let v = g.below(k);
+            assert!(v < k);
+            seen[v as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all residues reachable");
+    }
+
+    #[test]
+    fn below_roughly_uniform() {
+        let mut g = XorShift64Star::new(9);
+        let k = 10u64;
+        let trials = 100_000;
+        let mut counts = [0u64; 10];
+        for _ in 0..trials {
+            counts[g.below(k) as usize] += 1;
+        }
+        let expected = trials as f64 / k as f64;
+        let chi2: f64 = counts
+            .iter()
+            .map(|&c| (c as f64 - expected).powi(2) / expected)
+            .sum();
+        // 9 dof, 99.9th percentile ≈ 27.9.
+        assert!(chi2 < 27.9, "chi2 = {chi2}");
+    }
+
+    #[test]
+    fn below_ubig_respects_bound() {
+        let mut g = XorShift64Star::new(3);
+        let bound = Ubig::factorial(25);
+        for _ in 0..50 {
+            assert!(g.below_ubig(&bound) < bound);
+        }
+    }
+
+    #[test]
+    fn below_ubig_small_bound() {
+        let mut g = XorShift64Star::new(8);
+        let bound = Ubig::from(3u64);
+        let mut seen = [false; 3];
+        for _ in 0..100 {
+            let v = g.below_ubig(&bound).to_u64().unwrap();
+            seen[v as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn below_ubig_zero_bound_panics() {
+        XorShift64Star::new(1).below_ubig(&Ubig::zero());
+    }
+}

@@ -1,0 +1,116 @@
+//! Property tests for the equivalence checker: structurally different
+//! implementations of the same function must be proven equal; corrupted
+//! ones must be refuted.
+
+use hwperm_bignum::Ubig;
+use hwperm_logic::{Builder, Netlist, NetId};
+use hwperm_verify::CompiledNetlist;
+use proptest::prelude::*;
+
+/// Selector built with the paper's one-hot mux: decode then mask/or.
+fn one_hot_selector(choices: &[u64], w: usize) -> Netlist {
+    let mut b = Builder::new();
+    let sel_w = (usize::BITS - (choices.len() - 1).leading_zeros()).max(1) as usize;
+    let sel = b.input_bus("sel", sel_w);
+    let onehot = b.decoder(&sel, choices.len());
+    let buses: Vec<Vec<NetId>> = choices
+        .iter()
+        .map(|&c| b.constant_bus(w, &Ubig::from(c)))
+        .collect();
+    let refs: Vec<&[NetId]> = buses.iter().map(|x| x.as_slice()).collect();
+    let out = b.one_hot_mux(&onehot, &refs);
+    b.output_bus("out", &out);
+    b.finish()
+}
+
+/// The same selector as a binary mux tree.
+fn binary_selector(choices: &[u64], w: usize) -> Netlist {
+    let mut b = Builder::new();
+    let sel_w = (usize::BITS - (choices.len() - 1).leading_zeros()).max(1) as usize;
+    let sel = b.input_bus("sel", sel_w);
+    let buses: Vec<Vec<NetId>> = choices
+        .iter()
+        .map(|&c| b.constant_bus(w, &Ubig::from(c)))
+        .collect();
+    let refs: Vec<&[NetId]> = buses.iter().map(|x| x.as_slice()).collect();
+    let out = b.binary_mux(&sel, &refs);
+    b.output_bus("out", &out);
+    b.finish()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn one_hot_and_binary_selectors_equivalent_on_power_of_two(
+        log_count in 1usize..=3,
+        w in 1usize..=6,
+        seed in any::<u64>(),
+    ) {
+        // With a power-of-two choice count every select value is in
+        // range, so both constructions compute the same total function.
+        let count = 1usize << log_count;
+        let mask = (1u64 << w) - 1;
+        let choices: Vec<u64> = (0..count as u64)
+            .map(|i| seed.rotate_left((i * 11) as u32) & mask)
+            .collect();
+        let a = CompiledNetlist::compile(&one_hot_selector(&choices, w)).unwrap();
+        let b = CompiledNetlist::compile(&binary_selector(&choices, w)).unwrap();
+        prop_assert_eq!(a.equivalent(&b), Ok(true));
+    }
+
+    #[test]
+    fn adder_operand_order_equivalence(w in 1usize..=8) {
+        let build = |swap: bool| {
+            let mut b = Builder::new();
+            let x = b.input_bus("x", w);
+            let y = b.input_bus("y", w);
+            let s = if swap { b.add_expand(&y, &x) } else { b.add_expand(&x, &y) };
+            b.output_bus("s", &s);
+            b.finish()
+        };
+        let a = CompiledNetlist::compile(&build(false)).unwrap();
+        let c = CompiledNetlist::compile(&build(true)).unwrap();
+        prop_assert_eq!(a.equivalent(&c), Ok(true));
+    }
+
+    #[test]
+    fn corrupted_constant_is_refuted(w in 2usize..=6, seed in any::<u64>()) {
+        // Same circuit but one choice constant differs in one bit:
+        // must be detected as inequivalent (the select input can reach it).
+        let count = 4usize;
+        let mask = (1u64 << w) - 1;
+        let choices: Vec<u64> = (0..count as u64)
+            .map(|i| seed.rotate_left((i * 13) as u32) & mask)
+            .collect();
+        let mut corrupted = choices.clone();
+        corrupted[(seed % count as u64) as usize] ^= 1 << (seed as usize % w);
+        let a = CompiledNetlist::compile(&one_hot_selector(&choices, w)).unwrap();
+        let b = CompiledNetlist::compile(&one_hot_selector(&corrupted, w)).unwrap();
+        prop_assert_eq!(a.equivalent(&b), Ok(false));
+    }
+
+    #[test]
+    fn comparator_forms_equivalent(w in 1usize..=8, c_seed in any::<u64>()) {
+        // ge_const(x, c) must equal the generic ge(x, const_bus(c)).
+        let c = c_seed & ((1u64 << w) - 1);
+        let specialized = {
+            let mut b = Builder::new();
+            let x = b.input_bus("x", w);
+            let g = b.ge_const(&x, &Ubig::from(c));
+            b.output_bus("g", &[g]);
+            b.finish()
+        };
+        let generic = {
+            let mut b = Builder::new();
+            let x = b.input_bus("x", w);
+            let cb = b.constant_bus(w, &Ubig::from(c));
+            let g = b.ge(&x, &cb);
+            b.output_bus("g", &[g]);
+            b.finish()
+        };
+        let a = CompiledNetlist::compile(&specialized).unwrap();
+        let b = CompiledNetlist::compile(&generic).unwrap();
+        prop_assert_eq!(a.equivalent(&b), Ok(true));
+    }
+}

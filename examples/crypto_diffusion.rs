@@ -1,0 +1,93 @@
+//! Cryptographic diffusion (intro motivation: "permutations are used to
+//! create diffusion, where information in the plaintext is spread out
+//! across the ciphertext" — DES uses six, Twofish and Serpent two each).
+//!
+//! Builds a toy substitution–permutation network whose permutation layer
+//! is selected *by index* through the converter, and measures the
+//! avalanche effect with and without the permutation layer.
+//!
+//! ```text
+//! cargo run --release --example crypto_diffusion
+//! ```
+
+use hwperm_bignum::Ubig;
+use hwperm_factoradic::unrank;
+use hwperm_perm::Permutation;
+use hwperm_rng::XorShift64Star;
+
+const BITS: usize = 16;
+const ROUNDS: usize = 4;
+
+/// 4-bit S-box (from PRESENT).
+const SBOX: [u16; 16] = [
+    0xC, 0x5, 0x6, 0xB, 0x9, 0x0, 0xA, 0xD, 0x3, 0xE, 0xF, 0x8, 0x4, 0x7, 0x1, 0x2,
+];
+
+fn sub_layer(x: u16) -> u16 {
+    let mut out = 0u16;
+    for nibble in 0..4 {
+        let v = (x >> (nibble * 4)) & 0xF;
+        out |= SBOX[v as usize] << (nibble * 4);
+    }
+    out
+}
+
+fn perm_layer(x: u16, perm: &Permutation) -> u16 {
+    let mut out = 0u16;
+    for (to, &from) in perm.as_slice().iter().enumerate() {
+        if (x >> from) & 1 == 1 {
+            out |= 1 << to;
+        }
+    }
+    out
+}
+
+fn encrypt(mut x: u16, key: u16, perm: Option<&Permutation>) -> u16 {
+    for round in 0..ROUNDS {
+        x ^= key.rotate_left(round as u32 * 5);
+        x = sub_layer(x);
+        if let Some(p) = perm {
+            x = perm_layer(x, p);
+        }
+    }
+    x
+}
+
+/// Average output bits flipped when one input bit flips (ideal: BITS/2).
+fn avalanche(perm: Option<&Permutation>, rng: &mut XorShift64Star) -> f64 {
+    let trials = 20_000;
+    let key = 0xB7E1;
+    let mut flipped = 0u64;
+    for _ in 0..trials {
+        let x = rng.next_u64() as u16;
+        let bit = (rng.next_u64() % BITS as u64) as u16;
+        let a = encrypt(x, key, perm);
+        let b = encrypt(x ^ (1 << bit), key, perm);
+        flipped += (a ^ b).count_ones() as u64;
+    }
+    flipped as f64 / trials as f64
+}
+
+fn main() {
+    let mut rng = XorShift64Star::new(42);
+
+    println!("avalanche of a {ROUNDS}-round SPN over {BITS} bits (ideal = {}):", BITS / 2);
+    println!("  no permutation layer : {:.2} bits", avalanche(None, &mut rng));
+
+    // Pick permutation layers by index — the converter's crypto use case:
+    // a key-scheduled index selects one of 16! bit permutations.
+    for (index, label) in [
+        (0u64, "identity — degenerate"),
+        (20_922_789_887_999, "bit reversal — degenerate"),
+        (98_765, "generic"),
+        (7_777_777_777_777, "generic"),
+    ] {
+        let perm = unrank(BITS, &Ubig::from(index));
+        let a = avalanche(Some(&perm), &mut rng);
+        println!("  perm #{index:<15}: {a:.2} bits  ({label})");
+    }
+    println!("\n(structured permutations — identity #0, bit reversal #16!−1 — add no");
+    println!(" diffusion; generic index-selected permutations roughly double the");
+    println!(" avalanche of the S-box-only network, which is what the permutation");
+    println!(" layers in DES/Twofish/Serpent are there for)");
+}

@@ -1,0 +1,52 @@
+//! Quickstart: convert indices to permutations three ways — pure
+//! software, the gate-level Fig. 1 netlist, and the pipelined netlist —
+//! and print the circuit's resource report.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use hwperm_bignum::Ubig;
+use hwperm_circuits::{ConverterOptions, IndexToPermConverter};
+use hwperm_factoradic::{rank, unrank};
+
+fn main() {
+    let n = 8;
+
+    // Software unranking: the paper's Table I mapping, generalized.
+    let index = Ubig::from(12_345u64);
+    let perm = unrank(n, &index);
+    println!("permutation #{index} of {n} elements: {perm}");
+    println!("its Lehmer code (factorial-number-system digits): {:?}", perm.lehmer());
+    assert_eq!(rank(&perm), index, "rank inverts unrank");
+
+    // The same conversion on the simulated hardware, bit for bit.
+    let mut circuit = IndexToPermConverter::new(n);
+    let hw_perm = circuit.convert(&index);
+    assert_eq!(hw_perm, perm, "netlist agrees with software");
+    println!("\ngate-level circuit produced the same permutation: {hw_perm}");
+    println!("circuit resources: {}", circuit.report());
+
+    // Pipelined operation: one permutation per clock after an n−1 fill.
+    let mut pipe = IndexToPermConverter::with_options(
+        n,
+        ConverterOptions {
+            pipelined: true,
+            perm_input_port: false,
+        },
+    );
+    let indices: Vec<Ubig> = (0..10u64).map(|i| Ubig::from(i * 3999)).collect();
+    let stream = pipe.convert_stream(&indices);
+    println!("\npipelined stream (latency {} clocks, then 1 perm/clock):", pipe.latency());
+    for (i, p) in indices.iter().zip(&stream) {
+        assert_eq!(p, &unrank(n, i));
+        println!("  #{i} -> {p}");
+    }
+
+    // Arbitrary n: the index bus grows as ⌈log₂ n!⌉; software and
+    // circuit both handle multi-word indices.
+    let big_n = 25;
+    let big_index = Ubig::factorial(25).divrem_u64(3).0;
+    let big = unrank(big_n, &big_index);
+    println!("\npermutation #{big_index} of {big_n} elements:\n  {big}");
+}

@@ -1,0 +1,48 @@
+//! Unique-permutation hashing: the paper's parallel-shared-memory
+//! motivation. Compares insert contention of unique-permutation probe
+//! sequences against linear probing and double hashing at increasing
+//! load factors.
+//!
+//! ```text
+//! cargo run --release --example unique_perm_hashing
+//! ```
+
+use hwperm_hash::contention::measure_insert_contention;
+use hwperm_hash::{DoubleHashTable, LinearProbeTable, ProbeTable, UniquePermTable};
+
+fn main() {
+    let capacity = 16;
+    let trials = 2_000;
+
+    println!("probe sequence of key 0xCAFE in a {capacity}-bucket unique-permutation table:");
+    let t = UniquePermTable::new(capacity);
+    println!("  {:?}", t.probe_sequence(0xCAFE));
+    println!("  (a full permutation of the buckets, unranked from hash(key) mod {capacity}!)\n");
+
+    println!(
+        "mean probes per insert / fraction of inserts needing >4 probes  ({trials} trials):"
+    );
+    println!(
+        "{:>6}  {:>22}  {:>22}  {:>22}",
+        "load", "unique-permutation", "linear probing", "double hashing"
+    );
+    for fill in [4usize, 8, 12, 14, 15, 16] {
+        let up = measure_insert_contention(|| UniquePermTable::new(capacity), fill, trials, 11);
+        let lp = measure_insert_contention(|| LinearProbeTable::new(capacity), fill, trials, 11);
+        let dh = measure_insert_contention(|| DoubleHashTable::new(capacity), fill, trials, 11);
+        let fmt = |s: &hwperm_hash::contention::ContentionStats| {
+            format!("{:>7.3} / {:>6.3}%", s.mean_probes(), 100.0 * s.tail_fraction(4))
+        };
+        println!(
+            "{:>5.0}%  {:>22}  {:>22}  {:>22}",
+            100.0 * fill as f64 / capacity as f64,
+            fmt(&up),
+            fmt(&lp),
+            fmt(&dh)
+        );
+    }
+    println!(
+        "\nunique-permutation hashing keeps the probe tail light at high load — the cited"
+    );
+    println!("\"minimal possible contention\" property the hardware converter enables.");
+}

@@ -1,0 +1,17 @@
+//! Umbrella crate for the reproduction of Butler & Sasao, *Hardware
+//! Index to Permutation Converter* (RAW/IPDPS 2012).
+//!
+//! Re-exports every workspace crate under one roof so the examples and
+//! integration tests read naturally; downstream users would normally
+//! depend on `hwperm-core` (high-level API) or the individual crates.
+
+pub use hwperm_bdd as bdd;
+pub use hwperm_bignum as bignum;
+pub use hwperm_circuits as circuits;
+pub use hwperm_core as core;
+pub use hwperm_factoradic as factoradic;
+pub use hwperm_hash as hash;
+pub use hwperm_logic as logic;
+pub use hwperm_perm as perm;
+pub use hwperm_rng as rng;
+pub use hwperm_verify as verify;

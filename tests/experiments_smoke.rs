@@ -1,0 +1,80 @@
+//! Smoke tests for every experiment the `tables` binary exposes, at
+//! reduced sample counts: each table/figure must render and carry its
+//! paper-matching structure.
+
+use hwperm_bench::{baselines, extensions, figures, resources, tables};
+
+#[test]
+fn table1_renders_all_24_rows() {
+    let t = tables::table1();
+    assert_eq!(t.lines().count(), 26); // header ×2 + 24 rows
+    assert!(t.contains("0 0 0 0"));
+    assert!(t.contains("3 2 1 0"));
+}
+
+#[test]
+fn table2_reports_all_n() {
+    let (rows, text) = tables::table2(1000);
+    assert_eq!(rows.len(), 9);
+    for (row, n) in rows.iter().zip(2..=10) {
+        assert_eq!(row.n, n);
+        assert!(row.cpu_ns > 0.0);
+    }
+    assert!(text.contains("speedup"));
+}
+
+#[test]
+fn table3_and_4_shapes() {
+    let (rows3, text3) = resources::table3();
+    let (rows4, text4) = resources::table4();
+    assert!(text3.contains("Table III"));
+    assert!(text4.contains("Table IV"));
+    // Paper shape: resources grow with n, Fmax shrinks.
+    assert!(rows3.last().unwrap().1.total_luts > rows3.first().unwrap().1.total_luts);
+    assert!(rows3.first().unwrap().1.fmax_mhz > rows3.last().unwrap().1.fmax_mhz);
+    assert!(rows4.last().unwrap().1.registers > rows4.first().unwrap().1.registers);
+}
+
+#[test]
+fn figures_render() {
+    assert!(figures::fig1(4).contains("comparators: 6"));
+    assert!(figures::fig3(5).contains("stages: 4"));
+    assert!(figures::bias().contains("7 outputs occur twice, 17 once"));
+}
+
+#[test]
+fn fig4_small_sample_uniformity() {
+    let text = figures::fig4(24_000, false);
+    assert!(text.contains("chi²"));
+    // Extract chi² and require it plausible for 23 dof.
+    let chi_line = text.lines().find(|l| l.starts_with("chi²")).unwrap();
+    let chi: f64 = chi_line
+        .split(['=', ' '])
+        .find_map(|t| t.parse().ok())
+        .unwrap();
+    assert!(chi < 49.7, "chi² = {chi} too large for uniform output");
+}
+
+#[test]
+fn derangements_small_sample() {
+    let text = figures::derangements(6_000, false);
+    for n in ["  4", "  8", " 16"] {
+        assert!(text.contains(n), "{text}");
+    }
+}
+
+#[test]
+fn extension_experiments() {
+    assert!(extensions::cascade().contains("ROM bits"));
+    assert!(extensions::rank_circuit().contains("MATCH"));
+    assert!(extensions::variations().contains("MATCH"));
+}
+
+#[test]
+fn baseline_and_demo_experiments() {
+    assert!(baselines::naive_baseline().contains("720"));
+    assert!(baselines::sorter_demo().contains("resources"));
+    assert!(baselines::verify_all().contains("MATCH"));
+    let scaling = baselines::parallel_scaling(7);
+    assert!(scaling.contains("1,854")); // d_7
+}
