@@ -130,10 +130,7 @@ impl Manager {
         if let Some(&r) = self.ite_cache.get(&(f, g, h)) {
             return r;
         }
-        let top = self
-            .level_of(f)
-            .min(self.level_of(g))
-            .min(self.level_of(h));
+        let top = self.level_of(f).min(self.level_of(g)).min(self.level_of(h));
         let (f0, f1) = self.cofactors(f, top);
         let (g0, g1) = self.cofactors(g, top);
         let (h0, h1) = self.cofactors(h, top);

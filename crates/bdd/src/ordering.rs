@@ -120,7 +120,9 @@ mod tests {
         // Under the separated order the BDD needs ~3·2^k − 2 nodes
         // (2^{k+1} − 2 upper nodes fanning out to the b-levels, plus the
         // k-node tail); check exponential growth rather than a formula.
-        let sizes: Vec<usize> = (1..=6).map(|k| achilles_size(k, &separated_order(k))).collect();
+        let sizes: Vec<usize> = (1..=6)
+            .map(|k| achilles_size(k, &separated_order(k)))
+            .collect();
         for w in sizes.windows(2) {
             assert!(
                 w[1] as f64 >= 1.7 * w[0] as f64,

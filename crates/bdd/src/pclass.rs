@@ -28,7 +28,11 @@ impl TruthTable {
     pub fn new(vars: usize, bits: u64) -> Self {
         assert!(vars <= 6, "packed truth tables support at most 6 variables");
         let rows = 1usize << vars;
-        let mask = if rows == 64 { u64::MAX } else { (1u64 << rows) - 1 };
+        let mask = if rows == 64 {
+            u64::MAX
+        } else {
+            (1u64 << rows) - 1
+        };
         TruthTable {
             bits: bits & mask,
             vars,

@@ -63,13 +63,17 @@ fn bench_bdd_ordering_search(c: &mut Criterion) {
     let mut group = c.benchmark_group("bdd_ordering_search");
     group.sample_size(10);
     for k in [2usize, 3] {
-        group.bench_with_input(BenchmarkId::new("achilles_exhaustive", 2 * k), &k, |b, &k| {
-            b.iter(|| {
-                black_box(exhaustive_ordering_search(2 * k, |m, order| {
-                    achilles_heel(m, k, order)
-                }))
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("achilles_exhaustive", 2 * k),
+            &k,
+            |b, &k| {
+                b.iter(|| {
+                    black_box(exhaustive_ordering_search(2 * k, |m, order| {
+                        achilles_heel(m, k, order)
+                    }))
+                })
+            },
+        );
     }
     group.finish();
 }

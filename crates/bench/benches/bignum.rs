@@ -32,9 +32,7 @@ fn bench_mul(c: &mut Criterion) {
     let mut group = c.benchmark_group("ubig_mul");
     let a = Ubig::factorial(40);
     let b_val = Ubig::factorial(35);
-    group.bench_function("schoolbook", |b| {
-        b.iter(|| black_box(&a * &b_val))
-    });
+    group.bench_function("schoolbook", |b| b.iter(|| black_box(&a * &b_val)));
     group.bench_function("mul_u64", |b| {
         b.iter(|| black_box(a.mul_u64(black_box(0xDEAD_BEEF))))
     });
@@ -54,5 +52,11 @@ fn bench_decimal(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_factorial, bench_divrem, bench_mul, bench_decimal);
+criterion_group!(
+    benches,
+    bench_factorial,
+    bench_divrem,
+    bench_mul,
+    bench_decimal
+);
 criterion_main!(benches);

@@ -16,7 +16,11 @@ use std::time::Instant;
 /// permutation per clock." Enumerates all words and counts the yield.
 pub fn naive_baseline() -> String {
     let mut out = String::new();
-    writeln!(out, "Intro baseline — enumerate-and-discard vs direct conversion").unwrap();
+    writeln!(
+        out,
+        "Intro baseline — enumerate-and-discard vs direct conversion"
+    )
+    .unwrap();
     writeln!(
         out,
         "{:>3}  {:>14}  {:>10}  {:>14}  {:>14}",
@@ -55,7 +59,11 @@ pub fn naive_baseline() -> String {
 /// The conclusion's sorting-network demonstration.
 pub fn sorter_demo() -> String {
     let mut out = String::new();
-    writeln!(out, "Conclusion remark — converter datapath as a sorting network").unwrap();
+    writeln!(
+        out,
+        "Conclusion remark — converter datapath as a sorting network"
+    )
+    .unwrap();
     let mut sorter = SortingNetwork::new(8, 12);
     let inputs: [[u64; 8]; 3] = [
         [3000, 7, 512, 7, 0, 4095, 100, 99],
@@ -92,7 +100,12 @@ pub fn parallel_scaling(n: usize) -> String {
         " invariant checked here is that every split returns the identical count)"
     )
     .unwrap();
-    writeln!(out, "{:>8}  {:>12}  {:>10}  {:>8}", "workers", "count", "ms", "speedup").unwrap();
+    writeln!(
+        out,
+        "{:>8}  {:>12}  {:>10}  {:>8}",
+        "workers", "count", "ms", "speedup"
+    )
+    .unwrap();
     let mut base_ms = None;
     for workers in [1usize, 2, 4, 8] {
         let plan = ParallelPlan::full(n, workers);

@@ -46,8 +46,23 @@ fn main() {
     };
     if arg == "all" {
         for name in [
-            "verify", "table1", "table2", "table3", "table4", "fig1", "fig3", "bias", "fig4",
-            "derangements", "naive", "sorter", "parallel", "cascade", "rank", "variations", "prove",
+            "verify",
+            "table1",
+            "table2",
+            "table3",
+            "table4",
+            "fig1",
+            "fig3",
+            "bias",
+            "fig4",
+            "derangements",
+            "naive",
+            "sorter",
+            "parallel",
+            "cascade",
+            "rank",
+            "variations",
+            "prove",
         ] {
             println!("==================================================================");
             run(name);

@@ -207,7 +207,10 @@ mod tests {
     fn cascade_table_renders() {
         let text = cascade();
         assert!(text.contains("ROM bits"));
-        assert!(text.contains("10->"), "first stage of n=6 is 10 address bits");
+        assert!(
+            text.contains("10->"),
+            "first stage of n=6 is 10 address bits"
+        );
     }
 
     #[test]

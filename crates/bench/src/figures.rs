@@ -42,7 +42,11 @@ pub fn fig3(n: usize) -> String {
     };
     let nl = shuffle_netlist(n, opts);
     let mut out = String::new();
-    writeln!(out, "Fig. 3 — Knuth shuffle random permutation generator, n = {n}").unwrap();
+    writeln!(
+        out,
+        "Fig. 3 — Knuth shuffle random permutation generator, n = {n}"
+    )
+    .unwrap();
     writeln!(out, "  stages: {} (one crossover per position)", n - 1).unwrap();
     writeln!(
         out,
@@ -62,7 +66,11 @@ pub fn fig3(n: usize) -> String {
 /// Section III.A: the pigeonhole bias of the Fig. 2 random-integer block.
 pub fn bias() -> String {
     let mut out = String::new();
-    writeln!(out, "Fig. 2 / Section III.A — random-integer bias (k = 24 outputs)").unwrap();
+    writeln!(
+        out,
+        "Fig. 2 / Section III.A — random-integer bias (k = 24 outputs)"
+    )
+    .unwrap();
     writeln!(
         out,
         "{:>3}  {:>12} {:>12}  {:>10}  {:>14}",
@@ -116,7 +124,11 @@ pub fn fig4(samples: u64, use_netlist: bool) -> String {
         out,
         "Fig. 4 — distribution of {} random 4-element permutations ({})",
         with_commas(samples),
-        if use_netlist { "gate-level netlist" } else { "bit-exact circuit mirror" }
+        if use_netlist {
+            "gate-level netlist"
+        } else {
+            "bit-exact circuit mirror"
+        }
     )
     .unwrap();
     writeln!(out, "{:>5}  {:^6}  {:>9}  bar", "value", "perm", "count").unwrap();
@@ -264,12 +276,7 @@ mod tests {
         let a = fig4(500, true);
         let b = fig4(500, false);
         // Same counts, different header line.
-        let strip = |s: &str| {
-            s.lines()
-                .skip(1)
-                .collect::<Vec<_>>()
-                .join("\n")
-        };
+        let strip = |s: &str| s.lines().skip(1).collect::<Vec<_>>().join("\n");
         assert_eq!(strip(&a), strip(&b));
     }
 

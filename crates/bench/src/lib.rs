@@ -5,6 +5,8 @@
 //! are deterministic given their parameters, except Table II's wall-
 //! clock timings.
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
 pub mod baselines;
 pub mod extensions;
 pub mod figures;

@@ -10,7 +10,10 @@ use std::fmt::Write as _;
 pub const RESOURCE_NS: [usize; 11] = [2, 3, 4, 5, 6, 7, 8, 9, 10, 12, 16];
 
 /// Renders a resource table for a family of netlists.
-fn resource_table(title: &str, netlist_for: impl Fn(usize) -> Netlist) -> (Vec<(usize, ResourceReport)>, String) {
+fn resource_table(
+    title: &str,
+    netlist_for: impl Fn(usize) -> Netlist,
+) -> (Vec<(usize, ResourceReport)>, String) {
     let mut rows = Vec::new();
     let mut out = String::new();
     writeln!(out, "{title}").unwrap();
@@ -22,7 +25,17 @@ fn resource_table(title: &str, netlist_for: impl Fn(usize) -> Netlist) -> (Vec<(
     writeln!(
         out,
         "{:>3}  {:>9} {:>9}  {:>6} {:>6} {:>6} {:>6} {:>6}  {:>7}  {:>8}  {:>9}",
-        "n", "Fmax MHz", "w/chain", "2-LUT", "3-LUT", "4-LUT", "5-LUT", "6-LUT", "ALMs", "regs", "LUT depth"
+        "n",
+        "Fmax MHz",
+        "w/chain",
+        "2-LUT",
+        "3-LUT",
+        "4-LUT",
+        "5-LUT",
+        "6-LUT",
+        "ALMs",
+        "regs",
+        "LUT depth"
     )
     .unwrap();
     for &n in &RESOURCE_NS {

@@ -13,17 +13,30 @@ use std::time::Instant;
 pub fn table1() -> String {
     let mut out = String::new();
     writeln!(out, "Table I — factorial number system, n = 4").unwrap();
-    writeln!(out, "{:>3}  {:^11}  {:^26}  {:^11}", "N", "s3 s2 s1 s0", "value", "permutation").unwrap();
+    writeln!(
+        out,
+        "{:>3}  {:^11}  {:^26}  {:^11}",
+        "N", "s3 s2 s1 s0", "value", "permutation"
+    )
+    .unwrap();
     for n_val in 0..24u64 {
         let d = to_digits_u64(4, n_val);
         let value = format!(
             "{}*3!+{}*2!+{}*1!+{}*0! = {:2}",
-            d[0], d[1], d[2], d[3],
+            d[0],
+            d[1],
+            d[2],
+            d[3],
             d[0] as u64 * 6 + d[1] as u64 * 2 + d[2] as u64
         );
         let perm = unrank_u64(4, n_val);
         let perm_str: String = perm.as_slice().iter().map(|e| e.to_string()).collect();
-        writeln!(out, "{n_val:>3}  {} {} {} {}      {value:<26}  {perm_str:^11}", d[0], d[1], d[2], d[3]).unwrap();
+        writeln!(
+            out,
+            "{n_val:>3}  {} {} {} {}      {value:<26}  {perm_str:^11}",
+            d[0], d[1], d[2], d[3]
+        )
+        .unwrap();
     }
     out
 }

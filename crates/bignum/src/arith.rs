@@ -171,8 +171,7 @@ impl Sub<&Ubig> for &Ubig {
     type Output = Ubig;
     /// Panics on underflow, like built-in unsigned subtraction in debug mode.
     fn sub(self, rhs: &Ubig) -> Ubig {
-        self.checked_sub(rhs)
-            .expect("Ubig subtraction underflow")
+        self.checked_sub(rhs).expect("Ubig subtraction underflow")
     }
 }
 

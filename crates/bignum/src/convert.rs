@@ -62,8 +62,14 @@ mod tests {
     #[test]
     fn parse_rejects_garbage() {
         assert_eq!(Ubig::from_decimal(""), Err(ParseUbigError::Empty));
-        assert_eq!(Ubig::from_decimal("12a3"), Err(ParseUbigError::InvalidDigit(2)));
-        assert_eq!(Ubig::from_decimal("-5"), Err(ParseUbigError::InvalidDigit(0)));
+        assert_eq!(
+            Ubig::from_decimal("12a3"),
+            Err(ParseUbigError::InvalidDigit(2))
+        );
+        assert_eq!(
+            Ubig::from_decimal("-5"),
+            Err(ParseUbigError::InvalidDigit(0))
+        );
     }
 
     #[test]

@@ -232,7 +232,10 @@ mod tests {
     fn ordering_by_length_then_lexicographic() {
         assert!(Ubig::from(u64::MAX) < Ubig::from(u64::MAX as u128 + 1));
         assert!(Ubig::from(7u64) < Ubig::from(9u64));
-        assert_eq!(Ubig::from(9u64).cmp(&Ubig::from(9u64)), std::cmp::Ordering::Equal);
+        assert_eq!(
+            Ubig::from(9u64).cmp(&Ubig::from(9u64)),
+            std::cmp::Ordering::Equal
+        );
     }
 
     #[test]
@@ -245,9 +248,15 @@ mod tests {
 
     #[test]
     fn factorial_20_and_21_straddle_u64() {
-        assert_eq!(Ubig::factorial(20).to_u64(), Some(2_432_902_008_176_640_000));
+        assert_eq!(
+            Ubig::factorial(20).to_u64(),
+            Some(2_432_902_008_176_640_000)
+        );
         assert_eq!(Ubig::factorial(21).to_u64(), None);
-        assert_eq!(Ubig::factorial(21).to_u128(), Some(51_090_942_171_709_440_000));
+        assert_eq!(
+            Ubig::factorial(21).to_u128(),
+            Some(51_090_942_171_709_440_000)
+        );
     }
 
     #[test]

@@ -117,11 +117,11 @@ fn build_combination_converter(n: usize, k: usize) -> Netlist {
 
     for c in 0..n {
         let r = (n - c) as u64; // remaining universe size
-        // Block size C(r-1, k'-1) selected by the runtime k' bus
-        // (k' = 0 → block 0 → never include).
-        // Constants at their natural width: states with k' near k can be
-        // unreachable at late stages and carry blocks wider than the
-        // index bus; the mux/comparator combinators zero-extend as needed.
+                                // Block size C(r-1, k'-1) selected by the runtime k' bus
+                                // (k' = 0 → block 0 → never include).
+                                // Constants at their natural width: states with k' near k can be
+                                // unreachable at late stages and carry blocks wider than the
+                                // index bus; the mux/comparator combinators zero-extend as needed.
         let blocks: Vec<Vec<_>> = (0..=k as u64)
             .map(|j| {
                 let v = if j == 0 {
@@ -142,11 +142,11 @@ fn build_combination_converter(n: usize, k: usize) -> Netlist {
         bits_out.push(include);
 
         // index' = include ? index : index − block.
-        let (diff, _ok) = b.sub(&index, &block);
+        let diff = b.sub_mod(&index, &block);
         index = b.mux_bus(include, &diff[..w], &index);
 
         // k'' = include ? k' − 1 : k'.
-        let (dec, _ok2) = b.sub(&slots, &one);
+        let dec = b.sub_mod(&slots, &one);
         slots = b.mux_bus(include, &slots, &dec[..kw]);
     }
 

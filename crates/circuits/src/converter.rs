@@ -22,8 +22,7 @@ use hwperm_logic::{Builder, Bus, Netlist, ResourceReport, Simulator};
 use hwperm_perm::{bits_per_element, Permutation};
 
 /// Build-time options for [`IndexToPermConverter`].
-#[derive(Debug, Clone, Copy)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct ConverterOptions {
     /// Insert a pipeline register rank after every stage (the paper's
     /// "easily pipelined" variant; latency `n − 1`, one permutation per
@@ -34,7 +33,6 @@ pub struct ConverterOptions {
     /// "is typically fixed (e.g. as the identity permutation)".
     pub perm_input_port: bool,
 }
-
 
 /// The paper's index → permutation converter (Fig. 1) wrapped in a
 /// simulator.
@@ -188,8 +186,7 @@ impl IndexToPermConverter {
 
     fn read_perm(&self) -> Permutation {
         let word = self.sim.read_output("perm");
-        Permutation::unpack(self.n, &word)
-            .expect("converter output is always a permutation")
+        Permutation::unpack(self.n, &word).expect("converter output is always a permutation")
     }
 }
 
@@ -339,7 +336,7 @@ pub(crate) fn emit_selection_stages(
                 .collect();
             let multiple_refs: Vec<&[_]> = multiples.iter().map(|m| m.as_slice()).collect();
             let subtrahend = b.one_hot_mux(&onehot, &multiple_refs);
-            let (diff, _borrow) = b.sub(&index_low, &subtrahend);
+            let diff = b.sub_mod(&index_low, &subtrahend);
             index = diff[..next_width.min(diff.len())].to_vec();
         } else {
             index = Vec::new();
@@ -365,14 +362,8 @@ pub(crate) fn emit_selection_stages(
         // Pipeline rank after each stage except the last.
         if pipelined && j < stages - 1 {
             index = b.register_bus(&index, false);
-            remaining = remaining
-                .iter()
-                .map(|e| b.register_bus(e, false))
-                .collect();
-            outputs = outputs
-                .iter()
-                .map(|e| b.register_bus(e, false))
-                .collect();
+            remaining = remaining.iter().map(|e| b.register_bus(e, false)).collect();
+            outputs = outputs.iter().map(|e| b.register_bus(e, false)).collect();
         }
     }
     outputs
@@ -520,8 +511,7 @@ mod tests {
 
     #[test]
     #[should_panic(expected = "out of range")]
-    fn rejects_index_at_n_factorial()
-    {
+    fn rejects_index_at_n_factorial() {
         IndexToPermConverter::new(4).convert_u64(24);
     }
 

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 //! The paper's circuits, generated gate-by-gate on the `hwperm-logic`

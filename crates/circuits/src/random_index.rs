@@ -80,8 +80,8 @@ impl RandomIndexGenerator {
     /// advances the LFSR. Also exposes the raw index on port `rand_index`.
     pub fn next_permutation(&mut self) -> Permutation {
         let word = self.sim.read_output("perm");
-        let perm = Permutation::unpack(self.n, &word)
-            .expect("generator output is always a permutation");
+        let perm =
+            Permutation::unpack(self.n, &word).expect("generator output is always a permutation");
         debug_assert!(self.sim.read_output("rand_index") < self.nfact);
         self.sim.step();
         self.sim.eval();

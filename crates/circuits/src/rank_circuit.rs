@@ -160,7 +160,9 @@ mod tests {
     fn comparator_complexity_matches_forward() {
         // Same O(n²) comparator structure as the converter.
         let g6 = PermToIndexConverter::new(6).netlist().combinational_count();
-        let g12 = PermToIndexConverter::new(12).netlist().combinational_count();
+        let g12 = PermToIndexConverter::new(12)
+            .netlist()
+            .combinational_count();
         let ratio = g12 as f64 / g6 as f64;
         assert!((3.0..=14.0).contains(&ratio), "ratio = {ratio}");
     }

@@ -119,8 +119,8 @@ impl KnuthShuffleCircuit {
     /// states, then advances every stage's LFSR.
     pub fn next_permutation(&mut self) -> Permutation {
         let word = self.sim.read_output("perm");
-        let perm = Permutation::unpack(self.n, &word)
-            .expect("shuffle output is always a permutation");
+        let perm =
+            Permutation::unpack(self.n, &word).expect("shuffle output is always a permutation");
         self.sim.step();
         self.sim.eval();
         perm
@@ -156,7 +156,12 @@ impl KnuthShuffleModel {
     pub fn with_options(n: usize, options: ShuffleOptions) -> Self {
         assert!(n >= 2);
         let lfsrs = (0..n - 1)
-            .map(|j| Lfsr::new(options.lfsr_width, splitmix64(options.seed.wrapping_add(j as u64))))
+            .map(|j| {
+                Lfsr::new(
+                    options.lfsr_width,
+                    splitmix64(options.seed.wrapping_add(j as u64)),
+                )
+            })
             .collect();
         KnuthShuffleModel {
             lfsrs,
@@ -290,9 +295,7 @@ mod tests {
         let trials = 3000u64;
         let mut counts: HashMap<Vec<u32>, u64> = HashMap::new();
         for _ in 0..trials {
-            *counts
-                .entry(gen.next_permutation().into_vec())
-                .or_default() += 1;
+            *counts.entry(gen.next_permutation().into_vec()).or_default() += 1;
         }
         assert_eq!(counts.len(), 6);
         let expected = trials as f64 / 6.0;
@@ -366,14 +369,22 @@ mod tests {
         let a: Vec<_> = {
             let mut g = KnuthShuffleModel::with_options(
                 5,
-                ShuffleOptions { lfsr_width: 16, pipelined: false, seed: 1 },
+                ShuffleOptions {
+                    lfsr_width: 16,
+                    pipelined: false,
+                    seed: 1,
+                },
             );
             (0..10).map(|_| g.next_permutation()).collect()
         };
         let b: Vec<_> = {
             let mut g = KnuthShuffleModel::with_options(
                 5,
-                ShuffleOptions { lfsr_width: 16, pipelined: false, seed: 2 },
+                ShuffleOptions {
+                    lfsr_width: 16,
+                    pipelined: false,
+                    seed: 2,
+                },
             );
             (0..10).map(|_| g.next_permutation()).collect()
         };

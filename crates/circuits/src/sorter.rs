@@ -75,11 +75,7 @@ impl SortingNetwork {
         assert_eq!(keys.len(), self.n, "expected exactly {} keys", self.n);
         let mut word = Ubig::zero();
         for (i, &key) in keys.iter().enumerate() {
-            assert!(
-                key < (1u64 << self.w),
-                "key {key} exceeds {} bits",
-                self.w
-            );
+            assert!(key < (1u64 << self.w), "key {key} exceeds {} bits", self.w);
             for bit in 0..self.w {
                 if (key >> bit) & 1 == 1 {
                     word.set_bit(i * self.w + bit, true);
@@ -132,6 +128,10 @@ fn build_sorter(n: usize, w: usize) -> Netlist {
             onehot.push(b.and(is_min, not_taken));
             taken = b.or(taken, is_min);
         }
+        // The priority encoding is exactly one-hot for every input (the
+        // minimum always occurs at least once); declare the intent so
+        // the lint engine's one-hot checker verifies it.
+        b.record_one_hot_bank(&onehot);
         outputs.push(min);
         // Compaction, exactly as in the converter: slot i keeps its value
         // while the removed position is still to the right.

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 //! Implementation of the `hwperm` command-line tool.
@@ -55,12 +56,67 @@ usage: hwperm <command> [args]
   resources <circuit> <n>        LUT/ALM/register estimate
                                  (circuit: converter | converter-pipelined |
                                   shuffle | rank)
+  lint <circuit|all> <n> [--json]  static analysis of a generated netlist
+                                 (circuit: converter | converter-pipelined |
+                                  shuffle | shuffle-pipelined | rank |
+                                  combination | variation | sort |
+                                  random-index | all; exit 2 if any
+                                  Error-severity diagnostic fires)
   bias <m> <k>                   pigeonhole bias of an m-bit LFSR over [0,k)
   sort <key> <key> ...           sort through the selection network
   verify <n>                     netlist vs software cross-check
   verilog <circuit> <n>          emit synthesizable structural Verilog
   help                           this text
 ";
+
+/// Every circuit family `hwperm lint all` covers.
+const LINT_FAMILIES: [&str; 9] = [
+    "converter",
+    "converter-pipelined",
+    "shuffle",
+    "shuffle-pipelined",
+    "rank",
+    "combination",
+    "variation",
+    "sort",
+    "random-index",
+];
+
+/// Builds the named family's netlist at size `n` for linting. Families
+/// with extra parameters use derived defaults: combination/variation
+/// take k = ⌈n/2⌉, the sorter keys are wide enough to hold n distinct
+/// values.
+fn lint_family_netlist(family: &str, n: usize) -> Result<hwperm_logic::Netlist, CliError> {
+    use hwperm_circuits::{
+        IndexToCombinationConverter, IndexToVariationConverter, RandomIndexGenerator,
+    };
+    let k = n.div_ceil(2);
+    let key_width = usize::BITS as usize - (n - 1).leading_zeros() as usize;
+    Ok(match family {
+        "converter" => converter_netlist(n, ConverterOptions::default()),
+        "converter-pipelined" => converter_netlist(
+            n,
+            ConverterOptions {
+                pipelined: true,
+                perm_input_port: false,
+            },
+        ),
+        "shuffle" => shuffle_netlist(n, ShuffleOptions::default()),
+        "shuffle-pipelined" => shuffle_netlist(
+            n,
+            ShuffleOptions {
+                pipelined: true,
+                ..ShuffleOptions::default()
+            },
+        ),
+        "rank" => PermToIndexConverter::new(n).netlist().clone(),
+        "combination" => IndexToCombinationConverter::new(n, k).netlist().clone(),
+        "variation" => IndexToVariationConverter::new(n, k).netlist().clone(),
+        "sort" => SortingNetwork::new(n, key_width.max(2)).netlist().clone(),
+        "random-index" => RandomIndexGenerator::new(n, 0x5eed).netlist().clone(),
+        other => return Err(err(format!("unknown circuit {other:?}"))),
+    })
+}
 
 fn parse_usize(s: &str, what: &str) -> Result<usize, CliError> {
     s.parse().map_err(|_| err(format!("invalid {what}: {s:?}")))
@@ -160,7 +216,11 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             Ok(format!("{}\n", rank_variation(n, &v)))
         }
         "random" => {
-            let n = parse_usize(rest.first().ok_or_else(|| err("usage: hwperm random <n> [count] [seed]"))?, "n")?;
+            let n = parse_usize(
+                rest.first()
+                    .ok_or_else(|| err("usage: hwperm random <n> [count] [seed]"))?,
+                "n",
+            )?;
             let count: usize = rest.get(1).map_or(Ok(1), |s| parse_usize(s, "count"))?;
             let seed: u64 = rest
                 .get(2)
@@ -183,7 +243,8 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         }
         "all" => {
             let n = parse_usize(
-                rest.first().ok_or_else(|| err("usage: hwperm all <n> [start] [end]"))?,
+                rest.first()
+                    .ok_or_else(|| err("usage: hwperm all <n> [start] [end]"))?,
                 "n",
             )?;
             let start = rest
@@ -210,10 +271,9 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                 return Err(err("circuits require n >= 2"));
             }
             let report = match circuit.as_str() {
-                "converter" => ResourceReport::of(&converter_netlist(
-                    n,
-                    ConverterOptions::default(),
-                )),
+                "converter" => {
+                    ResourceReport::of(&converter_netlist(n, ConverterOptions::default()))
+                }
                 "converter-pipelined" => ResourceReport::of(&converter_netlist(
                     n,
                     ConverterOptions {
@@ -221,14 +281,63 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                         perm_input_port: false,
                     },
                 )),
-                "shuffle" => ResourceReport::of(&shuffle_netlist(
-                    n,
-                    ShuffleOptions::default(),
-                )),
+                "shuffle" => ResourceReport::of(&shuffle_netlist(n, ShuffleOptions::default())),
                 "rank" => PermToIndexConverter::new(n).report(),
                 other => return Err(err(format!("unknown circuit {other:?}"))),
             };
             Ok(format!("{report}\n"))
+        }
+        "lint" => {
+            let (json, rest): (bool, Vec<&String>) = {
+                let flags: Vec<&String> = rest.iter().filter(|a| *a == "--json").collect();
+                (
+                    !flags.is_empty(),
+                    rest.iter().filter(|a| *a != "--json").collect(),
+                )
+            };
+            let [circuit, n] = rest.as_slice() else {
+                return Err(err("usage: hwperm lint <circuit|all> <n> [--json]"));
+            };
+            let n = parse_usize(n, "n")?;
+            if n < 2 {
+                return Err(err("circuits require n >= 2"));
+            }
+            let families: Vec<&str> = if circuit.as_str() == "all" {
+                LINT_FAMILIES.to_vec()
+            } else {
+                vec![circuit.as_str()]
+            };
+            let mut out = String::new();
+            let mut errors = 0usize;
+            if json {
+                out.push('[');
+            }
+            for (i, family) in families.iter().enumerate() {
+                let netlist = lint_family_netlist(family, n)?;
+                let report = hwperm_lint::lint_netlist(&netlist);
+                errors += report.error_count();
+                if json {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(&format!(
+                        "{{\"circuit\":\"{family}\",\"n\":{n},\"report\":{}}}",
+                        report.to_json()
+                    ));
+                } else {
+                    out.push_str(&format!("== {family} (n = {n}) ==\n{report}"));
+                }
+            }
+            if json {
+                out.push_str("]\n");
+            }
+            if errors > 0 {
+                return Err(err(format!(
+                    "lint found {errors} error(s)\n{}",
+                    out.trim_end()
+                )));
+            }
+            Ok(out)
         }
         "bias" => {
             let [m, k] = rest else {
@@ -314,7 +423,8 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         }
         "verify" => {
             let n = parse_usize(
-                rest.first().ok_or_else(|| err("usage: hwperm verify <n>"))?,
+                rest.first()
+                    .ok_or_else(|| err("usage: hwperm verify <n>"))?,
                 "n",
             )?;
             if !(2..=8).contains(&n) {
@@ -332,7 +442,9 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             let p = shuffle.next_permutation();
             Permutation::try_from_slice(p.as_slice())
                 .map_err(|e| err(format!("shuffle output invalid: {e}")))?;
-            Ok(format!("OK: all {total} conversions match software for n = {n}\n"))
+            Ok(format!(
+                "OK: all {total} conversions match software for n = {n}\n"
+            ))
         }
         other => Err(err(format!("unknown command {other:?}\n\n{USAGE}"))),
     }
@@ -384,7 +496,10 @@ mod tests {
     #[test]
     fn combination_commands() {
         assert_eq!(call(&["combination", "5", "3", "0"]).unwrap(), "0 1 2\n");
-        assert_eq!(call(&["rank-combination", "5", "2", "3", "4"]).unwrap(), "9\n");
+        assert_eq!(
+            call(&["rank-combination", "5", "2", "3", "4"]).unwrap(),
+            "9\n"
+        );
         assert!(call(&["combination", "5", "3", "10"]).is_err());
         assert!(call(&["rank-combination", "5", "3", "2"]).is_err());
     }
@@ -460,6 +575,38 @@ mod tests {
         let pipe = call(&["verilog", "converter-pipelined", "4"]).unwrap();
         assert!(pipe.contains("always @(posedge clk)"));
         assert!(call(&["verilog", "bogus", "4"]).is_err());
+    }
+
+    #[test]
+    fn lint_clean_family_reports_no_errors() {
+        let out = call(&["lint", "converter", "4"]).unwrap();
+        assert!(out.contains("== converter (n = 4) =="), "{out}");
+        assert!(out.contains("0 error(s)"), "{out}");
+    }
+
+    #[test]
+    fn lint_all_sweeps_every_family() {
+        let out = call(&["lint", "all", "3"]).unwrap();
+        for family in LINT_FAMILIES {
+            assert!(out.contains(&format!("== {family} (n = 3) ==")), "{out}");
+        }
+    }
+
+    #[test]
+    fn lint_json_is_machine_readable() {
+        let out = call(&["lint", "rank", "4", "--json"]).unwrap();
+        assert!(out.starts_with('['), "{out}");
+        assert!(out.trim_end().ends_with(']'), "{out}");
+        assert!(out.contains("\"circuit\":\"rank\""), "{out}");
+        assert!(out.contains("\"n\":4"), "{out}");
+        assert!(out.contains("\"diagnostics\""), "{out}");
+    }
+
+    #[test]
+    fn lint_rejects_bad_input() {
+        assert!(call(&["lint", "nonsense", "4"]).is_err());
+        assert!(call(&["lint", "converter", "1"]).is_err());
+        assert!(call(&["lint", "converter"]).is_err());
     }
 
     #[test]

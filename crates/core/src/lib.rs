@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 //! High-level API over the whole reproduction.
@@ -33,10 +34,12 @@ pub mod parallel;
 mod sources;
 pub mod stream;
 
-pub use montecarlo::{chi_square_uniform, derangement_experiment, fig4_histogram, DerangementResult};
+pub use montecarlo::{
+    chi_square_uniform, derangement_experiment, fig4_histogram, DerangementResult,
+};
 pub use parallel::{parallel_count, parallel_reduce, ParallelPlan};
-pub use stream::PermutationStream;
 pub use sources::{
     CascadeSource, CircuitRandomSource, CircuitSource, PermutationSource, RandomIndexSource,
     RandomPermSource, SoftwareRandomSource, SoftwareSource,
 };
+pub use stream::PermutationStream;

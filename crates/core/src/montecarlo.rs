@@ -81,7 +81,11 @@ mod tests {
         let result = derangement_experiment(&mut src, 50_000);
         let p = result.derangements as f64 / result.samples as f64;
         assert!((p - 0.375).abs() < 0.01, "p = {p}");
-        assert!((result.e_estimate - 8.0 / 3.0).abs() < 0.08, "{}", result.e_estimate);
+        assert!(
+            (result.e_estimate - 8.0 / 3.0).abs() < 0.08,
+            "{}",
+            result.e_estimate
+        );
     }
 
     #[test]

@@ -5,9 +5,8 @@
 //! analogue: split `[0, n!)` (or any sub-range) into per-worker blocks,
 //! unrank each block's start once (`O(n²)`), then walk lexicographic
 //! successors (`O(n)` amortized). Workers share nothing but the final
-//! reduction, done over crossbeam scoped threads.
+//! reduction, done over `std::thread` scoped threads.
 
-use crossbeam::thread;
 use hwperm_bignum::Ubig;
 use hwperm_factoradic::IndexedPermutations;
 use hwperm_perm::Permutation;
@@ -86,20 +85,19 @@ where
     M: Fn(IndexedPermutations) -> T + Sync,
     C: Fn(T, T) -> T,
 {
-    let results: Vec<T> = thread::scope(|scope| {
+    let results: Vec<T> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..plan.workers())
             .map(|i| {
                 let block = plan.block(i);
                 let map = &map;
-                scope.spawn(move |_| map(block))
+                scope.spawn(move || map(block))
             })
             .collect();
         handles
             .into_iter()
             .map(|h| h.join().expect("worker panicked"))
             .collect()
-    })
-    .expect("thread scope failed");
+    });
     results.into_iter().fold(init, combine)
 }
 

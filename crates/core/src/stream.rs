@@ -4,17 +4,17 @@
 //! pipelined circuit feeding a downstream consumer (hash unit, BDD
 //! evaluator) through a FIFO.
 
-use crossbeam::channel::{bounded, Receiver};
 use hwperm_bignum::Ubig;
 use hwperm_factoradic::IndexedPermutations;
 use hwperm_perm::Permutation;
+use std::sync::mpsc::{sync_channel, Receiver};
 use std::thread::JoinHandle;
 
 /// A stream of `(index, permutation)` pairs produced by a background
 /// worker. Dropping the stream (or consuming it fully) shuts the
 /// producer down cleanly.
 pub struct PermutationStream {
-    receiver: Receiver<(Ubig, Permutation)>,
+    receiver: Option<Receiver<(Ubig, Permutation)>>,
     handle: Option<JoinHandle<()>>,
 }
 
@@ -26,7 +26,7 @@ impl PermutationStream {
     /// Panics if `depth == 0` or `start > n!`.
     pub fn new(n: usize, start: Ubig, end: Ubig, depth: usize) -> Self {
         assert!(depth >= 1, "FIFO depth must be at least 1");
-        let (sender, receiver) = bounded(depth);
+        let (sender, receiver) = sync_channel(depth);
         let handle = std::thread::spawn(move || {
             for item in IndexedPermutations::new(n, start, end) {
                 if sender.send(item).is_err() {
@@ -35,7 +35,7 @@ impl PermutationStream {
             }
         });
         PermutationStream {
-            receiver,
+            receiver: Some(receiver),
             handle: Some(handle),
         }
     }
@@ -48,7 +48,7 @@ impl PermutationStream {
     /// Receives the next permutation, or `None` when the range is
     /// exhausted.
     pub fn recv(&mut self) -> Option<(Ubig, Permutation)> {
-        self.receiver.recv().ok()
+        self.receiver.as_ref().and_then(|r| r.recv().ok())
     }
 }
 
@@ -63,8 +63,7 @@ impl Iterator for PermutationStream {
 impl Drop for PermutationStream {
     fn drop(&mut self) {
         // Disconnect, then join so the worker never outlives the stream.
-        let (_s, r) = bounded(0);
-        self.receiver = r;
+        drop(self.receiver.take());
         if let Some(handle) = self.handle.take() {
             let _ = handle.join();
         }

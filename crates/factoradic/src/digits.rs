@@ -11,7 +11,10 @@ use hwperm_bignum::Ubig;
 /// # Panics
 /// Panics if `n > 20` (use [`Ubig::factorial`] beyond that).
 pub fn factorials_u64(n: usize) -> Vec<u64> {
-    assert!(n <= 20, "factorials above 20! overflow u64; use the Ubig path");
+    assert!(
+        n <= 20,
+        "factorials above 20! overflow u64; use the Ubig path"
+    );
     let mut out = Vec::with_capacity(n + 1);
     let mut acc = 1u64;
     out.push(1);

@@ -138,7 +138,8 @@ mod tests {
             all.extend(it.map(|(_, p)| p));
         }
         assert_eq!(all.len(), 24);
-        let uniq: std::collections::HashSet<_> = all.iter().map(|p| p.as_slice().to_vec()).collect();
+        let uniq: std::collections::HashSet<_> =
+            all.iter().map(|p| p.as_slice().to_vec()).collect();
         assert_eq!(uniq.len(), 24);
     }
 

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 //! The factorial number system (Section II of the paper) and the
@@ -43,7 +44,9 @@ pub mod rank;
 pub mod variations;
 
 pub use combinadic::{binomial, rank_combination, to_codeword, unrank_combination};
-pub use digits::{factorials_u64, from_digits, from_digits_u64, to_digits, to_digits_greedy, to_digits_u64};
+pub use digits::{
+    factorials_u64, from_digits, from_digits_u64, to_digits, to_digits_greedy, to_digits_u64,
+};
 pub use iter::IndexedPermutations;
 pub use rank::{rank, rank_u64, try_unrank, unrank, unrank_u64, Unranker};
 pub use variations::{falling_factorial, rank_variation, unrank_variation};

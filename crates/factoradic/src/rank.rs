@@ -189,9 +189,6 @@ mod tests {
     #[test]
     fn rank_of_extremes() {
         assert_eq!(rank(&Permutation::identity(8)), Ubig::zero());
-        assert_eq!(
-            rank(&Permutation::last_lex(8)).to_u64(),
-            Some(40320 - 1)
-        );
+        assert_eq!(rank(&Permutation::last_lex(8)).to_u64(), Some(40320 - 1));
     }
 }

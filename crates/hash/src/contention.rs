@@ -88,8 +88,7 @@ mod tests {
 
     #[test]
     fn stats_accounting_is_consistent() {
-        let stats =
-            measure_insert_contention(|| UniquePermTable::new(8), 6, 10, 42);
+        let stats = measure_insert_contention(|| UniquePermTable::new(8), 6, 10, 42);
         assert_eq!(stats.inserts, 60);
         assert_eq!(stats.histogram.iter().sum::<u64>(), 60);
         assert!(stats.mean_probes() >= 1.0);

@@ -278,7 +278,10 @@ mod tests {
         for mut_table in [0usize, 1, 2] {
             let mut table = tables(8).swap_remove(mut_table);
             for key in 0..8u64 {
-                assert!(table.insert(key * 1000 + 7).is_some(), "strategy {mut_table}");
+                assert!(
+                    table.insert(key * 1000 + 7).is_some(),
+                    "strategy {mut_table}"
+                );
             }
             assert_eq!(table.len(), 8);
             assert_eq!(table.insert(999_999), None, "full table rejects");

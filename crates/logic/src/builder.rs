@@ -15,6 +15,17 @@ pub struct Builder {
     netlist: Netlist,
     zero: Option<NetId>,
     one: Option<NetId>,
+    /// Structural-hash memo (common-subexpression elimination): a
+    /// canonical gate shape → the net already computing it. `And`, `Or`
+    /// and `Xor` are keyed with operands in sorted order so commuted
+    /// requests share one gate; `Not` and `Mux` are keyed exactly.
+    /// Besides saving area this keeps folding churn from stranding
+    /// logic: an intermediate gate orphaned by a later fold (e.g.
+    /// `xor(xor(a, 1), 1) = a`) is revived by the next request for the
+    /// same computation instead of going dead. `Dff` is never memoized
+    /// — two registers with the same input are still two state
+    /// elements, and merging them would change register counts.
+    memo: std::collections::HashMap<Gate, NetId>,
 }
 
 impl Builder {
@@ -27,6 +38,27 @@ impl Builder {
         let id = NetId(self.netlist.gates.len() as u32);
         self.netlist.gates.push(gate);
         id
+    }
+
+    /// Push through the CSE memo: an identical gate already built is
+    /// reused instead of duplicated. The caller passes the canonical
+    /// key (operands sorted for commutative gates).
+    fn push_memo(&mut self, gate: Gate) -> NetId {
+        if let Some(&id) = self.memo.get(&gate) {
+            return id;
+        }
+        let id = self.push(gate);
+        self.memo.insert(gate, id);
+        id
+    }
+
+    /// Canonical commutative operand order: smaller net id first.
+    fn sorted(x: NetId, y: NetId) -> (NetId, NetId) {
+        if x <= y {
+            (x, y)
+        } else {
+            (y, x)
+        }
     }
 
     fn gate(&self, id: NetId) -> Gate {
@@ -89,11 +121,12 @@ impl Builder {
     }
 
     /// Inverter, with folding of constants and double negation.
+    /// Inversions of the same net are deduplicated.
     pub fn not(&mut self, x: NetId) -> NetId {
         match self.gate(x) {
             Gate::Const(v) => self.constant(!v),
             Gate::Not(inner) => inner,
-            _ => self.push(Gate::Not(x)),
+            _ => self.push_memo(Gate::Not(x)),
         }
     }
 
@@ -111,7 +144,10 @@ impl Builder {
             (_, Some(true)) => x,
             _ if x == y => x,
             _ if self.complementary(x, y) => self.constant(false),
-            _ => self.push(Gate::And(x, y)),
+            _ => {
+                let (lo, hi) = Self::sorted(x, y);
+                self.push_memo(Gate::And(lo, hi))
+            }
         }
     }
 
@@ -124,7 +160,10 @@ impl Builder {
             (_, Some(false)) => x,
             _ if x == y => x,
             _ if self.complementary(x, y) => self.constant(true),
-            _ => self.push(Gate::Or(x, y)),
+            _ => {
+                let (lo, hi) = Self::sorted(x, y);
+                self.push_memo(Gate::Or(lo, hi))
+            }
         }
     }
 
@@ -138,7 +177,10 @@ impl Builder {
             (_, Some(true)) => self.not(x),
             _ if x == y => self.constant(false),
             _ if self.complementary(x, y) => self.constant(true),
-            _ => self.push(Gate::Xor(x, y)),
+            _ => {
+                let (lo, hi) = Self::sorted(x, y);
+                self.push_memo(Gate::Xor(lo, hi))
+            }
         }
     }
 
@@ -165,7 +207,7 @@ impl Builder {
                 let ns = self.not(sel);
                 self.and(ns, a)
             }
-            _ => self.push(Gate::Mux { sel, a, b }),
+            _ => self.push_memo(Gate::Mux { sel, a, b }),
         }
     }
 
@@ -220,10 +262,103 @@ impl Builder {
         }
     }
 
-    /// Finalizes the netlist.
+    /// Records a select bank the generator intends to be exactly one-hot
+    /// (see [`Netlist::one_hot_banks`]). [`Self::one_hot_mux`] calls this
+    /// automatically; generators with hand-rolled one-hot routing can
+    /// call it directly. Duplicate banks (the converter
+    /// feeds the same digit bank to two muxes per stage) collapse to one
+    /// entry; single-line banks are trivially one-hot-or-zero and are
+    /// not recorded.
+    pub fn record_one_hot_bank(&mut self, onehot: &[NetId]) {
+        if onehot.len() < 2 || self.netlist.onehot_banks.iter().any(|b| b == onehot) {
+            return;
+        }
+        self.netlist.onehot_banks.push(onehot.to_vec());
+    }
+
+    /// Finalizes the netlist: sweeps unobservable gates, then (in debug
+    /// builds) runs [`Netlist::validate`].
     ///
-    /// Debug builds run [`Netlist::validate`].
-    pub fn finish(self) -> Netlist {
+    /// The sweep is the dead-code-elimination step the peephole rules
+    /// can't do alone — folding is eager, so a combinator sometimes
+    /// creates an operand (an inverter for a borrow chain, say) whose
+    /// every consumer later folds to a constant, stranding it. Gates
+    /// kept: everything reaching an output port, all input-port bits,
+    /// and the cones of recorded one-hot banks (assertion points the
+    /// lint evaluates). Net ids are compacted in creation order, so the
+    /// topological invariant is preserved; when nothing is dead the
+    /// mapping is the identity.
+    pub fn finish(mut self) -> Netlist {
+        let keep = {
+            let nl = &self.netlist;
+            let mut keep = nl.live_mask();
+            let mut stack: Vec<usize> = nl
+                .inputs
+                .iter()
+                .flat_map(|p| p.nets.iter())
+                .chain(nl.onehot_banks.iter().flatten())
+                .map(|n| n.index())
+                .collect();
+            while let Some(i) = stack.pop() {
+                if std::mem::replace(&mut keep[i], true) {
+                    continue;
+                }
+                for f in nl.gates[i].fanin() {
+                    stack.push(f.index());
+                }
+            }
+            keep
+        };
+        if keep.iter().all(|&k| k) {
+            debug_assert_eq!(self.netlist.validate(), Ok(()));
+            return self.netlist;
+        }
+        let mut remap = vec![NetId(u32::MAX); self.netlist.gates.len()];
+        let mut gates = Vec::with_capacity(keep.iter().filter(|&&k| k).count());
+        for (i, &gate) in self.netlist.gates.iter().enumerate() {
+            if !keep[i] {
+                continue;
+            }
+            remap[i] = NetId(gates.len() as u32);
+            gates.push(gate);
+        }
+        let map = |n: NetId| remap[n.index()];
+        for gate in &mut gates {
+            *gate = match *gate {
+                Gate::Const(v) => Gate::Const(v),
+                Gate::Input => Gate::Input,
+                Gate::Not(a) => Gate::Not(map(a)),
+                Gate::And(a, b) => Gate::And(map(a), map(b)),
+                Gate::Or(a, b) => Gate::Or(map(a), map(b)),
+                Gate::Xor(a, b) => Gate::Xor(map(a), map(b)),
+                Gate::Mux { sel, a, b } => Gate::Mux {
+                    sel: map(sel),
+                    a: map(a),
+                    b: map(b),
+                },
+                Gate::Dff { d, init } => Gate::Dff { d: map(d), init },
+            };
+        }
+        self.netlist.gates = gates;
+        for port in self
+            .netlist
+            .inputs
+            .iter_mut()
+            .chain(&mut self.netlist.outputs)
+        {
+            for net in &mut port.nets {
+                *net = map(*net);
+            }
+        }
+        for bank in &mut self.netlist.onehot_banks {
+            for net in bank.iter_mut() {
+                *net = map(*net);
+            }
+        }
+        self.netlist.carry_nets.retain(|n| keep[n.index()]);
+        for net in &mut self.netlist.carry_nets {
+            *net = map(*net);
+        }
         debug_assert_eq!(self.netlist.validate(), Ok(()));
         self.netlist
     }

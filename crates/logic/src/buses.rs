@@ -22,6 +22,21 @@ impl Builder {
     /// route ripple carries through hardened logic an order of magnitude
     /// faster than general LUT hops).
     fn full_add(&mut self, a: NetId, b: NetId, cin: NetId) -> (NetId, NetId) {
+        // Normalize a constant operand into the `b` slot (addition is
+        // commutative), then fold the two-constants case outright: the
+        // sum is `a` or `¬a` and the carry is a constant or `a`. Going
+        // through the general xor chain instead would build `¬a` and
+        // immediately fold it back out, stranding the inverter.
+        let (a, b) = if self.const_value(a).is_some() && self.const_value(b).is_none() {
+            (b, a)
+        } else {
+            (a, b)
+        };
+        if let (Some(bv), Some(cv)) = (self.const_value(b), self.const_value(cin)) {
+            let sum = if bv == cv { a } else { self.not(a) };
+            let cout = if bv == cv { self.constant(bv) } else { a };
+            return (sum, cout);
+        }
         // Constant carry-ins (the +1 of two's-complement subtraction,
         // the 0 into an adder's LSB) get the specialized half-adder
         // forms — the general expression would contain redundant
@@ -92,6 +107,46 @@ impl Builder {
             carry = c;
         }
         (diff, carry)
+    }
+
+    /// Wrapping subtraction `a − b mod 2^width`. Same ripple as
+    /// [`Builder::sub`] but the final carry-out is not observable, so
+    /// its gates are never built — use this when the borrow is known
+    /// dead (e.g. the Fig. 1 stage subtract, where the true difference
+    /// provably fits the truncated width).
+    pub fn sub_mod(&mut self, a: &[NetId], b: &[NetId]) -> Bus {
+        let width = a.len().max(b.len());
+        let a = self.zext(a, width);
+        let b = self.zext(b, width);
+        let mut carry = self.constant(true);
+        let mut diff = Vec::with_capacity(width);
+        for i in 0..width {
+            let nb = self.not(b[i]);
+            if i + 1 == width {
+                diff.push(self.sum3(a[i], nb, carry));
+            } else {
+                let (d, c) = self.full_add(a[i], nb, carry);
+                diff.push(d);
+                carry = c;
+            }
+        }
+        diff
+    }
+
+    /// Three-input sum `a ⊕ b ⊕ cin` with the two-constants case folded
+    /// up front (two constant operands cancel or reduce to a single
+    /// inversion; chaining two xors instead would strand an inverter).
+    fn sum3(&mut self, a: NetId, b: NetId, cin: NetId) -> NetId {
+        let (a, b) = if self.const_value(a).is_some() && self.const_value(b).is_none() {
+            (b, a)
+        } else {
+            (a, b)
+        };
+        if let (Some(bv), Some(cv)) = (self.const_value(b), self.const_value(cin)) {
+            return if bv == cv { a } else { self.not(a) };
+        }
+        let axb = self.xor(a, b);
+        self.xor(axb, cin)
     }
 
     /// Comparator `a ≥ c` against a build-time constant — the primitive
@@ -179,6 +234,7 @@ impl Builder {
     /// output is zero.
     pub fn one_hot_mux(&mut self, onehot: &[NetId], choices: &[&[NetId]]) -> Bus {
         assert_eq!(onehot.len(), choices.len(), "one_hot_mux arity mismatch");
+        self.record_one_hot_bank(onehot);
         let width = choices.iter().map(|c| c.len()).max().unwrap_or(0);
         let mut out = vec![self.constant(false); width];
         for (&sel, &choice) in onehot.iter().zip(choices) {
@@ -376,10 +432,16 @@ mod tests {
 
     #[test]
     fn ge_const_wider_constant_is_false() {
-        let got = eval2(3, 1, |bl, x, _| {
-            let g = bl.ge_const(x, &Ubig::from(9u64));
-            vec![g]
-        }, 7, 0);
+        let got = eval2(
+            3,
+            1,
+            |bl, x, _| {
+                let g = bl.ge_const(x, &Ubig::from(9u64));
+                vec![g]
+            },
+            7,
+            0,
+        );
         assert_eq!(got, 0);
     }
 

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 //! Gate-level hardware substrate.
@@ -42,19 +43,19 @@
 //! assert_eq!(sim.read_output("sum").to_u64(), Some(42));
 //! ```
 
+pub mod blif;
 mod builder;
 mod buses;
 mod netlist;
 mod sim;
-pub mod blif;
 pub mod tech;
 pub mod vcd;
 pub mod verilog;
 
+pub use blif::to_blif;
 pub use builder::{Builder, Bus};
-pub use netlist::{Gate, NetId, Netlist};
+pub use netlist::{Gate, NetId, Netlist, Port, StructuralIssue};
 pub use sim::Simulator;
 pub use tech::{ResourceReport, TimingModel};
-pub use blif::to_blif;
 pub use vcd::Tracer;
 pub use verilog::{to_testbench, to_verilog};

@@ -13,6 +13,17 @@ impl NetId {
     pub fn index(self) -> usize {
         self.0 as usize
     }
+
+    /// A net id from a raw index, with no range or ordering check —
+    /// the id may point anywhere, including past the end of the gate
+    /// array. Exists for fault injection (pairing with
+    /// [`Netlist::with_gate_replaced`] to build deliberately broken
+    /// netlists); normal construction goes through the builder, which
+    /// only ever hands out ids of gates it created.
+    #[inline]
+    pub fn forged(raw: u32) -> NetId {
+        NetId(raw)
+    }
 }
 
 /// A primitive gate. Every gate drives exactly one net.
@@ -20,7 +31,7 @@ impl NetId {
 /// The set is deliberately small — it is what the paper's comparator /
 /// subtractor / one-hot-MUX structures decompose into, and it keeps the
 /// LUT mapper honest (no macro-gates that would dodge technology mapping).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Gate {
     /// Constant 0 or 1.
     Const(bool),
@@ -82,6 +93,132 @@ pub struct Port {
     pub nets: Vec<NetId>,
 }
 
+/// A structural defect found by [`Netlist::check_structure`].
+///
+/// `validate()` reports the first of these as an error string; the lint
+/// engine maps each variant to its own diagnostic. Keeping a single
+/// enumeration here means the two front-ends can never drift apart on
+/// what counts as structurally broken.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StructuralIssue {
+    /// A gate's fanin references a net index `>= len()`.
+    OutOfRangeRef {
+        /// Index of the offending gate.
+        gate: usize,
+        /// The out-of-range net index it references.
+        net: usize,
+    },
+    /// A combinational gate references a net at or after its own index,
+    /// breaking topological order (only `Dff.d` may look forward).
+    ForwardRef {
+        /// Index of the offending combinational gate.
+        gate: usize,
+        /// The non-earlier net index it references.
+        net: usize,
+    },
+    /// A port bit references a net index `>= len()`.
+    PortNetOutOfRange {
+        /// `true` for an output port, `false` for an input port.
+        output: bool,
+        /// Port name.
+        port: String,
+        /// Bit position within the port (LSB first).
+        bit: usize,
+    },
+    /// An input port bit maps to a gate that is not `Gate::Input`.
+    InputPortNonInput {
+        /// Port name.
+        port: String,
+        /// Bit position within the port.
+        bit: usize,
+        /// The offending net.
+        net: NetId,
+    },
+    /// Two ports of the same direction share a name.
+    DuplicatePortName {
+        /// `true` for output ports.
+        output: bool,
+        /// The duplicated name.
+        name: String,
+    },
+    /// A port with zero bits.
+    ZeroWidthPort {
+        /// `true` for an output port.
+        output: bool,
+        /// Port name.
+        name: String,
+    },
+    /// A port whose name is the empty string.
+    EmptyPortName {
+        /// `true` for an output port.
+        output: bool,
+    },
+    /// The same `Input` gate is claimed by two different input port bits,
+    /// so a testbench write through one port aliases the other.
+    SharedInputBit {
+        /// The doubly-claimed net.
+        net: NetId,
+        /// Name of the second port claiming it.
+        port: String,
+    },
+    /// An `Input` gate is read (by gate fanin or an output port) but
+    /// belongs to no input port, so nothing can ever drive it.
+    OrphanInputGate {
+        /// The undriven input net.
+        net: NetId,
+    },
+}
+
+impl fmt::Display for StructuralIssue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn dir(output: bool) -> &'static str {
+            if output {
+                "output"
+            } else {
+                "input"
+            }
+        }
+        match self {
+            StructuralIssue::OutOfRangeRef { gate, net } => {
+                write!(f, "gate {gate} references out-of-range net {net}")
+            }
+            StructuralIssue::ForwardRef { gate, net } => write!(
+                f,
+                "combinational gate {gate} references non-earlier net {net} (cycle?)"
+            ),
+            StructuralIssue::PortNetOutOfRange { output, port, bit } => write!(
+                f,
+                "{} port {port} bit {bit} references out-of-range net",
+                dir(*output)
+            ),
+            StructuralIssue::InputPortNonInput { port, bit, net } => write!(
+                f,
+                "input port {port} bit {bit} maps to non-Input gate at net {}",
+                net.index()
+            ),
+            StructuralIssue::DuplicatePortName { output, name } => {
+                write!(f, "duplicate {} port name {name}", dir(*output))
+            }
+            StructuralIssue::ZeroWidthPort { output, name } => {
+                write!(f, "zero-width {} port {name}", dir(*output))
+            }
+            StructuralIssue::EmptyPortName { output } => {
+                write!(f, "{} port with empty name", dir(*output))
+            }
+            StructuralIssue::SharedInputBit { net, port } => write!(
+                f,
+                "input port {port} re-claims net {} already owned by another input port",
+                net.index()
+            ),
+            StructuralIssue::OrphanInputGate { net } => write!(
+                f,
+                "Input gate at net {} is read but belongs to no input port",
+                net.index()
+            ),
+        }
+    }
+}
+
 /// A complete circuit: gates in topological creation order plus named
 /// input/output ports.
 #[derive(Debug, Clone, Default)]
@@ -95,6 +232,11 @@ pub struct Netlist {
     /// FPGAs; everything else about them (simulation, LUT mapping) is
     /// unchanged.
     pub(crate) carry_nets: Vec<NetId>,
+    /// Select banks that the generator *intended* to be one-hot (each
+    /// bank is the select vector of a [`crate::Builder::one_hot_mux`]
+    /// call). Pure metadata: simulation and mapping ignore it; the lint
+    /// engine's one-hot checker proves or refutes the intent.
+    pub(crate) onehot_banks: Vec<Vec<NetId>>,
 }
 
 impl Netlist {
@@ -136,6 +278,14 @@ impl Netlist {
     /// Nets marked as carry-chain members by the builder.
     pub fn carry_nets(&self) -> &[NetId] {
         &self.carry_nets
+    }
+
+    /// Select banks recorded as intended-one-hot by the builder's
+    /// [`crate::Builder::one_hot_mux`] combinator (one entry per bank,
+    /// nets in digit order). Metadata for the lint engine's one-hot
+    /// checker; empty for hand-built netlists.
+    pub fn one_hot_banks(&self) -> &[Vec<NetId>] {
+        &self.onehot_banks
     }
 
     /// Number of D flip-flops (the "registers" column of Tables III/IV).
@@ -208,53 +358,130 @@ impl Netlist {
     }
 
     /// Returns a copy with gate `i` replaced — the fault-injection hook
-    /// used by the mutation tests to prove the differential harness
-    /// actually detects broken circuits.
+    /// used by the mutation tests to prove the differential harness (and
+    /// the lint engine) actually detect broken circuits.
     ///
-    /// # Panics
-    /// Panics if the replacement would break topological validity.
+    /// The result is *not* re-validated: mutation tests deliberately
+    /// build structurally invalid netlists (forward references, orphaned
+    /// inputs) to prove the checkers flag them. Run [`Self::validate`]
+    /// before simulating if the mutation must stay well-formed.
     pub fn with_gate_replaced(&self, i: usize, gate: Gate) -> Netlist {
         let mut mutated = self.clone();
         mutated.gates[i] = gate;
         mutated
-            .validate()
-            .expect("mutation must preserve structural validity");
-        mutated
     }
 
-    /// Internal consistency check: every fanin references an earlier net
-    /// (except `Dff.d`, which may reference any net — state breaks the
-    /// cycle), and port nets are in range. Used by tests and debug builds.
-    pub fn validate(&self) -> Result<(), String> {
+    /// Enumerates every structural defect: out-of-range or forward fanin
+    /// references (only `Dff.d` may look forward — state breaks the
+    /// cycle), port nets out of range, input ports mapping to non-Input
+    /// gates, duplicate port names per direction, zero-width ports,
+    /// input bits claimed twice, and `Input` gates that are read but
+    /// belong to no input port.
+    ///
+    /// [`Self::validate`] and the lint engine's error passes are both
+    /// thin views over this list.
+    pub fn check_structure(&self) -> Vec<StructuralIssue> {
+        let mut issues = Vec::new();
         for (i, g) in self.gates.iter().enumerate() {
             let allows_forward = matches!(g, Gate::Dff { .. });
             for f in g.fanin() {
                 if f.index() >= self.gates.len() {
-                    return Err(format!("gate {i} references out-of-range net {}", f.index()));
-                }
-                if !allows_forward && f.index() >= i {
-                    return Err(format!(
-                        "combinational gate {i} references non-earlier net {} (cycle?)",
-                        f.index()
-                    ));
-                }
-            }
-        }
-        for port in self.inputs.iter().chain(&self.outputs) {
-            for net in &port.nets {
-                if net.index() >= self.gates.len() {
-                    return Err(format!("port {} references out-of-range net", port.name));
+                    issues.push(StructuralIssue::OutOfRangeRef {
+                        gate: i,
+                        net: f.index(),
+                    });
+                } else if !allows_forward && f.index() >= i {
+                    issues.push(StructuralIssue::ForwardRef {
+                        gate: i,
+                        net: f.index(),
+                    });
                 }
             }
         }
+        for (output, ports) in [(false, &self.inputs), (true, &self.outputs)] {
+            let mut seen = std::collections::HashSet::new();
+            for port in ports.iter() {
+                if !seen.insert(port.name.as_str()) {
+                    issues.push(StructuralIssue::DuplicatePortName {
+                        output,
+                        name: port.name.clone(),
+                    });
+                }
+                if port.nets.is_empty() {
+                    issues.push(StructuralIssue::ZeroWidthPort {
+                        output,
+                        name: port.name.clone(),
+                    });
+                }
+                if port.name.is_empty() {
+                    issues.push(StructuralIssue::EmptyPortName { output });
+                }
+                for (bit, net) in port.nets.iter().enumerate() {
+                    if net.index() >= self.gates.len() {
+                        issues.push(StructuralIssue::PortNetOutOfRange {
+                            output,
+                            port: port.name.clone(),
+                            bit,
+                        });
+                    }
+                }
+            }
+        }
+        // Input-gate ownership: each Input gate read by the circuit must
+        // be driven through exactly one input-port bit.
+        let mut owner = vec![false; self.gates.len()];
         for port in &self.inputs {
-            for net in &port.nets {
+            for (bit, net) in port.nets.iter().enumerate() {
+                if net.index() >= self.gates.len() {
+                    continue; // already reported as PortNetOutOfRange
+                }
                 if !matches!(self.gates[net.index()], Gate::Input) {
-                    return Err(format!("input port {} maps to a non-Input gate", port.name));
+                    issues.push(StructuralIssue::InputPortNonInput {
+                        port: port.name.clone(),
+                        bit,
+                        net: *net,
+                    });
+                } else if std::mem::replace(&mut owner[net.index()], true) {
+                    issues.push(StructuralIssue::SharedInputBit {
+                        net: *net,
+                        port: port.name.clone(),
+                    });
                 }
             }
         }
-        Ok(())
+        let mut read = vec![false; self.gates.len()];
+        for g in &self.gates {
+            for f in g.fanin() {
+                if f.index() < self.gates.len() {
+                    read[f.index()] = true;
+                }
+            }
+        }
+        for port in &self.outputs {
+            for net in &port.nets {
+                if net.index() < self.gates.len() {
+                    read[net.index()] = true;
+                }
+            }
+        }
+        for (i, g) in self.gates.iter().enumerate() {
+            if matches!(g, Gate::Input) && read[i] && !owner[i] {
+                issues.push(StructuralIssue::OrphanInputGate {
+                    net: NetId(i as u32),
+                });
+            }
+        }
+        issues
+    }
+
+    /// Internal consistency check: `Ok` iff [`Self::check_structure`]
+    /// finds nothing; otherwise the first defect, formatted. Used by
+    /// tests and debug builds.
+    pub fn validate(&self) -> Result<(), String> {
+        match self.check_structure().into_iter().next() {
+            None => Ok(()),
+            Some(issue) => Err(issue.to_string()),
+        }
     }
 }
 
@@ -327,11 +554,90 @@ mod tests {
         // Hand-build a broken netlist.
         let n = Netlist {
             gates: vec![Gate::Not(NetId(1)), Gate::Input],
-            inputs: vec![],
-            outputs: vec![],
-            carry_nets: vec![],
+            ..Netlist::default()
         };
         assert!(n.validate().is_err());
+        // Both the forward reference and the unowned Input gate it reads.
+        let issues = n.check_structure();
+        assert!(issues.contains(&StructuralIssue::ForwardRef { gate: 0, net: 1 }));
+        assert!(issues.contains(&StructuralIssue::OrphanInputGate { net: NetId(1) }));
+    }
+
+    #[test]
+    fn validate_catches_duplicate_port_names() {
+        let mut b = Builder::new();
+        let x = b.input_bus("x", 2);
+        b.output_bus("y", &[x[0]]);
+        let mut n = b.finish();
+        n.outputs.push(Port {
+            name: "y".into(),
+            nets: vec![x[1]],
+        });
+        assert!(matches!(
+            n.check_structure()[..],
+            [StructuralIssue::DuplicatePortName { output: true, .. }]
+        ));
+        // Same name across directions is fine.
+        n.outputs[1].name = "x".into();
+        assert!(n.validate().is_ok());
+    }
+
+    #[test]
+    fn validate_catches_zero_width_port() {
+        let mut b = Builder::new();
+        let x = b.input_bus("x", 1);
+        b.output_bus("y", &x);
+        let mut n = b.finish();
+        n.outputs.push(Port {
+            name: "empty".into(),
+            nets: vec![],
+        });
+        assert!(matches!(
+            n.check_structure()[..],
+            [StructuralIssue::ZeroWidthPort { output: true, .. }]
+        ));
+    }
+
+    #[test]
+    fn validate_catches_orphan_and_shared_inputs() {
+        // Output reads an Input gate that no input port owns.
+        let mut orphan = Netlist {
+            gates: vec![Gate::Input, Gate::Input],
+            inputs: vec![Port {
+                name: "a".into(),
+                nets: vec![NetId(0)],
+            }],
+            outputs: vec![Port {
+                name: "y".into(),
+                nets: vec![NetId(1)],
+            }],
+            ..Netlist::default()
+        };
+        assert!(matches!(
+            orphan.check_structure()[..],
+            [StructuralIssue::OrphanInputGate { net: NetId(1) }]
+        ));
+        // Claiming the same Input bit from two ports is also rejected.
+        orphan.inputs.push(Port {
+            name: "b".into(),
+            nets: vec![NetId(0), NetId(1)],
+        });
+        assert!(orphan
+            .check_structure()
+            .iter()
+            .any(|i| matches!(i, StructuralIssue::SharedInputBit { net: NetId(0), .. })));
+    }
+
+    #[test]
+    fn with_gate_replaced_allows_invalid_results() {
+        let mut b = Builder::new();
+        let x = b.input_bus("x", 2);
+        let y = b.and(x[0], x[1]);
+        b.output_bus("y", &[y]);
+        let n = b.finish();
+        // Deliberately corrupt: the And now forward-references itself.
+        let broken = n.with_gate_replaced(y.index(), Gate::And(y, y));
+        assert!(broken.validate().is_err());
     }
 
     #[test]

@@ -135,11 +135,7 @@ impl ResourceReport {
 
 impl fmt::Display for ResourceReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "LUTs: {} (by inputs:",
-            self.total_luts
-        )?;
+        write!(f, "LUTs: {} (by inputs:", self.total_luts)?;
         for arity in 1..=LUT_K {
             if self.luts_by_inputs[arity] > 0 {
                 write!(f, " {}x{}-in", self.luts_by_inputs[arity], arity)?;
@@ -253,10 +249,7 @@ fn map_luts(netlist: &Netlist) -> LutMapping {
         let base = sup.iter().map(|&s| level[s as usize]).max().unwrap_or(0);
         level[i] = 1 + base;
         depth = depth.max(level[i]);
-        let wbase = sup
-            .iter()
-            .map(|&s| wlevel[s as usize])
-            .fold(0f64, f64::max);
+        let wbase = sup.iter().map(|&s| wlevel[s as usize]).fold(0f64, f64::max);
         wlevel[i] = wbase + if is_carry[i] { CARRY_LEVEL_COST } else { 1.0 };
         carry_aware_depth = carry_aware_depth.max(wlevel[i]);
     }

@@ -188,7 +188,9 @@ mod tests {
         let ids: Vec<String> = (0..200).map(id_code).collect();
         let set: std::collections::HashSet<_> = ids.iter().collect();
         assert_eq!(set.len(), 200);
-        assert!(ids.iter().all(|s| s.chars().all(|c| ('!'..='~').contains(&c))));
+        assert!(ids
+            .iter()
+            .all(|s| s.chars().all(|c| ('!'..='~').contains(&c))));
     }
 
     #[test]

@@ -124,7 +124,8 @@ mod tests {
     fn all_enumerates_n_factorial_distinct() {
         let perms: Vec<_> = Permutation::all(5).collect();
         assert_eq!(perms.len(), 120);
-        let set: std::collections::HashSet<_> = perms.iter().map(|p| p.as_slice().to_vec()).collect();
+        let set: std::collections::HashSet<_> =
+            perms.iter().map(|p| p.as_slice().to_vec()).collect();
         assert_eq!(set.len(), 120);
         // Strictly increasing in lexicographic order.
         for w in perms.windows(2) {

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 //! Permutations of `{0, …, n−1}` and the operations the paper's circuits

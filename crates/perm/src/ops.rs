@@ -9,7 +9,11 @@ impl Permutation {
     pub fn compose(&self, other: &Permutation) -> Permutation {
         assert_eq!(self.n(), other.n(), "compose: size mismatch");
         Permutation::from_vec_unchecked(
-            other.as_slice().iter().map(|&j| self.at(j as usize)).collect(),
+            other
+                .as_slice()
+                .iter()
+                .map(|&j| self.at(j as usize))
+                .collect(),
         )
     }
 

@@ -182,7 +182,10 @@ impl FromStr for Permutation {
     fn from_str(s: &str) -> Result<Self, Self::Err> {
         let v: Vec<u32> = s
             .split_whitespace()
-            .map(|t| t.parse::<u32>().map_err(|e| format!("bad element {t:?}: {e}")))
+            .map(|t| {
+                t.parse::<u32>()
+                    .map_err(|e| format!("bad element {t:?}: {e}"))
+            })
             .collect::<Result<_, _>>()?;
         Permutation::try_from_vec(v).map_err(|e| e.to_string())
     }
@@ -212,7 +215,11 @@ mod tests {
     fn validation_rejects_out_of_range() {
         assert_eq!(
             Permutation::try_from_slice(&[0, 4, 1]),
-            Err(PermError::OutOfRange { index: 1, value: 4, n: 3 })
+            Err(PermError::OutOfRange {
+                index: 1,
+                value: 4,
+                n: 3
+            })
         );
     }
 
@@ -229,9 +236,23 @@ mod tests {
         // From Section III.C: "0123" has four fixed points, "0132" has ... ,
         // "1032" is a derangement. (Paper text: permutation 3210-style
         // examples; these are the canonical ones.)
-        assert_eq!(Permutation::try_from_slice(&[0, 1, 2, 3]).unwrap().fixed_points().len(), 4);
-        assert_eq!(Permutation::try_from_slice(&[0, 1, 3, 2]).unwrap().fixed_points().len(), 2);
-        assert!(Permutation::try_from_slice(&[1, 0, 3, 2]).unwrap().is_derangement());
+        assert_eq!(
+            Permutation::try_from_slice(&[0, 1, 2, 3])
+                .unwrap()
+                .fixed_points()
+                .len(),
+            4
+        );
+        assert_eq!(
+            Permutation::try_from_slice(&[0, 1, 3, 2])
+                .unwrap()
+                .fixed_points()
+                .len(),
+            2
+        );
+        assert!(Permutation::try_from_slice(&[1, 0, 3, 2])
+            .unwrap()
+            .is_derangement());
     }
 
     #[test]

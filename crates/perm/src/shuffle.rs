@@ -72,7 +72,10 @@ mod tests {
     struct Cycler(u64);
     impl RandomBelow for Cycler {
         fn next_below(&mut self, k: u64) -> u64 {
-            self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            self.0 = self
+                .0
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (self.0 >> 33) % k
         }
     }

@@ -1,6 +1,6 @@
 //! Property-based tests for permutation group laws and encodings.
 
-use hwperm_perm::{Permutation, shuffle};
+use hwperm_perm::{shuffle, Permutation};
 use proptest::prelude::*;
 
 /// Strategy producing a random permutation of size `2..=max_n` by shuffling

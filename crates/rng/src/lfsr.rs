@@ -127,7 +127,9 @@ pub fn build_lfsr(b: &mut Builder, m: usize, seed: u64) -> Bus {
         s => s,
     };
     // Registers with per-bit reset values from the seed.
-    let q: Bus = (0..m).map(|i| b.dff_deferred((seed >> i) & 1 == 1)).collect();
+    let q: Bus = (0..m)
+        .map(|i| b.dff_deferred((seed >> i) & 1 == 1))
+        .collect();
     // Feedback: XOR of tapped bits.
     let mut fb = None;
     for &t in taps {
@@ -243,7 +245,11 @@ mod tests {
             let mut sw = Lfsr::new(m, seed);
             // Reset state equals the seed.
             sim.eval();
-            assert_eq!(sim.read_output("x").to_u64(), Some(sw.state()), "m={m} reset");
+            assert_eq!(
+                sim.read_output("x").to_u64(),
+                Some(sw.state()),
+                "m={m} reset"
+            );
             for cycle in 0..200 {
                 sim.step();
                 sim.eval();

@@ -92,7 +92,10 @@ mod tests {
         for m in 2..=64 {
             let taps = max_len_taps(m);
             assert!(!taps.is_empty());
-            assert_eq!(taps[0] as usize, m, "first tap must be the MSB for width {m}");
+            assert_eq!(
+                taps[0] as usize, m,
+                "first tap must be the MSB for width {m}"
+            );
             assert!(taps.iter().all(|&t| t >= 1 && t as usize <= m));
             // Strictly decreasing, no duplicates.
             assert!(taps.windows(2).all(|w| w[0] > w[1]), "width {m}");

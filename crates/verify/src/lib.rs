@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 //! Formal verification of generated netlists.
@@ -29,6 +30,10 @@
 //! let c = CompiledNetlist::compile(&build(true)).unwrap();
 //! assert!(a.equivalent(&c).unwrap());
 //! ```
+
+mod onehot;
+
+pub use onehot::{check_one_hot_bank, OneHotReport, OneHotStatus, DEFAULT_NODE_BUDGET};
 
 use hwperm_bdd::{Manager, NodeId};
 use hwperm_bignum::Ubig;

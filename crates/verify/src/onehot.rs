@@ -1,0 +1,449 @@
+//! Bounded one-hot proofs over combinational cones.
+//!
+//! The converter's correctness hinges on every MUX select bank being
+//! exactly one-hot (Fig. 1 of the paper: each selection stage routes
+//! one remaining element through a one-hot MUX). This module proves
+//! that property for a recorded bank without compiling the whole
+//! netlist: only the *cone* feeding the bank is compiled, cut at
+//! register boundaries (DFF outputs become free variables — sound for
+//! proofs, since holding over all register states implies holding over
+//! the reachable ones).
+//!
+//! Two tiers:
+//!
+//! 1. **Structural**: the bank matches the thermometer decomposition
+//!    the generator emits (`bank[0] = ¬t₀`, `bank[d] = t_{d-1} ∧ ¬t_d`,
+//!    `bank[r-1] = t_{r-2}`), which is exactly one-hot iff the
+//!    thermometer is monotone (`t_d ⇒ t_{d-1}`). Each implication is a
+//!    small per-pair BDD query instead of one query over the full bank.
+//! 2. **Full BDD**: build the exactly-one predicate over the bank's
+//!    cone and test it for tautology.
+//!
+//! Both tiers respect a node budget; blowing it yields an explicit
+//! [`OneHotStatus::BudgetExceeded`] rather than an unbounded compile.
+
+use hwperm_bdd::{Manager, NodeId};
+use hwperm_logic::{Gate, NetId, Netlist};
+
+/// Default cap on live BDD nodes for a one-hot query. Comparator and
+/// adder cones are linear-sized in LSB-first variable order; the
+/// largest real cones (the sorting network's priority banks, whose
+/// support spans every data input) peak near 2^21 nodes, so this
+/// leaves headroom while still bounding adversarial inputs.
+pub const DEFAULT_NODE_BUDGET: usize = 1 << 22;
+
+/// Outcome of [`check_one_hot_bank`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OneHotStatus {
+    /// Proven one-hot via the thermometer decomposition plus per-pair
+    /// monotonicity queries.
+    ProvedStructural,
+    /// Proven one-hot by a full exactly-one BDD query over the cone.
+    ProvedBdd,
+    /// Not one-hot: some assignment of the cone's free nets drives a
+    /// number of bank lines different from one.
+    Refuted {
+        /// `(net index, value)` pairs of one refuting assignment over
+        /// the cone's free nets (unlisted nets may take any value).
+        assignment: Vec<(usize, bool)>,
+    },
+    /// The BDD grew past the node budget before a verdict was reached.
+    BudgetExceeded {
+        /// Live node count when the query was abandoned.
+        nodes: usize,
+    },
+    /// The cone is not a well-formed combinational region (dangling or
+    /// forward references), so no query was attempted.
+    ConeInvalid(String),
+}
+
+/// Result of a bounded one-hot proof attempt.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OneHotReport {
+    /// The verdict.
+    pub status: OneHotStatus,
+    /// Free variables (Input and DFF nets) feeding the bank.
+    pub cone_inputs: usize,
+    /// Combinational gates in the bank's cone.
+    pub cone_gates: usize,
+}
+
+impl OneHotReport {
+    /// `true` iff the bank was proven one-hot (either tier).
+    pub fn proved(&self) -> bool {
+        matches!(
+            self.status,
+            OneHotStatus::ProvedStructural | OneHotStatus::ProvedBdd
+        )
+    }
+}
+
+/// The combinational cone feeding a set of root nets, cut at `Input`,
+/// `Const` and `Dff` gates.
+struct Cone {
+    /// All cone nets, ascending (a valid topological order).
+    nets: Vec<usize>,
+    /// The cut: `Input`/`Dff` nets, ascending. Their position in this
+    /// list is their BDD variable level, so LSB-first creation order
+    /// becomes LSB-first variable order (linear comparator BDDs).
+    free: Vec<usize>,
+}
+
+fn collect_cone(netlist: &Netlist, roots: &[NetId]) -> Result<Cone, String> {
+    let gates = netlist.gates();
+    let mut in_cone = vec![false; gates.len()];
+    let mut stack: Vec<usize> = Vec::new();
+    for net in roots {
+        if net.index() >= gates.len() {
+            return Err(format!("bank references out-of-range net {}", net.index()));
+        }
+        stack.push(net.index());
+    }
+    while let Some(i) = stack.pop() {
+        if std::mem::replace(&mut in_cone[i], true) {
+            continue;
+        }
+        match gates[i] {
+            Gate::Input | Gate::Const(_) | Gate::Dff { .. } => {}
+            ref g => {
+                for f in g.fanin() {
+                    if f.index() >= gates.len() {
+                        return Err(format!(
+                            "gate {i} references out-of-range net {}",
+                            f.index()
+                        ));
+                    }
+                    if f.index() >= i {
+                        return Err(format!(
+                            "combinational gate {i} references non-earlier net {} (cycle)",
+                            f.index()
+                        ));
+                    }
+                    stack.push(f.index());
+                }
+            }
+        }
+    }
+    let nets: Vec<usize> = (0..gates.len()).filter(|&i| in_cone[i]).collect();
+    let free: Vec<usize> = nets
+        .iter()
+        .copied()
+        .filter(|&i| matches!(gates[i], Gate::Input | Gate::Dff { .. }))
+        .collect();
+    Ok(Cone { nets, free })
+}
+
+/// Compiles the cone bottom-up; `Err(nodes)` if the budget is blown.
+fn compile_cone(
+    netlist: &Netlist,
+    cone: &Cone,
+    manager: &mut Manager,
+    budget: usize,
+) -> Result<Vec<NodeId>, usize> {
+    let gates = netlist.gates();
+    let mut node_of = vec![NodeId::FALSE; gates.len()];
+    for (level, &i) in cone.free.iter().enumerate() {
+        node_of[i] = manager.var(level);
+    }
+    for &i in &cone.nets {
+        node_of[i] = match gates[i] {
+            Gate::Input | Gate::Dff { .. } => node_of[i],
+            Gate::Const(v) => {
+                if v {
+                    NodeId::TRUE
+                } else {
+                    NodeId::FALSE
+                }
+            }
+            Gate::Not(a) => manager.not(node_of[a.index()]),
+            Gate::And(a, b) => manager.and(node_of[a.index()], node_of[b.index()]),
+            Gate::Or(a, b) => manager.or(node_of[a.index()], node_of[b.index()]),
+            Gate::Xor(a, b) => manager.xor(node_of[a.index()], node_of[b.index()]),
+            Gate::Mux { sel, a, b } => {
+                manager.ite(node_of[sel.index()], node_of[b.index()], node_of[a.index()])
+            }
+        };
+        if manager.total_nodes() > budget {
+            return Err(manager.total_nodes());
+        }
+    }
+    Ok(node_of)
+}
+
+/// One satisfying assignment of a non-`FALSE` BDD, reported per
+/// variable level on the path (off-path variables are free).
+fn satisfying_assignment(manager: &Manager, root: NodeId) -> Vec<(usize, bool)> {
+    debug_assert_ne!(root, NodeId::FALSE);
+    let mut path = Vec::new();
+    let mut cur = root;
+    while cur != NodeId::TRUE && cur != NodeId::FALSE {
+        let (level, lo, hi) = manager.node_triple(cur);
+        // In a reduced BDD every non-FALSE node is satisfiable, so any
+        // non-FALSE child leads to TRUE.
+        if hi != NodeId::FALSE {
+            path.push((level as usize, true));
+            cur = hi;
+        } else {
+            path.push((level as usize, false));
+            cur = lo;
+        }
+    }
+    path
+}
+
+/// Matches the generator's thermometer decomposition of `bank` and
+/// returns the thermometer lines `t_0 .. t_{r-2}` if it fits:
+/// `bank[0] = ¬t₀`, `bank[d] = t_{d-1} ∧ ¬t_d`, `bank[r-1] = t_{r-2}`.
+fn thermometer_decomposition(netlist: &Netlist, bank: &[NetId]) -> Option<Vec<NetId>> {
+    let gates = netlist.gates();
+    let gate = |n: NetId| gates.get(n.index()).copied();
+    let r = bank.len();
+    if r < 2 {
+        return None;
+    }
+    let Some(Gate::Not(t0)) = gate(bank[0]) else {
+        return None;
+    };
+    let mut thermo = vec![t0];
+    for d in 1..r - 1 {
+        let Some(Gate::And(x, y)) = gate(bank[d]) else {
+            return None;
+        };
+        let prev = thermo[d - 1];
+        // One operand is t_{d-1}; the other inverts the next line.
+        let inverted = if x == prev {
+            y
+        } else if y == prev {
+            x
+        } else {
+            return None;
+        };
+        let Some(Gate::Not(t_d)) = gate(inverted) else {
+            return None;
+        };
+        thermo.push(t_d);
+    }
+    (bank[r - 1] == thermo[r - 2]).then_some(thermo)
+}
+
+/// Attempts to prove that `bank` is exactly one-hot for every
+/// assignment of its cone's free nets (primary inputs and register
+/// outputs), spending at most `node_budget` BDD nodes.
+///
+/// Structural tier first (thermometer pattern + per-pair monotonicity
+/// queries), full exactly-one query otherwise. See the module docs.
+pub fn check_one_hot_bank(netlist: &Netlist, bank: &[NetId], node_budget: usize) -> OneHotReport {
+    let cone = match collect_cone(netlist, bank) {
+        Ok(c) => c,
+        Err(e) => {
+            return OneHotReport {
+                status: OneHotStatus::ConeInvalid(e),
+                cone_inputs: 0,
+                cone_gates: 0,
+            }
+        }
+    };
+    let cone_inputs = cone.free.len();
+    let cone_gates = cone
+        .nets
+        .iter()
+        .filter(|&&i| netlist.gates()[i].is_combinational())
+        .count();
+    let report = |status| OneHotReport {
+        status,
+        cone_inputs,
+        cone_gates,
+    };
+
+    // Tier 1: thermometer decomposition. Exactly-one reduces to the
+    // monotonicity chain t_d ⇒ t_{d-1}, each a pair-cone query.
+    if let Some(thermo) = thermometer_decomposition(netlist, bank) {
+        let mut structural = true;
+        for d in 1..thermo.len() {
+            let pair = [thermo[d - 1], thermo[d]];
+            let Ok(pair_cone) = collect_cone(netlist, &pair) else {
+                structural = false;
+                break;
+            };
+            let mut manager = Manager::new(pair_cone.free.len());
+            match compile_cone(netlist, &pair_cone, &mut manager, node_budget) {
+                Err(_) => {
+                    structural = false; // fall through to the full query
+                    break;
+                }
+                Ok(node_of) => {
+                    let prev = node_of[pair[0].index()];
+                    let cur = node_of[pair[1].index()];
+                    let not_prev = manager.not(prev);
+                    if manager.and(cur, not_prev) != NodeId::FALSE {
+                        structural = false; // not monotone; let the full
+                        break; // query produce the witness
+                    }
+                }
+            }
+        }
+        if structural {
+            return report(OneHotStatus::ProvedStructural);
+        }
+    }
+
+    // Tier 2: full exactly-one query over the bank cone.
+    let mut manager = Manager::new(cone_inputs);
+    let node_of = match compile_cone(netlist, &cone, &mut manager, node_budget) {
+        Ok(n) => n,
+        Err(nodes) => return report(OneHotStatus::BudgetExceeded { nodes }),
+    };
+    // Chain: `none` = no line hot so far, `one` = exactly one hot.
+    let mut none = NodeId::TRUE;
+    let mut one = NodeId::FALSE;
+    for net in bank {
+        let line = node_of[net.index()];
+        let not_line = manager.not(line);
+        let still_one = manager.and(one, not_line);
+        let became_one = manager.and(none, line);
+        one = manager.or(still_one, became_one);
+        none = manager.and(none, not_line);
+        if manager.total_nodes() > node_budget {
+            return report(OneHotStatus::BudgetExceeded {
+                nodes: manager.total_nodes(),
+            });
+        }
+    }
+    if one == NodeId::TRUE {
+        return report(OneHotStatus::ProvedBdd);
+    }
+    let violation = manager.not(one);
+    let assignment = satisfying_assignment(&manager, violation)
+        .into_iter()
+        .map(|(level, value)| (cone.free[level], value))
+        .collect();
+    report(OneHotStatus::Refuted { assignment })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hwperm_logic::Builder;
+
+    fn report(netlist: &Netlist, bank: &[NetId]) -> OneHotReport {
+        check_one_hot_bank(netlist, bank, DEFAULT_NODE_BUDGET)
+    }
+
+    #[test]
+    fn decoder_bank_proved() {
+        // eq_const lines over a 2-bit select: always exactly one-hot.
+        let mut b = Builder::new();
+        let sel = b.input_bus("sel", 2);
+        let lines = b.decoder(&sel, 4);
+        b.output_bus("hot", &lines);
+        let nl = b.finish();
+        // `finish()` compacts net ids; re-fetch the bank from the port.
+        let lines = nl.output_port("hot").unwrap().nets.clone();
+        let r = report(&nl, &lines);
+        assert!(r.proved(), "{:?}", r.status);
+        assert_eq!(r.cone_inputs, 2);
+    }
+
+    #[test]
+    fn truncated_decoder_refuted() {
+        // Only 3 of 4 lines: sel == 3 drives zero of them.
+        let mut b = Builder::new();
+        let sel = b.input_bus("sel", 2);
+        let lines = b.decoder(&sel, 3);
+        b.output_bus("hot", &lines);
+        let nl = b.finish();
+        let lines = nl.output_port("hot").unwrap().nets.clone();
+        match report(&nl, &lines).status {
+            OneHotStatus::Refuted { assignment } => {
+                // The witness must set both select bits high.
+                assert!(assignment.iter().all(|&(_, v)| v));
+            }
+            other => panic!("expected refutation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn thermometer_bank_proved_structurally() {
+        // ge_const thermometer over a 4-bit index, as the converter
+        // builds it: monotone, so structural tier must fire.
+        let mut b = Builder::new();
+        let index = b.input_bus("index", 4);
+        let thermo: Vec<_> = (1..4u64)
+            .map(|i| b.ge_const(&index, &hwperm_bignum::Ubig::from(4 * i)))
+            .collect();
+        let mut bank = vec![b.not(thermo[0])];
+        for d in 1..3 {
+            let inv = b.not(thermo[d]);
+            bank.push(b.and(thermo[d - 1], inv));
+        }
+        bank.push(thermo[2]);
+        b.output_bus("hot", &bank);
+        let nl = b.finish();
+        let bank = nl.output_port("hot").unwrap().nets.clone();
+        assert_eq!(report(&nl, &bank).status, OneHotStatus::ProvedStructural);
+    }
+
+    #[test]
+    fn two_hot_bank_refuted() {
+        let mut b = Builder::new();
+        let x = b.input_bus("x", 1);
+        let inv = b.not(x[0]);
+        // [x, x, !x]: two lines hot when x = 1.
+        let bank = vec![x[0], x[0], inv];
+        b.output_bus("hot", &bank);
+        let nl = b.finish();
+        let bank = nl.output_port("hot").unwrap().nets.clone();
+        assert!(matches!(
+            report(&nl, &bank).status,
+            OneHotStatus::Refuted { .. }
+        ));
+    }
+
+    #[test]
+    fn register_cut_makes_sequential_banks_checkable() {
+        // A decoder fed by registered state: the DFF outputs become free
+        // variables, so the proof covers every register state.
+        let mut b = Builder::new();
+        let x = b.input_bus("x", 2);
+        let q = b.register_bus(&x, false);
+        let lines = b.decoder(&q, 4);
+        b.output_bus("hot", &lines);
+        let nl = b.finish();
+        let lines = nl.output_port("hot").unwrap().nets.clone();
+        let r = report(&nl, &lines);
+        assert!(r.proved(), "{:?}", r.status);
+        assert_eq!(r.cone_inputs, 2); // the two DFFs, not the inputs
+    }
+
+    #[test]
+    fn budget_exhaustion_reported() {
+        // XOR ladder with a tiny budget.
+        let mut b = Builder::new();
+        let x = b.input_bus("x", 8);
+        let y = b.input_bus("y", 8);
+        let (s, _) = b.add(&x, &y);
+        let lines = b.decoder(&s[..3], 8);
+        b.output_bus("hot", &lines);
+        let nl = b.finish();
+        let lines = nl.output_port("hot").unwrap().nets.clone();
+        assert!(matches!(
+            check_one_hot_bank(&nl, &lines, 4).status,
+            OneHotStatus::BudgetExceeded { .. }
+        ));
+    }
+
+    #[test]
+    fn invalid_cone_reported() {
+        let mut b = Builder::new();
+        let x = b.input_bus("x", 2);
+        let g = b.and(x[0], x[1]);
+        b.output_bus("y", &[g]);
+        let nl = b.finish();
+        // Corrupt the And into a self-reference.
+        let broken = nl.with_gate_replaced(g.index(), Gate::And(g, g));
+        assert!(matches!(
+            report(&broken, &[g]).status,
+            OneHotStatus::ConeInvalid(_)
+        ));
+    }
+}

@@ -3,7 +3,7 @@
 //! ones must be refuted.
 
 use hwperm_bignum::Ubig;
-use hwperm_logic::{Builder, Netlist, NetId};
+use hwperm_logic::{Builder, NetId, Netlist};
 use hwperm_verify::CompiledNetlist;
 use proptest::prelude::*;
 

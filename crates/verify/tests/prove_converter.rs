@@ -12,8 +12,8 @@ use std::collections::BTreeMap;
 /// indices are don't-cares, as in the paper.)
 fn prove_converter(n: usize) {
     let netlist = converter_netlist(n, ConverterOptions::default());
-    let compiled = CompiledNetlist::compile(&netlist)
-        .unwrap_or_else(|e| panic!("compile n = {n}: {e}"));
+    let compiled =
+        CompiledNetlist::compile(&netlist).unwrap_or_else(|e| panic!("compile n = {n}: {e}"));
     let nfact = factorials_u64(n)[n];
     let counterexample = compiled.verify_against_spec(
         |index| index.to_u64().is_some_and(|i| i < nfact),
@@ -47,8 +47,7 @@ fn rank_circuit_n4_formally_verified() {
     // don't-cares.
     let conv = PermToIndexConverter::new(4);
     let compiled = CompiledNetlist::compile(conv.netlist()).unwrap();
-    let is_perm =
-        |word: &Ubig| hwperm_perm::Permutation::unpack(4, word).is_ok();
+    let is_perm = |word: &Ubig| hwperm_perm::Permutation::unpack(4, word).is_ok();
     let counterexample = compiled.verify_against_spec(
         |word| is_perm(word),
         |word| {

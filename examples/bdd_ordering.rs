@@ -15,7 +15,10 @@ use hwperm_bdd::{achilles_heel, exhaustive_ordering_search, Manager};
 fn main() {
     // Size of the two known-extreme orders as k grows.
     println!("Achilles-heel BDD size: interleaved (a0 b0 a1 b1 …) vs separated (a… then b…):");
-    println!("{:>3} {:>6} {:>12} {:>12}", "k", "vars", "interleaved", "separated");
+    println!(
+        "{:>3} {:>6} {:>12} {:>12}",
+        "k", "vars", "interleaved", "separated"
+    );
     for k in 1..=8 {
         let size = |order: &hwperm_perm::Permutation| {
             let mut m = Manager::new(2 * k);
@@ -36,8 +39,14 @@ fn main() {
     println!("\nexhaustive search over all (2·{k})! = 720 variable orders:");
     let search = exhaustive_ordering_search(2 * k, |m, order| achilles_heel(m, k, order));
     println!("  orders examined: {}", search.examined);
-    println!("  best  size {:>3}  (order {})", search.best_size, search.best_order);
-    println!("  worst size {:>3}  (order {})", search.worst_size, search.worst_order);
+    println!(
+        "  best  size {:>3}  (order {})",
+        search.best_size, search.best_order
+    );
+    println!(
+        "  worst size {:>3}  (order {})",
+        search.worst_size, search.worst_order
+    );
     println!(
         "  spread: worst/best = {:.1}x — why ordering search is worth hardware acceleration",
         search.worst_size as f64 / search.best_size as f64

@@ -71,8 +71,14 @@ fn avalanche(perm: Option<&Permutation>, rng: &mut XorShift64Star) -> f64 {
 fn main() {
     let mut rng = XorShift64Star::new(42);
 
-    println!("avalanche of a {ROUNDS}-round SPN over {BITS} bits (ideal = {}):", BITS / 2);
-    println!("  no permutation layer : {:.2} bits", avalanche(None, &mut rng));
+    println!(
+        "avalanche of a {ROUNDS}-round SPN over {BITS} bits (ideal = {}):",
+        BITS / 2
+    );
+    println!(
+        "  no permutation layer : {:.2} bits",
+        avalanche(None, &mut rng)
+    );
 
     // Pick permutation layers by index — the converter's crypto use case:
     // a key-scheduled index selects one of 16! bit permutations.

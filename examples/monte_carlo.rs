@@ -7,7 +7,9 @@
 //! ```
 
 use hwperm_circuits::{KnuthShuffleCircuit, ShuffleOptions};
-use hwperm_core::{chi_square_uniform, derangement_experiment, fig4_histogram, CircuitRandomSource};
+use hwperm_core::{
+    chi_square_uniform, derangement_experiment, fig4_histogram, CircuitRandomSource,
+};
 
 fn main() {
     let samples = 100_000u64;

@@ -74,7 +74,10 @@ fn census(v: usize) -> usize {
 
 fn main() {
     println!("P-equivalence classes of all Boolean functions of v variables:");
-    println!("{:>3}  {:>12}  {:>12}  {:>10}", "v", "functions", "enumerated", "Burnside");
+    println!(
+        "{:>3}  {:>12}  {:>12}  {:>10}",
+        "v", "functions", "enumerated", "Burnside"
+    );
     for v in 1..=4usize {
         let predicted = burnside_prediction(v);
         let counted = census(v);

@@ -45,11 +45,7 @@ fn permanent_ryser(a: &[Vec<f64>]) -> f64 {
 fn permanent_enumerate(a: &[Vec<f64>]) -> f64 {
     let n = a.len();
     IndexedPermutations::all(n)
-        .map(|(_, p)| {
-            (0..n)
-                .map(|i| a[i][p.at(i) as usize])
-                .product::<f64>()
-        })
+        .map(|(_, p)| (0..n).map(|i| a[i][p.at(i) as usize]).product::<f64>())
         .sum()
 }
 

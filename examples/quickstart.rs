@@ -17,7 +17,10 @@ fn main() {
     let index = Ubig::from(12_345u64);
     let perm = unrank(n, &index);
     println!("permutation #{index} of {n} elements: {perm}");
-    println!("its Lehmer code (factorial-number-system digits): {:?}", perm.lehmer());
+    println!(
+        "its Lehmer code (factorial-number-system digits): {:?}",
+        perm.lehmer()
+    );
     assert_eq!(rank(&perm), index, "rank inverts unrank");
 
     // The same conversion on the simulated hardware, bit for bit.
@@ -37,7 +40,10 @@ fn main() {
     );
     let indices: Vec<Ubig> = (0..10u64).map(|i| Ubig::from(i * 3999)).collect();
     let stream = pipe.convert_stream(&indices);
-    println!("\npipelined stream (latency {} clocks, then 1 perm/clock):", pipe.latency());
+    println!(
+        "\npipelined stream (latency {} clocks, then 1 perm/clock):",
+        pipe.latency()
+    );
     for (i, p) in indices.iter().zip(&stream) {
         assert_eq!(p, &unrank(n, i));
         println!("  #{i} -> {p}");

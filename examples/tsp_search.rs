@@ -45,7 +45,9 @@ fn main() {
         .collect();
 
     let free = cities - 1;
-    let workers = std::thread::available_parallelism().map_or(1, |c| c.get()).max(2);
+    let workers = std::thread::available_parallelism()
+        .map_or(1, |c| c.get())
+        .max(2);
     println!("brute-force TSP over {free}! = 362,880 tours, {workers} workers");
 
     let start = std::time::Instant::now();
@@ -73,7 +75,11 @@ fn main() {
 
     println!("optimal tour length: {}", best.0);
     println!("city order: 0 -> {} -> 0", best.1);
-    println!("searched in {:.2?} ({:.0} tours/s)", elapsed, 362_880.0 / elapsed.as_secs_f64());
+    println!(
+        "searched in {:.2?} ({:.0} tours/s)",
+        elapsed,
+        362_880.0 / elapsed.as_secs_f64()
+    );
 
     // Sanity: a random tour is worse (or equal) — brute force found a
     // certified optimum because the index space was covered exactly.

@@ -19,9 +19,7 @@ fn main() {
     println!("  {:?}", t.probe_sequence(0xCAFE));
     println!("  (a full permutation of the buckets, unranked from hash(key) mod {capacity}!)\n");
 
-    println!(
-        "mean probes per insert / fraction of inserts needing >4 probes  ({trials} trials):"
-    );
+    println!("mean probes per insert / fraction of inserts needing >4 probes  ({trials} trials):");
     println!(
         "{:>6}  {:>22}  {:>22}  {:>22}",
         "load", "unique-permutation", "linear probing", "double hashing"
@@ -31,7 +29,11 @@ fn main() {
         let lp = measure_insert_contention(|| LinearProbeTable::new(capacity), fill, trials, 11);
         let dh = measure_insert_contention(|| DoubleHashTable::new(capacity), fill, trials, 11);
         let fmt = |s: &hwperm_hash::contention::ContentionStats| {
-            format!("{:>7.3} / {:>6.3}%", s.mean_probes(), 100.0 * s.tail_fraction(4))
+            format!(
+                "{:>7.3} / {:>6.3}%",
+                s.mean_probes(),
+                100.0 * s.tail_fraction(4)
+            )
         };
         println!(
             "{:>5.0}%  {:>22}  {:>22}  {:>22}",
@@ -41,8 +43,6 @@ fn main() {
             fmt(&dh)
         );
     }
-    println!(
-        "\nunique-permutation hashing keeps the probe tail light at high load — the cited"
-    );
+    println!("\nunique-permutation hashing keeps the probe tail light at high load — the cited");
     println!("\"minimal possible contention\" property the hardware converter enables.");
 }

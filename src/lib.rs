@@ -5,6 +5,8 @@
 //! integration tests read naturally; downstream users would normally
 //! depend on `hwperm-core` (high-level API) or the individual crates.
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
 pub use hwperm_bdd as bdd;
 pub use hwperm_bignum as bignum;
 pub use hwperm_circuits as circuits;

@@ -6,12 +6,8 @@ use hwperm_circuits::{
     ConverterOptions, IndexToCombinationConverter, IndexToPermConverter, KnuthShuffleCircuit,
     RandomIndexGenerator, ShuffleOptions, SortingNetwork,
 };
-use hwperm_core::{
-    parallel_count, CircuitSource, ParallelPlan, PermutationSource, SoftwareSource,
-};
-use hwperm_factoradic::{
-    rank, unrank, unrank_combination, IndexedPermutations,
-};
+use hwperm_core::{parallel_count, CircuitSource, ParallelPlan, PermutationSource, SoftwareSource};
+use hwperm_factoradic::{rank, unrank, unrank_combination, IndexedPermutations};
 use hwperm_hash::{ProbeTable, UniquePermTable};
 use hwperm_perm::Permutation;
 
@@ -81,7 +77,10 @@ fn hash_probe_sequences_come_from_the_converter_math() {
         let seq = table.probe_sequence(key);
         assert_eq!(
             seq,
-            perm.as_slice().iter().map(|&b| b as usize).collect::<Vec<_>>()
+            perm.as_slice()
+                .iter()
+                .map(|&b| b as usize)
+                .collect::<Vec<_>>()
         );
         assert!(Permutation::try_from_slice(perm.as_slice()).is_ok());
     }
@@ -108,7 +107,11 @@ fn converter_with_input_port_sorts_via_inverse() {
     );
     let input = Permutation::try_from_slice(&data).unwrap();
     let routed = conv.convert_with_input(&index, &input);
-    assert_eq!(routed.as_slice(), &[0, 1, 2, 3], "circuit routed data into sorted order");
+    assert_eq!(
+        routed.as_slice(),
+        &[0, 1, 2, 3],
+        "circuit routed data into sorted order"
+    );
 }
 
 #[test]

@@ -19,7 +19,9 @@ fn verilog_and_blif_cover_the_same_converter() {
     assert!(v.contains("input [6:0] index;"));
     assert!(b.contains(".inputs index[0] index[1] index[2] index[3] index[4] index[5] index[6]"));
     assert!(v.contains("output [14:0] perm;"));
-    assert!(b.lines().any(|l| l.starts_with(".outputs") && l.contains("perm[14]")));
+    assert!(b
+        .lines()
+        .any(|l| l.starts_with(".outputs") && l.contains("perm[14]")));
     // No registers in the combinational build, in either format.
     assert!(!v.contains("always"));
     assert!(!b.contains(".latch"));

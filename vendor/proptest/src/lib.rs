@@ -1,0 +1,452 @@
+#![forbid(unsafe_code)]
+
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no crates.io access, so this vendored shim
+//! implements the (small) subset of the proptest 1.x API the workspace
+//! actually uses: the [`proptest!`] macro, `any::<T>()`, integer-range
+//! and `prop::collection::vec` strategies, `prop_map`, and the
+//! `prop_assert*` / `prop_assume!` macros.
+//!
+//! Semantics differ from real proptest in two deliberate ways:
+//!
+//! - **Deterministic**: cases are generated from a fixed per-test seed
+//!   (hash of the test name), so failures reproduce exactly in CI.
+//! - **No shrinking**: a failing case reports its inputs via the normal
+//!   panic message but is not minimized.
+
+use std::ops::{Range, RangeFrom, RangeInclusive};
+
+/// Test-runner plumbing: the deterministic RNG behind every strategy.
+pub mod test_runner {
+    /// Splitmix64-based deterministic generator.
+    #[derive(Debug, Clone)]
+    pub struct Rng {
+        state: u64,
+    }
+
+    impl Rng {
+        /// RNG seeded from a test name (stable across runs/platforms).
+        pub fn for_test(name: &str) -> Rng {
+            let mut h = 0xcbf29ce484222325u64; // FNV-1a
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100000001b3);
+            }
+            Rng { state: h }
+        }
+
+        /// Next raw 64-bit value.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform value in `[0, bound)`; `bound` must be non-zero.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            self.next_u64() % bound
+        }
+    }
+
+    /// Per-`proptest!`-block configuration (only `cases` is honored).
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of generated cases per test.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// Mirror of `ProptestConfig::with_cases`.
+        pub fn with_cases(cases: u32) -> Config {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Config {
+            Config { cases: 256 }
+        }
+    }
+}
+
+pub use test_runner::Config as ProptestConfig;
+
+/// Strategy trait and combinators.
+pub mod strategy {
+    use super::test_runner::Rng;
+
+    /// A generator of values for property tests. Unlike real proptest
+    /// there is no value tree: strategies produce values directly.
+    pub trait Strategy {
+        /// The type of value this strategy generates.
+        type Value;
+
+        /// Produces one value.
+        fn generate(&self, rng: &mut Rng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+        type Value = U;
+
+        fn generate(&self, rng: &mut Rng) -> U {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Strategy that always yields a clone of the same value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut Rng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut Rng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+}
+
+pub use strategy::{Just, Strategy};
+
+/// `any::<T>()` support.
+pub mod arbitrary {
+    use super::test_runner::Rng;
+
+    /// Types with a canonical "any value" strategy.
+    pub trait Arbitrary: Sized {
+        /// Generates an unconstrained value.
+        fn arbitrary(rng: &mut Rng) -> Self;
+    }
+
+    impl Arbitrary for u64 {
+        fn arbitrary(rng: &mut Rng) -> u64 {
+            rng.next_u64()
+        }
+    }
+
+    impl Arbitrary for u128 {
+        fn arbitrary(rng: &mut Rng) -> u128 {
+            ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128
+        }
+    }
+
+    impl Arbitrary for u32 {
+        fn arbitrary(rng: &mut Rng) -> u32 {
+            rng.next_u64() as u32
+        }
+    }
+
+    impl Arbitrary for u16 {
+        fn arbitrary(rng: &mut Rng) -> u16 {
+            rng.next_u64() as u16
+        }
+    }
+
+    impl Arbitrary for u8 {
+        fn arbitrary(rng: &mut Rng) -> u8 {
+            rng.next_u64() as u8
+        }
+    }
+
+    impl Arbitrary for usize {
+        fn arbitrary(rng: &mut Rng) -> usize {
+            rng.next_u64() as usize
+        }
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut Rng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+/// The `any::<T>()` strategy.
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// Strategy producing any value of `T` (uniform over the type's range).
+pub fn any<T: arbitrary::Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+impl<T: arbitrary::Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut test_runner::Rng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! impl_range_strategies {
+    ($($ty:ty),*) => {$(
+        impl Strategy for Range<$ty> {
+            type Value = $ty;
+
+            fn generate(&self, rng: &mut test_runner::Rng) -> $ty {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end - self.start) as u128;
+                self.start + (rng.next_u64() as u128 % span) as $ty
+            }
+        }
+
+        impl Strategy for RangeInclusive<$ty> {
+            type Value = $ty;
+
+            fn generate(&self, rng: &mut test_runner::Rng) -> $ty {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi - lo) as u128 + 1;
+                lo + (rng.next_u64() as u128 % span) as $ty
+            }
+        }
+
+        impl Strategy for RangeFrom<$ty> {
+            type Value = $ty;
+
+            fn generate(&self, rng: &mut test_runner::Rng) -> $ty {
+                let lo = self.start as u128;
+                let span = <$ty>::MAX as u128 - lo + 1;
+                self.start + (rng.next_u64() as u128 % span) as $ty
+            }
+        }
+    )*};
+}
+
+impl_range_strategies!(u8, u16, u32, u64, usize);
+
+impl Strategy for Range<u128> {
+    type Value = u128;
+
+    fn generate(&self, rng: &mut test_runner::Rng) -> u128 {
+        assert!(self.start < self.end, "empty range strategy");
+        let span = self.end - self.start;
+        let raw: u128 = arbitrary::Arbitrary::arbitrary(rng);
+        self.start + raw % span
+    }
+}
+
+impl Strategy for RangeFrom<u128> {
+    type Value = u128;
+
+    fn generate(&self, rng: &mut test_runner::Rng) -> u128 {
+        let raw: u128 = arbitrary::Arbitrary::arbitrary(rng);
+        raw.max(self.start)
+    }
+}
+
+/// The `prop::` module namespace (`prop::collection::vec`).
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use crate::strategy::Strategy;
+        use crate::test_runner::Rng;
+        use std::ops::{Range, RangeInclusive};
+
+        /// Anything usable as a vec-length specification.
+        pub trait IntoSizeRange {
+            /// Inclusive `(min, max)` lengths.
+            fn bounds(&self) -> (usize, usize);
+        }
+
+        impl IntoSizeRange for usize {
+            fn bounds(&self) -> (usize, usize) {
+                (*self, *self)
+            }
+        }
+
+        impl IntoSizeRange for Range<usize> {
+            fn bounds(&self) -> (usize, usize) {
+                assert!(self.start < self.end, "empty size range");
+                (self.start, self.end - 1)
+            }
+        }
+
+        impl IntoSizeRange for RangeInclusive<usize> {
+            fn bounds(&self) -> (usize, usize) {
+                (*self.start(), *self.end())
+            }
+        }
+
+        /// Strategy for vectors with element strategy `S`.
+        #[derive(Debug, Clone)]
+        pub struct VecStrategy<S> {
+            element: S,
+            min: usize,
+            max: usize,
+        }
+
+        /// `prop::collection::vec(element, size)`.
+        pub fn vec<S: Strategy>(element: S, size: impl IntoSizeRange) -> VecStrategy<S> {
+            let (min, max) = size.bounds();
+            VecStrategy { element, min, max }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+
+            fn generate(&self, rng: &mut Rng) -> Vec<S::Value> {
+                let len = self.min + (rng.below((self.max - self.min + 1) as u64) as usize);
+                (0..len).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+    }
+}
+
+/// Everything a test file needs: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::arbitrary::Arbitrary;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{any, prop};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Asserts a condition inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*) };
+}
+
+/// Skips the current case when its inputs don't satisfy a precondition.
+/// Must be used directly in a `proptest!` body (expands to `return`).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return;
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_body {
+    (cfg = $cfg:expr; $( $(#[$meta:meta])* fn $name:ident(
+        $($arg:ident in $strat:expr),+ $(,)?
+    ) $body:block )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let mut rng = $crate::test_runner::Rng::for_test(concat!(
+                    module_path!(), "::", stringify!($name)
+                ));
+                for __case in 0..config.cases {
+                    let _ = __case;
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);)+
+                    // Closure so `prop_assume!` can skip the case early.
+                    let mut __run = || $body;
+                    __run();
+                }
+            }
+        )*
+    };
+}
+
+/// The `proptest!` macro: generates one `#[test]` fn per property, each
+/// running `cases` deterministic iterations of its body.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_body! { cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_body! {
+            cfg = <$crate::ProptestConfig as ::std::default::Default>::default();
+            $($rest)*
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(a in 2usize..=8, b in 5u64..100, c in 1u64..) {
+            prop_assert!((2..=8).contains(&a));
+            prop_assert!((5..100).contains(&b));
+            prop_assert!(c >= 1);
+        }
+
+        #[test]
+        fn vec_lengths_respect_spec(v in prop::collection::vec(any::<u64>(), 1..4)) {
+            prop_assert!((1..=3).contains(&v.len()));
+        }
+
+        #[test]
+        fn prop_map_applies(x in (0u64..10).prop_map(|v| v * 2)) {
+            prop_assert_eq!(x % 2, 0);
+            prop_assert!(x < 20);
+        }
+
+        #[test]
+        fn assume_skips_cases(x in any::<u64>()) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+        }
+    }
+
+    #[test]
+    fn rng_is_deterministic() {
+        let mut a = crate::test_runner::Rng::for_test("t");
+        let mut b = crate::test_runner::Rng::for_test("t");
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+}
