@@ -7,15 +7,18 @@
 //!
 //! Subcommands: `table1 table2 table3 table4 fig1 fig3 bias fig4
 //! derangements naive sorter parallel cascade rank variations prove
-//! verify all` (plus `fig4-netlist` to run Fig. 4 on the gate-level
-//! simulation instead of the bit-exact mirror).
+//! simbench verify all` (plus `fig4-netlist` to run Fig. 4 on the
+//! gate-level simulation instead of the bit-exact mirror, and
+//! `simbench-json` to emit the scalar-vs-batched record CI stores as
+//! `BENCH_sim.json`).
 
-use hwperm_bench::{baselines, extensions, figures, resources, tables};
+use hwperm_bench::{baselines, extensions, figures, resources, simbench, tables};
 
 fn usage() -> ! {
     eprintln!(
         "usage: tables <experiment>\n  experiments: table1 table2 table3 table4 fig1 fig3 bias \
-         fig4 fig4-netlist derangements naive sorter parallel verify cascade rank variations prove all"
+         fig4 fig4-netlist derangements naive sorter parallel verify cascade rank variations prove \
+         simbench simbench-json all"
     );
     std::process::exit(2);
 }
@@ -42,6 +45,8 @@ fn main() {
         "prove" => print!("{}", extensions::prove()),
         "rank" => print!("{}", extensions::rank_circuit()),
         "variations" => print!("{}", extensions::variations()),
+        "simbench" => print!("{}", simbench::sim_throughput_text()),
+        "simbench-json" => print!("{}", simbench::sim_throughput_json()),
         _ => usage(),
     };
     if arg == "all" {
@@ -62,6 +67,7 @@ fn main() {
             "cascade",
             "rank",
             "variations",
+            "simbench",
             "prove",
         ] {
             println!("==================================================================");

@@ -11,6 +11,7 @@ pub mod baselines;
 pub mod extensions;
 pub mod figures;
 pub mod resources;
+pub mod simbench;
 pub mod tables;
 
 /// Formats a `f64` with thousands separators for rate reporting.

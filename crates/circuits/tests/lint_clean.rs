@@ -40,12 +40,36 @@ fn assert_one_hot_proved(label: &str, report: &LintReport) {
     );
 }
 
+/// BDD-independent cross-check of the one-hot verdict: exhaustively
+/// simulate every input value on the batched 64-lane path and confirm
+/// no bank violation exists. Only applicable (and only run) for
+/// combinational netlists with a single input port narrow enough to
+/// sweep; wider or sequential families rely on the BDD proof alone.
+fn assert_banks_one_hot_by_simulation(label: &str, netlist: &Netlist) {
+    if netlist.register_count() > 0 || netlist.one_hot_banks().is_empty() {
+        return;
+    }
+    let [port] = netlist.input_ports() else {
+        return;
+    };
+    if port.nets.len() > 16 {
+        return;
+    }
+    let name = port.name.clone();
+    assert_eq!(
+        hwperm_verify::find_one_hot_violation_batched(netlist, &name),
+        None,
+        "{label}: exhaustive simulation refutes a bank the BDD pass proved"
+    );
+}
+
 #[test]
 fn converter_families_are_lint_clean() {
     for n in [2usize, 3, 4, 5, 6, 8] {
         let comb = converter_netlist(n, ConverterOptions::default());
         let report = assert_lint_clean(&format!("converter n={n}"), &comb);
         assert_one_hot_proved(&format!("converter n={n}"), &report);
+        assert_banks_one_hot_by_simulation(&format!("converter n={n}"), &comb);
 
         let piped = converter_netlist(
             n,
@@ -79,6 +103,7 @@ fn rank_family_is_lint_clean() {
         let rank = PermToIndexConverter::new(n);
         let report = assert_lint_clean(&format!("rank n={n}"), rank.netlist());
         assert_one_hot_proved(&format!("rank n={n}"), &report);
+        assert_banks_one_hot_by_simulation(&format!("rank n={n}"), rank.netlist());
     }
 }
 
@@ -87,6 +112,7 @@ fn combination_family_is_lint_clean() {
     for (n, k) in [(3usize, 1usize), (4, 2), (5, 2), (6, 3), (8, 4)] {
         let comb = IndexToCombinationConverter::new(n, k);
         assert_lint_clean(&format!("combination n={n} k={k}"), comb.netlist());
+        assert_banks_one_hot_by_simulation(&format!("combination n={n} k={k}"), comb.netlist());
     }
 }
 
@@ -95,6 +121,7 @@ fn variation_family_is_lint_clean() {
     for (n, k) in [(3usize, 2usize), (4, 2), (5, 3), (6, 3), (8, 4)] {
         let var = IndexToVariationConverter::new(n, k);
         assert_lint_clean(&format!("variation n={n} k={k}"), var.netlist());
+        assert_banks_one_hot_by_simulation(&format!("variation n={n} k={k}"), var.netlist());
     }
 }
 
@@ -104,6 +131,7 @@ fn sorter_family_is_lint_clean() {
         let sorter = SortingNetwork::new(n, w);
         let report = assert_lint_clean(&format!("sort n={n} w={w}"), sorter.netlist());
         assert_one_hot_proved(&format!("sort n={n} w={w}"), &report);
+        assert_banks_one_hot_by_simulation(&format!("sort n={n} w={w}"), sorter.netlist());
     }
 }
 

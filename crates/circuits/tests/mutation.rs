@@ -7,24 +7,24 @@
 
 use hwperm_bignum::Ubig;
 use hwperm_circuits::{converter_netlist, ConverterOptions};
-use hwperm_factoradic::unrank_u64;
 use hwperm_logic::{Gate, Netlist, Simulator};
 use hwperm_perm::Permutation;
+use hwperm_verify::{
+    exhaustive_check_batched, exhaustive_check_scalar, expected_permutation_words,
+};
+
+/// Packed expectation table for the n = 4 sweep: `pack(unrank(4, i))`
+/// for all 24 indices.
+fn n4_expected() -> Vec<u64> {
+    expected_permutation_words(4)
+}
 
 /// Runs the n = 4 exhaustive differential check on a netlist; returns
-/// `true` iff every index produces the correct permutation.
+/// `true` iff every index produces the correct permutation. Uses the
+/// batched 64-lane sweep — all 24 indices settle in one netlist walk —
+/// so the full mutant population below stays cheap.
 fn behaves_correctly(netlist: Netlist) -> bool {
-    let mut sim = Simulator::new(netlist);
-    for i in 0..24u64 {
-        sim.set_input("index", &Ubig::from(i));
-        sim.eval();
-        let word = sim.read_output("perm");
-        match Permutation::unpack(4, &word) {
-            Ok(p) if p == unrank_u64(4, i) => continue,
-            _ => return false,
-        }
-    }
-    true
+    exhaustive_check_batched(&netlist, "index", "perm", &n4_expected()).is_ok()
 }
 
 /// A gate with the same fanin but different function, if one exists.
@@ -84,6 +84,46 @@ fn every_live_mutation_is_caught() {
         caught, mutants,
         "mutants at gates {survivors:?} survived the exhaustive oracle"
     );
+}
+
+#[test]
+fn batched_oracle_matches_scalar_on_every_mutant() {
+    // Survivor-set parity: the batched 64-lane oracle and the scalar
+    // reference oracle must agree mutant-by-mutant — same verdict AND,
+    // on detection, the same first-mismatch witness (index, port, got,
+    // want). A divergence in either direction would mean the fast path
+    // changed what the test suite proves.
+    let netlist = converter_netlist(4, ConverterOptions::default());
+    let expected = n4_expected();
+    let mut scalar_survivors = Vec::new();
+    let mut batched_survivors = Vec::new();
+    let mut mutants = 0;
+    for i in 0..netlist.len() {
+        let Some(mutated_gate) = mutate(netlist.gates()[i]) else {
+            continue;
+        };
+        if mutated_gate == netlist.gates()[i] {
+            continue;
+        }
+        mutants += 1;
+        let mutant = netlist.with_gate_replaced(i, mutated_gate);
+        let scalar = exhaustive_check_scalar(&mutant, "index", "perm", &expected);
+        let batched = exhaustive_check_batched(&mutant, "index", "perm", &expected);
+        assert_eq!(
+            scalar, batched,
+            "oracle divergence at gate {i}: scalar {scalar:?} vs batched {batched:?}"
+        );
+        if scalar.is_ok() {
+            scalar_survivors.push(i);
+        }
+        if batched.is_ok() {
+            batched_survivors.push(i);
+        }
+    }
+    // Dead gates are included here (unlike the detection test above), so
+    // survivors exist — and the two sets must be bit-identical.
+    assert!(mutants > 40, "mutant population too small: {mutants}");
+    assert_eq!(scalar_survivors, batched_survivors);
 }
 
 #[test]

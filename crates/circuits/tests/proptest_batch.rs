@@ -1,0 +1,220 @@
+//! Differential property tests between the scalar `Simulator` and the
+//! 64-lane `BatchSimulator`: lane `l` of a batched run must be
+//! indistinguishable from a scalar run fed lane `l`'s input vector (or
+//! input *sequence*, for the registered families). Covers every family
+//! the lint driver knows, combinational and sequential alike.
+
+use hwperm_bignum::Ubig;
+use hwperm_circuits::{
+    converter_netlist, shuffle_netlist, ConverterOptions, IndexToCombinationConverter,
+    IndexToVariationConverter, PermToIndexConverter, RandomIndexGenerator, ShuffleOptions,
+    SortingNetwork,
+};
+use hwperm_logic::{BatchSimulator, Netlist, Simulator, LANES};
+use proptest::prelude::*;
+
+/// Every circuit family `hwperm lint all` covers, mirrored here so the
+/// lane-equivalence property is pinned to the same nine netlists the
+/// static passes gate.
+const FAMILIES: [&str; 9] = [
+    "converter",
+    "converter-pipelined",
+    "shuffle",
+    "shuffle-pipelined",
+    "rank",
+    "combination",
+    "variation",
+    "sort",
+    "random-index",
+];
+
+/// Same derived defaults as the CLI's lint driver: combination and
+/// variation take k = ⌈n/2⌉, sorter keys are wide enough for n distinct
+/// values.
+fn family_netlist(family: &str, n: usize) -> Netlist {
+    let k = n.div_ceil(2);
+    let key_width = (usize::BITS as usize - (n - 1).leading_zeros() as usize).max(2);
+    match family {
+        "converter" => converter_netlist(n, ConverterOptions::default()),
+        "converter-pipelined" => converter_netlist(
+            n,
+            ConverterOptions {
+                pipelined: true,
+                perm_input_port: false,
+            },
+        ),
+        "shuffle" => shuffle_netlist(n, ShuffleOptions::default()),
+        "shuffle-pipelined" => shuffle_netlist(
+            n,
+            ShuffleOptions {
+                pipelined: true,
+                ..ShuffleOptions::default()
+            },
+        ),
+        "rank" => PermToIndexConverter::new(n).netlist().clone(),
+        "combination" => IndexToCombinationConverter::new(n, k).netlist().clone(),
+        "variation" => IndexToVariationConverter::new(n, k).netlist().clone(),
+        "sort" => SortingNetwork::new(n, key_width).netlist().clone(),
+        "random-index" => RandomIndexGenerator::new(n, 0x5eed).netlist().clone(),
+        other => panic!("unknown family {other:?}"),
+    }
+}
+
+fn xorshift(s: &mut u64) -> u64 {
+    *s ^= *s << 13;
+    *s ^= *s >> 7;
+    *s ^= *s << 17;
+    *s
+}
+
+/// A uniformly random value that fits a `width`-bit port. Arbitrary bit
+/// patterns are fair game: the property is lane equivalence of the two
+/// simulators, not functional correctness of the circuit, so e.g. the
+/// rank family's `perm` port may legitimately see non-permutations.
+fn rand_value(rng: &mut u64, width: usize) -> Ubig {
+    let mut v = Ubig::zero();
+    let mut bit = 0;
+    while bit < width {
+        let word = xorshift(rng);
+        let take = (width - bit).min(64);
+        for b in 0..take {
+            if word >> b & 1 == 1 {
+                v.set_bit(bit + b, true);
+            }
+        }
+        bit += take;
+    }
+    v
+}
+
+/// One cycle's worth of input data: for each input port, one value per
+/// lane.
+fn random_cycle(netlist: &Netlist, rng: &mut u64) -> Vec<(String, Vec<Ubig>)> {
+    netlist
+        .input_ports()
+        .iter()
+        .map(|p| {
+            let width = p.nets.len();
+            let lanes: Vec<Ubig> = (0..LANES).map(|_| rand_value(rng, width)).collect();
+            (p.name.clone(), lanes)
+        })
+        .collect()
+}
+
+/// Combinational check: one batched `eval` against 64 scalar `eval`s.
+fn assert_eval_lane_equivalent(family: &str, netlist: &Netlist, seed: u64) {
+    let mut rng = seed | 1;
+    let cycle = random_cycle(netlist, &mut rng);
+    let mut batch = BatchSimulator::new(netlist.clone());
+    for (name, lanes) in &cycle {
+        batch.set_input_lanes(name, lanes);
+    }
+    batch.eval();
+
+    let mut scalar = Simulator::new(netlist.clone());
+    for lane in 0..LANES {
+        for (name, lanes) in &cycle {
+            scalar.set_input(name, &lanes[lane]);
+        }
+        scalar.eval();
+        for port in netlist.output_ports() {
+            assert_eq!(
+                batch.read_output_lane(&port.name, lane),
+                scalar.read_output(&port.name),
+                "{family}: output {:?} diverges in lane {lane}",
+                port.name
+            );
+        }
+    }
+}
+
+/// Sequential check: a multi-cycle `step` schedule, batched once, then
+/// replayed lane by lane on a scalar simulator reset between lanes.
+/// Every cycle's post-step outputs must agree in every lane.
+fn assert_step_lane_equivalent(family: &str, netlist: &Netlist, cycles: usize, seed: u64) {
+    let mut rng = seed | 1;
+    let schedule: Vec<Vec<(String, Vec<Ubig>)>> = (0..cycles)
+        .map(|_| random_cycle(netlist, &mut rng))
+        .collect();
+
+    let mut batch = BatchSimulator::new(netlist.clone());
+    // [cycle][port][lane] snapshots of every output after each step.
+    let mut snapshots: Vec<Vec<Vec<Ubig>>> = Vec::with_capacity(cycles);
+    for cycle in &schedule {
+        for (name, lanes) in cycle {
+            batch.set_input_lanes(name, lanes);
+        }
+        batch.step();
+        batch.eval();
+        snapshots.push(
+            netlist
+                .output_ports()
+                .iter()
+                .map(|p| {
+                    (0..LANES)
+                        .map(|l| batch.read_output_lane(&p.name, l))
+                        .collect()
+                })
+                .collect(),
+        );
+    }
+
+    let mut scalar = Simulator::new(netlist.clone());
+    for lane in 0..LANES {
+        scalar.reset();
+        for (c, cycle) in schedule.iter().enumerate() {
+            for (name, lanes) in cycle {
+                scalar.set_input(name, &lanes[lane]);
+            }
+            scalar.step();
+            scalar.eval();
+            for (pi, port) in netlist.output_ports().iter().enumerate() {
+                assert_eq!(
+                    snapshots[c][pi][lane],
+                    scalar.read_output(&port.name),
+                    "{family}: output {:?} diverges in lane {lane} at cycle {c}",
+                    port.name
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    // Each case sweeps 64 lanes x all output bits, so modest case
+    // counts already cover thousands of vectors per family.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Lane equivalence across all nine lint families, dispatching on
+    /// whether the family's netlist holds registered state.
+    #[test]
+    fn all_families_lane_equivalent(n in 3usize..=5, seed in any::<u64>()) {
+        for family in FAMILIES {
+            let netlist = family_netlist(family, n);
+            if netlist.register_count() == 0 {
+                assert_eval_lane_equivalent(family, &netlist, seed);
+            } else {
+                assert_step_lane_equivalent(family, &netlist, 4, seed);
+            }
+        }
+    }
+
+    /// The pipelined converter gets a deeper dedicated schedule: enough
+    /// cycles for values to traverse the whole DFF pipeline, so
+    /// per-lane latching (not just combinational agreement) is what is
+    /// actually exercised.
+    #[test]
+    fn pipelined_converter_multi_cycle_lane_equivalent(
+        n in 3usize..=6,
+        seed in any::<u64>(),
+    ) {
+        let netlist = converter_netlist(
+            n,
+            ConverterOptions { pipelined: true, perm_input_port: false },
+        );
+        prop_assert!(netlist.register_count() > 0);
+        // n + 3 cycles: strictly more than the pipeline depth, so every
+        // lane's first vector has flushed all the way through.
+        assert_step_lane_equivalent("converter-pipelined", &netlist, n + 3, seed);
+    }
+}

@@ -64,7 +64,9 @@ usage: hwperm <command> [args]
                                   Error-severity diagnostic fires)
   bias <m> <k>                   pigeonhole bias of an m-bit LFSR over [0,k)
   sort <key> <key> ...           sort through the selection network
-  verify <n>                     netlist vs software cross-check
+  verify <n> [--batch]           netlist vs software cross-check
+                                 (--batch: 64-lane word-level gate
+                                  sweep of the converter netlist)
   verilog <circuit> <n>          emit synthesizable structural Verilog
   help                           this text
 ";
@@ -422,19 +424,32 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             Ok(hwperm_logic::to_verilog(&netlist, &name))
         }
         "verify" => {
+            let batch = rest.iter().any(|a| a == "--batch");
+            let positional: Vec<&String> = rest.iter().filter(|a| *a != "--batch").collect();
             let n = parse_usize(
-                rest.first()
-                    .ok_or_else(|| err("usage: hwperm verify <n>"))?,
+                positional
+                    .first()
+                    .ok_or_else(|| err("usage: hwperm verify <n> [--batch]"))?,
                 "n",
             )?;
             if !(2..=8).contains(&n) {
                 return Err(err("verify sweeps exhaustively; n must be 2..=8"));
             }
-            let mut conv = IndexToPermConverter::new(n);
             let total: u64 = (1..=n as u64).product();
-            for i in 0..total {
-                if conv.convert_u64(i) != hwperm_factoradic::unrank_u64(n, i) {
-                    return Err(err(format!("MISMATCH at index {i}")));
+            if batch {
+                // Word-level sweep of the gate netlist itself: 64 indices
+                // settle per netlist walk, every output bit compared
+                // against the software unranker.
+                let netlist = converter_netlist(n, ConverterOptions::default());
+                let expected = hwperm_verify::expected_permutation_words(n);
+                hwperm_verify::exhaustive_check_batched(&netlist, "index", "perm", &expected)
+                    .map_err(|m| err(format!("MISMATCH: {m}")))?;
+            } else {
+                let mut conv = IndexToPermConverter::new(n);
+                for i in 0..total {
+                    if conv.convert_u64(i) != hwperm_factoradic::unrank_u64(n, i) {
+                        return Err(err(format!("MISMATCH at index {i}")));
+                    }
                 }
             }
             // Also one shuffle-circuit output validity check.
@@ -442,8 +457,13 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             let p = shuffle.next_permutation();
             Permutation::try_from_slice(p.as_slice())
                 .map_err(|e| err(format!("shuffle output invalid: {e}")))?;
+            let mode = if batch {
+                " (batched, 64 lanes/pass)"
+            } else {
+                ""
+            };
             Ok(format!(
-                "OK: all {total} conversions match software for n = {n}\n"
+                "OK: all {total} conversions match software for n = {n}{mode}\n"
             ))
         }
         other => Err(err(format!("unknown command {other:?}\n\n{USAGE}"))),
@@ -565,6 +585,17 @@ mod tests {
     fn verify_passes() {
         assert!(call(&["verify", "5"]).unwrap().contains("OK"));
         assert!(call(&["verify", "20"]).is_err());
+    }
+
+    #[test]
+    fn verify_batch_passes() {
+        let out = call(&["verify", "4", "--batch"]).unwrap();
+        assert!(out.contains("OK: all 24 conversions"));
+        assert!(out.contains("batched, 64 lanes/pass"));
+        // Flag order must not matter, and the range check still bites.
+        assert!(call(&["verify", "--batch", "5"]).unwrap().contains("OK"));
+        assert!(call(&["verify", "--batch", "20"]).is_err());
+        assert!(call(&["verify", "--batch"]).is_err());
     }
 
     #[test]

@@ -306,22 +306,11 @@ fn constant_output_bit_fires_const_output() {
 
 /// Exhaustively evaluates every index and reports whether each recorded
 /// bank is exactly-one-hot for every input (ground truth by simulation).
+/// Runs on the batched 64-lane sweep — the mutation sweep below calls
+/// this once per mutant, so the 64× fewer netlist walks are what keep
+/// the whole-netlist sweep affordable.
 fn banks_truly_one_hot(netlist: &Netlist) -> bool {
-    use hwperm_logic::Simulator;
-    let banks = netlist.one_hot_banks().to_vec();
-    let width = netlist.input_port("index").expect("index port").nets.len();
-    let mut sim = Simulator::new(netlist.clone());
-    for v in 0..1u64 << width {
-        sim.set_input("index", &Ubig::from(v));
-        sim.eval();
-        for bank in &banks {
-            let hot = bank.iter().filter(|&&n| sim.probe(n)).count();
-            if hot != 1 {
-                return false;
-            }
-        }
-    }
-    true
+    hwperm_verify::find_one_hot_violation_batched(netlist, "index").is_none()
 }
 
 #[test]

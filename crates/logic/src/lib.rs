@@ -21,6 +21,10 @@
 //!   one clock edge (combinational settle, then DFFs latch), so
 //!   pipelined circuits exhibit their real latency and one-result-per-
 //!   clock throughput.
+//! - [`BatchSimulator`]: the word-level counterpart — one `u64` per net,
+//!   each of the [`LANES`] bit positions an independent test vector, so
+//!   a single forward pass simulates 64 input vectors at once. The
+//!   exhaustive verification stack (`hwperm-verify`) is built on it.
 //! - [`tech`]: the stand-in for the FPGA tool reports behind Tables
 //!   III/IV — greedy ≤6-input LUT cone packing, a Stratix-IV-style ALM
 //!   packing estimate, register counts, and a logic-depth-based Fmax
@@ -43,6 +47,7 @@
 //! assert_eq!(sim.read_output("sum").to_u64(), Some(42));
 //! ```
 
+mod batch;
 pub mod blif;
 mod builder;
 mod buses;
@@ -52,6 +57,7 @@ pub mod tech;
 pub mod vcd;
 pub mod verilog;
 
+pub use batch::{BatchSimulator, LANES};
 pub use blif::to_blif;
 pub use builder::{Builder, Bus};
 pub use netlist::{Gate, NetId, Netlist, Port, StructuralIssue};

@@ -6,8 +6,45 @@
 //! edge — this is what lets the pipelined converter demonstrate the
 //! paper's "one permutation per clock period" behaviour with latency `n`.
 
-use crate::netlist::{Gate, Netlist};
+use crate::netlist::{Gate, Netlist, Port};
 use hwperm_bignum::Ubig;
+
+/// Looks up an input port, panicking with the port name and the
+/// available ports (with widths) on a miss. Shared by the scalar
+/// [`Simulator`] and the 64-lane [`crate::BatchSimulator`] so the two
+/// front-ends can never drift apart on their diagnostics.
+pub(crate) fn lookup_input_port<'a>(netlist: &'a Netlist, name: &str) -> &'a Port {
+    netlist.input_port(name).unwrap_or_else(|| {
+        let known: Vec<String> = netlist
+            .input_ports()
+            .iter()
+            .map(|p| format!("{:?} ({} bits)", p.name, p.nets.len()))
+            .collect();
+        let known = if known.is_empty() {
+            "none".to_string()
+        } else {
+            known.join(", ")
+        };
+        panic!("no input port named {name:?} (inputs: {known})")
+    })
+}
+
+/// Checks that a driven value fits its port, panicking with the port
+/// name and both widths otherwise. `value` is rendered lazily so the
+/// hot path pays nothing for it.
+pub(crate) fn assert_input_fits(
+    name: &str,
+    width: usize,
+    value_bits: usize,
+    value: impl FnOnce() -> String,
+) {
+    if value_bits > width {
+        panic!(
+            "value {} ({value_bits} bits) does not fit input port {name:?} ({width} bits)",
+            value()
+        );
+    }
+}
 
 /// Evaluates a [`Netlist`].
 #[derive(Debug, Clone)]
@@ -47,16 +84,8 @@ impl Simulator {
     /// # Panics
     /// Panics if the port does not exist or `value` does not fit its width.
     pub fn set_input(&mut self, name: &str, value: &Ubig) {
-        let port = self
-            .netlist
-            .input_port(name)
-            .unwrap_or_else(|| panic!("no input port named {name:?}"))
-            .clone();
-        assert!(
-            value.bit_len() <= port.nets.len(),
-            "value {value} does not fit input port {name:?} ({} bits)",
-            port.nets.len()
-        );
+        let port = lookup_input_port(&self.netlist, name).clone();
+        assert_input_fits(name, port.nets.len(), value.bit_len(), || value.to_string());
         for (i, net) in port.nets.iter().enumerate() {
             self.values[net.index()] = value.bit(i);
         }
@@ -273,5 +302,49 @@ mod tests {
         b.input_bus("x", 2);
         let mut sim = Simulator::new(b.finish());
         sim.set_input_u64("y", 0);
+    }
+
+    /// Captures the panic message from `f`, which must panic with a
+    /// `String` or `&str` payload.
+    fn panic_message(f: impl FnOnce() + std::panic::UnwindSafe) -> String {
+        let payload = std::panic::catch_unwind(f).expect_err("closure should panic");
+        payload
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+            .expect("panic payload should be a string")
+    }
+
+    #[test]
+    fn set_input_panic_messages_name_port_and_width() {
+        // Both failure paths must identify the offending port and its
+        // width so a misdriven testbench is diagnosable from the message
+        // alone. Pin the exact text: batch.rs shares these helpers, so a
+        // drift here would silently change two APIs at once.
+        let mut b = Builder::new();
+        b.input_bus("x", 2);
+        b.input_bus("sel", 1);
+        let nl = b.finish();
+
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {})); // keep test output quiet
+        let oversize = {
+            let nl = nl.clone();
+            panic_message(move || Simulator::new(nl).set_input_u64("x", 9))
+        };
+        let missing = {
+            let nl = nl.clone();
+            panic_message(move || Simulator::new(nl).set_input_u64("y", 0))
+        };
+        std::panic::set_hook(hook);
+
+        assert_eq!(
+            oversize,
+            "value 9 (4 bits) does not fit input port \"x\" (2 bits)"
+        );
+        assert_eq!(
+            missing,
+            "no input port named \"y\" (inputs: \"x\" (2 bits), \"sel\" (1 bits))"
+        );
     }
 }

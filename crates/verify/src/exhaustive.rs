@@ -1,0 +1,490 @@
+//! Batched exhaustive differential checking.
+//!
+//! BDD equivalence (the rest of this crate) proves properties
+//! symbolically; this module is the *simulation* side of the house:
+//! sweep every index through the gate-level netlist and compare against
+//! a precomputed expectation table. The scalar sweep pays one full
+//! netlist walk per index; the batched sweep drives the 64-lane
+//! [`BatchSimulator`] with 64 consecutive indices per pass, so the same
+//! walk settles 64 simulations — the lever that keeps exhaustive
+//! converter checks affordable past n = 4 (n = 6 is 720 indices, n = 7
+//! is 5040).
+//!
+//! Both sweeps report the *first* mismatching index (batched: lowest
+//! base, then lowest lane — i.e. the same index order as the scalar
+//! sweep), so a fault has one canonical witness regardless of path.
+//!
+//! The expectation table is data, not a closure, so the timed region of
+//! a scalar-vs-batched benchmark measures simulation throughput alone —
+//! software unranking cost is paid once, outside both sweeps.
+
+use hwperm_bignum::Ubig;
+use hwperm_factoradic::unrank_u64;
+use hwperm_logic::{BatchSimulator, Netlist, Simulator, LANES};
+use std::fmt;
+
+/// First divergence found by an exhaustive differential sweep.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExhaustiveMismatch {
+    /// The lowest input index whose output diverges.
+    pub index: u64,
+    /// The output port that diverged.
+    pub port: String,
+    /// What the netlist produced at that index.
+    pub got: u64,
+    /// What the expectation table said it should produce.
+    pub want: u64,
+}
+
+impl fmt::Display for ExhaustiveMismatch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "index {}: output {:?} = {:#x}, expected {:#x}",
+            self.index, self.port, self.got, self.want
+        )
+    }
+}
+
+impl std::error::Error for ExhaustiveMismatch {}
+
+/// The expectation table for the Fig. 1 converter: element `i` is the
+/// packed word of the permutation at factoradic index `i`, for every
+/// `i` in `[0, n!)`.
+///
+/// Precomputed once so differential sweeps (and benchmarks) compare
+/// pure simulation against data instead of re-unranking per index.
+///
+/// # Panics
+/// Panics if `n` is 0 or large enough that the table or the packed word
+/// would not fit (`n > 9` — 9! = 362 880 entries is already far past
+/// every circuit this workspace generates).
+pub fn expected_permutation_words(n: usize) -> Vec<u64> {
+    assert!((1..=9).contains(&n), "n = {n} out of the supported 1..=9");
+    let total = (1..=n as u64).product::<u64>();
+    (0..total)
+        .map(|i| {
+            unrank_u64(n, i)
+                .pack()
+                .to_u64()
+                .expect("packed width <= 64 for n <= 9")
+        })
+        .collect()
+}
+
+fn port_width_checked(netlist: &Netlist, input: &str, output: &str, total: usize) -> usize {
+    let in_w = netlist
+        .input_port(input)
+        .unwrap_or_else(|| panic!("no input port named {input:?}"))
+        .nets
+        .len();
+    let out_w = netlist
+        .output_port(output)
+        .unwrap_or_else(|| panic!("no output port named {output:?}"))
+        .nets
+        .len();
+    assert!(
+        in_w < 64 && out_w <= 64,
+        "ports {input:?} ({in_w} bits) / {output:?} ({out_w} bits) exceed the u64 sweep"
+    );
+    assert!(
+        in_w == 63 || (total as u64) <= 1u64 << in_w,
+        "{total} indices do not fit input port {input:?} ({in_w} bits)"
+    );
+    in_w
+}
+
+/// An expectation table pre-transposed into the word domain: per batch
+/// of 64 consecutive indices, the lane words of every input bit (the
+/// indices themselves) and every expected output bit.
+///
+/// Transposing is pure data preparation — it depends only on the table,
+/// not the netlist — so hoisting it out of the sweep leaves
+/// [`exhaustive_check_batched_with`]'s steady state at one word-level
+/// netlist walk plus `out_bits` XOR/AND ops per 64 indices. Prepare
+/// once, sweep many netlists (the mutation suites) or many repetitions
+/// (the throughput benchmark) against it.
+#[derive(Debug, Clone)]
+pub struct BatchedExpectation {
+    /// The original per-index table (witness extraction on mismatch).
+    per_index: Vec<u64>,
+    in_bits: usize,
+    out_bits: usize,
+    /// Batch-major `[batch][in_bit]` lane words of the index values.
+    in_words: Vec<u64>,
+    /// Batch-major `[batch][out_bit]` lane words of the expected outputs.
+    want_words: Vec<u64>,
+    /// Per-batch mask of lanes that carry a real index.
+    live: Vec<u64>,
+}
+
+impl BatchedExpectation {
+    /// Transposes `expected` (element `i` = expected output word at
+    /// input index `i`) for ports of `in_bits` input and `out_bits`
+    /// output bits.
+    ///
+    /// # Panics
+    /// Panics if the widths exceed the `u64` sweep or the input port
+    /// cannot represent every index.
+    pub fn new(in_bits: usize, out_bits: usize, expected: &[u64]) -> Self {
+        assert!(
+            in_bits < 64 && out_bits <= 64,
+            "{in_bits}-bit input / {out_bits}-bit output exceed the u64 sweep"
+        );
+        assert!(
+            in_bits == 63 || (expected.len() as u64) <= 1u64 << in_bits,
+            "{} indices do not fit a {in_bits}-bit input port",
+            expected.len()
+        );
+        let batches = expected.len().div_ceil(LANES);
+        let mut in_words = vec![0u64; batches * in_bits];
+        let mut want_words = vec![0u64; batches * out_bits];
+        let mut live = vec![0u64; batches];
+        for (index, &want) in expected.iter().enumerate() {
+            let (batch, lane) = (index / LANES, index % LANES);
+            live[batch] |= 1 << lane;
+            for b in 0..in_bits {
+                in_words[batch * in_bits + b] |= ((index as u64 >> b) & 1) << lane;
+            }
+            for b in 0..out_bits {
+                want_words[batch * out_bits + b] |= ((want >> b) & 1) << lane;
+            }
+        }
+        BatchedExpectation {
+            per_index: expected.to_vec(),
+            in_bits,
+            out_bits,
+            in_words,
+            want_words,
+            live,
+        }
+    }
+
+    /// Number of indices covered.
+    pub fn len(&self) -> usize {
+        self.per_index.len()
+    }
+
+    /// `true` iff the table covers no indices.
+    pub fn is_empty(&self) -> bool {
+        self.per_index.is_empty()
+    }
+}
+
+/// Exhaustive differential sweep, 64 indices per pass: drives `input`
+/// with `0, 1, …, expected.len() - 1` through a [`BatchSimulator`] and
+/// compares `output` lane-wise against `expected`.
+///
+/// Returns the first mismatch in index order, if any. A trailing
+/// partial batch leaves its unused lanes at zero and never reads them.
+///
+/// # Panics
+/// Panics if either port is missing, the input port cannot represent
+/// every index, or either port exceeds the 64-bit `u64` fast path.
+pub fn exhaustive_check_batched(
+    netlist: &Netlist,
+    input: &str,
+    output: &str,
+    expected: &[u64],
+) -> Result<(), ExhaustiveMismatch> {
+    let in_w = port_width_checked(netlist, input, output, expected.len());
+    let out_w = netlist.output_port(output).unwrap().nets.len();
+    let table = BatchedExpectation::new(in_w, out_w, expected);
+    let mut sim = BatchSimulator::new(netlist.clone());
+    exhaustive_check_batched_with(&mut sim, input, output, &table)
+}
+
+/// Steady-state core of [`exhaustive_check_batched`]: sweeps a
+/// pre-transposed [`BatchedExpectation`] through an existing simulator.
+/// Per batch this is one `set_input_words`, one word-level `eval`, and
+/// `out_bits` XOR/AND comparisons — no per-lane work until a mismatch
+/// needs its witness extracted.
+///
+/// # Panics
+/// Panics if the simulator's port widths disagree with the table.
+pub fn exhaustive_check_batched_with(
+    sim: &mut BatchSimulator,
+    input: &str,
+    output: &str,
+    table: &BatchedExpectation,
+) -> Result<(), ExhaustiveMismatch> {
+    let out_nets = sim
+        .netlist()
+        .output_port(output)
+        .unwrap_or_else(|| panic!("no output port named {output:?}"))
+        .nets
+        .clone();
+    assert!(
+        out_nets.len() == table.out_bits,
+        "output port {output:?} ({} bits) does not match the {}-bit expectation table",
+        out_nets.len(),
+        table.out_bits
+    );
+    for (batch, &live) in table.live.iter().enumerate() {
+        sim.set_input_words(
+            input,
+            &table.in_words[batch * table.in_bits..][..table.in_bits],
+        );
+        sim.eval();
+        let want = &table.want_words[batch * table.out_bits..][..table.out_bits];
+        let mut diff = 0u64;
+        for (net, &want_word) in out_nets.iter().zip(want) {
+            diff |= (sim.probe(*net) ^ want_word) & live;
+        }
+        if diff != 0 {
+            // Cold path: pinpoint the lowest mismatching lane and
+            // re-extract its output word bit by bit.
+            let lane = diff.trailing_zeros() as usize;
+            let index = batch * LANES + lane;
+            let got = out_nets.iter().enumerate().fold(0u64, |acc, (b, net)| {
+                acc | (((sim.probe(*net) >> lane) & 1) << b)
+            });
+            return Err(ExhaustiveMismatch {
+                index: index as u64,
+                port: output.to_string(),
+                got,
+                want: table.per_index[index],
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Scalar counterpart of [`exhaustive_check_batched`]: one
+/// [`Simulator`] walk per index, exactly as the pre-batching oracles
+/// did. Kept as the reference implementation (mismatch parity) and the
+/// baseline side of the scalar-vs-batched benchmark.
+///
+/// # Panics
+/// Same conditions as [`exhaustive_check_batched`].
+pub fn exhaustive_check_scalar(
+    netlist: &Netlist,
+    input: &str,
+    output: &str,
+    expected: &[u64],
+) -> Result<(), ExhaustiveMismatch> {
+    port_width_checked(netlist, input, output, expected.len());
+    let mut sim = Simulator::new(netlist.clone());
+    exhaustive_check_scalar_with(&mut sim, input, output, expected)
+}
+
+/// Steady-state core of [`exhaustive_check_scalar`]: sweeps the table
+/// through an existing scalar simulator, one netlist walk per index.
+pub fn exhaustive_check_scalar_with(
+    sim: &mut Simulator,
+    input: &str,
+    output: &str,
+    expected: &[u64],
+) -> Result<(), ExhaustiveMismatch> {
+    for (index, &want) in expected.iter().enumerate() {
+        sim.set_input(input, &Ubig::from(index as u64));
+        sim.eval();
+        let got = sim
+            .read_output(output)
+            .to_u64()
+            .expect("output checked <= 64 bits");
+        if got != want {
+            return Err(ExhaustiveMismatch {
+                index: index as u64,
+                port: output.to_string(),
+                got,
+                want,
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Ground-truth-by-simulation check of every recorded one-hot bank:
+/// sweeps all `2^w` values of the named input port, 64 per pass, and
+/// returns the lowest input value under which some bank is *not*
+/// exactly one-hot (`None` when all banks hold everywhere).
+///
+/// The per-lane exactly-one predicate is computed word-parallel: for a
+/// bank with line words `w`, the chain `one = (one & !w) | (none & w);
+/// none &= !w` leaves bit `l` of `one` set iff lane `l` saw exactly one
+/// hot line — the 64-wide analogue of the BDD chain in
+/// [`crate::check_one_hot_bank`]. This is the simulation cross-check
+/// the lint mutation sweep uses to validate BDD verdicts.
+///
+/// # Panics
+/// Panics if the port is missing or 64+ bits wide (the sweep would not
+/// terminate in this universe anyway).
+pub fn find_one_hot_violation_batched(netlist: &Netlist, input: &str) -> Option<u64> {
+    let banks = netlist.one_hot_banks().to_vec();
+    if banks.is_empty() {
+        return None;
+    }
+    let width = netlist
+        .input_port(input)
+        .unwrap_or_else(|| panic!("no input port named {input:?}"))
+        .nets
+        .len();
+    assert!(
+        width < 64,
+        "input port {input:?} too wide to sweep ({width} bits)"
+    );
+    let total = 1u64 << width;
+    let mut sim = BatchSimulator::new(netlist.clone());
+    let mut lanes = [0u64; LANES];
+    let mut base = 0u64;
+    while base < total {
+        let count = ((total - base) as usize).min(LANES);
+        for (lane, slot) in lanes[..count].iter_mut().enumerate() {
+            *slot = base + lane as u64;
+        }
+        sim.set_input_lanes_u64(input, &lanes[..count]);
+        sim.eval();
+        let live = if count == LANES {
+            u64::MAX
+        } else {
+            (1u64 << count) - 1
+        };
+        let mut violated = 0u64;
+        for bank in &banks {
+            let mut one = 0u64;
+            let mut none = u64::MAX;
+            for &net in bank {
+                let w = sim.probe(net);
+                one = (one & !w) | (none & w);
+                none &= !w;
+            }
+            violated |= !one & live;
+        }
+        if violated != 0 {
+            return Some(base + violated.trailing_zeros() as u64);
+        }
+        base += count as u64;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hwperm_logic::{Builder, Gate};
+
+    /// A 3-bit identity "converter": y = x, expectation table 0..8.
+    fn passthrough() -> Netlist {
+        let mut b = Builder::new();
+        let x = b.input_bus("x", 3);
+        b.output_bus("y", &x);
+        b.finish()
+    }
+
+    #[test]
+    fn clean_sweep_passes_both_paths() {
+        let nl = passthrough();
+        let expected: Vec<u64> = (0..8).collect();
+        assert_eq!(exhaustive_check_batched(&nl, "x", "y", &expected), Ok(()));
+        assert_eq!(exhaustive_check_scalar(&nl, "x", "y", &expected), Ok(()));
+    }
+
+    #[test]
+    fn first_mismatch_agrees_between_paths() {
+        let nl = passthrough();
+        // Corrupt expectations at two indices; both sweeps must report
+        // the *lower* one with identical got/want.
+        let mut expected: Vec<u64> = (0..8).collect();
+        expected[5] = 0;
+        expected[6] = 0;
+        let batched = exhaustive_check_batched(&nl, "x", "y", &expected).unwrap_err();
+        let scalar = exhaustive_check_scalar(&nl, "x", "y", &expected).unwrap_err();
+        assert_eq!(batched, scalar);
+        assert_eq!(batched.index, 5);
+        assert_eq!(batched.got, 5);
+        assert_eq!(batched.want, 0);
+        assert_eq!(batched.port, "y");
+    }
+
+    #[test]
+    fn partial_final_batch_checked() {
+        // 100 indices: one full batch plus a 36-lane remainder whose
+        // unused lanes must not produce phantom mismatches.
+        let mut b = Builder::new();
+        let x = b.input_bus("x", 7);
+        b.output_bus("y", &x);
+        let nl = b.finish();
+        let expected: Vec<u64> = (0..100).collect();
+        assert_eq!(exhaustive_check_batched(&nl, "x", "y", &expected), Ok(()));
+        let mut bad = expected;
+        bad[99] = 42; // last lane of the partial batch
+        let err = exhaustive_check_batched(&nl, "x", "y", &bad).unwrap_err();
+        assert_eq!(err.index, 99);
+    }
+
+    #[test]
+    fn mismatch_display_names_port_and_index() {
+        let m = ExhaustiveMismatch {
+            index: 7,
+            port: "perm".into(),
+            got: 0x1b,
+            want: 0x1e,
+        };
+        assert_eq!(
+            m.to_string(),
+            "index 7: output \"perm\" = 0x1b, expected 0x1e"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "do not fit input port")]
+    fn oversized_table_rejected() {
+        let nl = passthrough();
+        let expected: Vec<u64> = (0..9).collect(); // 9 > 2^3
+        let _ = exhaustive_check_batched(&nl, "x", "y", &expected);
+    }
+
+    #[test]
+    fn expected_words_match_identity_at_index_zero() {
+        // Index 0 unranks to the identity permutation.
+        let words = expected_permutation_words(4);
+        assert_eq!(words.len(), 24);
+        let identity = unrank_u64(4, 0).pack().to_u64().unwrap();
+        assert_eq!(words[0], identity);
+        // All 24 words are distinct (a converter that collapses two
+        // indices would be caught by *some* entry).
+        let set: std::collections::HashSet<u64> = words.iter().copied().collect();
+        assert_eq!(set.len(), 24);
+    }
+
+    /// Decoder bank: exactly one-hot for every select value.
+    #[test]
+    fn healthy_decoder_bank_has_no_violation() {
+        let mut b = Builder::new();
+        let sel = b.input_bus("sel", 4);
+        let lines = b.decoder(&sel, 16);
+        b.record_one_hot_bank(&lines);
+        b.output_bus("hot", &lines);
+        let nl = b.finish();
+        assert_eq!(find_one_hot_violation_batched(&nl, "sel"), None);
+    }
+
+    #[test]
+    fn truncated_decoder_bank_reports_lowest_witness() {
+        // 13 of 16 lines: sel in {13, 14, 15} drives zero of them, and
+        // the sweep must name 13 — the lowest violating input.
+        let mut b = Builder::new();
+        let sel = b.input_bus("sel", 4);
+        let lines = b.decoder(&sel, 13);
+        b.record_one_hot_bank(&lines);
+        b.output_bus("hot", &lines);
+        let nl = b.finish();
+        assert_eq!(find_one_hot_violation_batched(&nl, "sel"), Some(13));
+    }
+
+    #[test]
+    fn stuck_line_violation_found_in_partial_batch() {
+        // A 2-bit select (4 values — a single partial batch of 4 lanes)
+        // with one line stuck high: two-hot whenever another line fires.
+        let mut b = Builder::new();
+        let sel = b.input_bus("sel", 2);
+        let lines = b.decoder(&sel, 4);
+        b.record_one_hot_bank(&lines);
+        b.output_bus("hot", &lines);
+        let nl = b.finish();
+        let lines = nl.output_port("hot").unwrap().nets.clone();
+        let stuck = nl.with_gate_replaced(lines[3].index(), Gate::Const(true));
+        assert_eq!(find_one_hot_violation_batched(&stuck, "sel"), Some(0));
+    }
+}

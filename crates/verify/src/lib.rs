@@ -12,6 +12,12 @@
 //! converter equals software unranking for every index (not just the
 //! sampled ones), with out-of-range indices treated as don't-cares.
 //!
+//! The symbolic layer is complemented by a batched *simulation* layer
+//! ([`exhaustive_check_batched`], [`find_one_hot_violation_batched`]):
+//! exhaustive sweeps through the 64-lane `BatchSimulator`, 64 indices
+//! per netlist walk, used where a concrete first-mismatch witness (or a
+//! BDD-independent cross-check) is wanted.
+//!
 //! ```
 //! use hwperm_logic::Builder;
 //! use hwperm_verify::CompiledNetlist;
@@ -31,8 +37,14 @@
 //! assert!(a.equivalent(&c).unwrap());
 //! ```
 
+mod exhaustive;
 mod onehot;
 
+pub use exhaustive::{
+    exhaustive_check_batched, exhaustive_check_batched_with, exhaustive_check_scalar,
+    exhaustive_check_scalar_with, expected_permutation_words, find_one_hot_violation_batched,
+    BatchedExpectation, ExhaustiveMismatch,
+};
 pub use onehot::{check_one_hot_bank, OneHotReport, OneHotStatus, DEFAULT_NODE_BUDGET};
 
 use hwperm_bdd::{Manager, NodeId};
