@@ -1,0 +1,52 @@
+//! Thread-scaling of the sharded exhaustive sweep over the Fig. 1
+//! converter — the criterion view of `tables threadbench`. CI compile-
+//! checks this target (`cargo bench --no-run`) on every push so the
+//! parallel verification API cannot silently rot out of the bench.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hwperm_circuits::{converter_netlist, ConverterOptions};
+use hwperm_logic::SimProgram;
+use hwperm_verify::{
+    exhaustive_check_parallel_repeat, expected_permutation_words, BatchedExpectation,
+};
+
+/// Sweeps per thread scope: enough work per spawn that the measured
+/// steady state is sharded simulation throughput, not thread setup.
+const REPEATS: usize = 16;
+
+fn bench_sharded_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sharded_converter_sweep");
+    for n in [5usize, 6] {
+        let netlist = converter_netlist(n, ConverterOptions::default());
+        let expected = expected_permutation_words(n);
+        let in_bits = netlist.input_port("index").unwrap().nets.len();
+        let out_bits = netlist.output_port("perm").unwrap().nets.len();
+        let table = BatchedExpectation::new(in_bits, out_bits, &expected);
+        let program = SimProgram::compile_shared(netlist);
+        group.throughput(Throughput::Elements((expected.len() * REPEATS) as u64));
+
+        for workers in [1usize, 2, 4, 8] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("n{n}"), workers),
+                &workers,
+                |b, &workers| {
+                    b.iter(|| {
+                        exhaustive_check_parallel_repeat(
+                            &program,
+                            black_box("index"),
+                            black_box("perm"),
+                            &table,
+                            workers,
+                            REPEATS,
+                        )
+                        .unwrap()
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sharded_sweep);
+criterion_main!(benches);

@@ -7,18 +7,19 @@
 //!
 //! Subcommands: `table1 table2 table3 table4 fig1 fig3 bias fig4
 //! derangements naive sorter parallel cascade rank variations prove
-//! simbench verify all` (plus `fig4-netlist` to run Fig. 4 on the
-//! gate-level simulation instead of the bit-exact mirror, and
+//! simbench threadbench verify all` (plus `fig4-netlist` to run Fig. 4
+//! on the gate-level simulation instead of the bit-exact mirror,
 //! `simbench-json` to emit the scalar-vs-batched record CI stores as
-//! `BENCH_sim.json`).
+//! `BENCH_sim.json`, and `threadbench-json` for the workers × n
+//! scaling matrix CI stores as `BENCH_parallel.json`).
 
-use hwperm_bench::{baselines, extensions, figures, resources, simbench, tables};
+use hwperm_bench::{baselines, extensions, figures, resources, simbench, tables, threadbench};
 
 fn usage() -> ! {
     eprintln!(
         "usage: tables <experiment>\n  experiments: table1 table2 table3 table4 fig1 fig3 bias \
          fig4 fig4-netlist derangements naive sorter parallel verify cascade rank variations prove \
-         simbench simbench-json all"
+         simbench simbench-json threadbench threadbench-json all"
     );
     std::process::exit(2);
 }
@@ -47,6 +48,8 @@ fn main() {
         "variations" => print!("{}", extensions::variations()),
         "simbench" => print!("{}", simbench::sim_throughput_text()),
         "simbench-json" => print!("{}", simbench::sim_throughput_json()),
+        "threadbench" => print!("{}", threadbench::thread_scaling_text()),
+        "threadbench-json" => print!("{}", threadbench::thread_scaling_json()),
         _ => usage(),
     };
     if arg == "all" {
@@ -68,6 +71,7 @@ fn main() {
             "rank",
             "variations",
             "simbench",
+            "threadbench",
             "prove",
         ] {
             println!("==================================================================");

@@ -13,6 +13,7 @@ pub mod figures;
 pub mod resources;
 pub mod simbench;
 pub mod tables;
+pub mod threadbench;
 
 /// Formats a `f64` with thousands separators for rate reporting.
 pub(crate) fn with_commas(v: u64) -> String {

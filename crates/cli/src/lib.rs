@@ -64,9 +64,13 @@ usage: hwperm <command> [args]
                                   Error-severity diagnostic fires)
   bias <m> <k>                   pigeonhole bias of an m-bit LFSR over [0,k)
   sort <key> <key> ...           sort through the selection network
-  verify <n> [--batch]           netlist vs software cross-check
+  verify <n> [--batch] [--jobs N]  netlist vs software cross-check
                                  (--batch: 64-lane word-level gate
-                                  sweep of the converter netlist)
+                                  sweep of the converter netlist;
+                                  --jobs N: shard the batched sweep
+                                  over N worker threads — reports the
+                                  same lowest-index first mismatch as
+                                  the sequential sweep)
   verilog <circuit> <n>          emit synthesizable structural Verilog
   help                           this text
 ";
@@ -424,14 +428,33 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             Ok(hwperm_logic::to_verilog(&netlist, &name))
         }
         "verify" => {
+            const VERIFY_USAGE: &str = "usage: hwperm verify <n> [--batch] [--jobs N]";
             let batch = rest.iter().any(|a| a == "--batch");
-            let positional: Vec<&String> = rest.iter().filter(|a| *a != "--batch").collect();
-            let n = parse_usize(
-                positional
-                    .first()
-                    .ok_or_else(|| err("usage: hwperm verify <n> [--batch]"))?,
-                "n",
-            )?;
+            let mut jobs: Option<usize> = None;
+            let mut positional: Vec<&String> = Vec::new();
+            let mut it = rest.iter();
+            while let Some(arg) = it.next() {
+                match arg.as_str() {
+                    "--batch" => {}
+                    "--jobs" => {
+                        let v = it
+                            .next()
+                            .ok_or_else(|| err("--jobs needs a worker count"))?;
+                        let v = parse_usize(v, "worker count")?;
+                        if v == 0 {
+                            return Err(err("--jobs needs at least one worker"));
+                        }
+                        jobs = Some(v);
+                    }
+                    _ => positional.push(arg),
+                }
+            }
+            if jobs.is_some() && !batch {
+                return Err(err(
+                    "--jobs requires --batch (the sharded sweep is word-level)",
+                ));
+            }
+            let n = parse_usize(positional.first().ok_or_else(|| err(VERIFY_USAGE))?, "n")?;
             if !(2..=8).contains(&n) {
                 return Err(err("verify sweeps exhaustively; n must be 2..=8"));
             }
@@ -439,11 +462,21 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             if batch {
                 // Word-level sweep of the gate netlist itself: 64 indices
                 // settle per netlist walk, every output bit compared
-                // against the software unranker.
+                // against the software unranker. With --jobs, the index
+                // space is sharded into contiguous per-worker blocks over
+                // one shared compiled tape; the first-mismatch report is
+                // identical to the sequential sweep's.
                 let netlist = converter_netlist(n, ConverterOptions::default());
                 let expected = hwperm_verify::expected_permutation_words(n);
-                hwperm_verify::exhaustive_check_batched(&netlist, "index", "perm", &expected)
-                    .map_err(|m| err(format!("MISMATCH: {m}")))?;
+                match jobs {
+                    Some(workers) => hwperm_verify::exhaustive_check_parallel(
+                        &netlist, "index", "perm", &expected, workers,
+                    ),
+                    None => hwperm_verify::exhaustive_check_batched(
+                        &netlist, "index", "perm", &expected,
+                    ),
+                }
+                .map_err(|m| err(format!("MISMATCH: {m}")))?;
             } else {
                 let mut conv = IndexToPermConverter::new(n);
                 for i in 0..total {
@@ -457,10 +490,10 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             let p = shuffle.next_permutation();
             Permutation::try_from_slice(p.as_slice())
                 .map_err(|e| err(format!("shuffle output invalid: {e}")))?;
-            let mode = if batch {
-                " (batched, 64 lanes/pass)"
-            } else {
-                ""
+            let mode = match jobs {
+                Some(workers) => format!(" (batched, 64 lanes/pass, {workers} workers)"),
+                None if batch => " (batched, 64 lanes/pass)".to_string(),
+                None => String::new(),
             };
             Ok(format!(
                 "OK: all {total} conversions match software for n = {n}{mode}\n"
@@ -596,6 +629,31 @@ mod tests {
         assert!(call(&["verify", "--batch", "5"]).unwrap().contains("OK"));
         assert!(call(&["verify", "--batch", "20"]).is_err());
         assert!(call(&["verify", "--batch"]).is_err());
+    }
+
+    #[test]
+    fn verify_jobs_shards_the_batched_sweep() {
+        for workers in ["1", "2", "8"] {
+            let out = call(&["verify", "5", "--batch", "--jobs", workers]).unwrap();
+            assert!(out.contains("OK: all 120 conversions"), "{out}");
+            assert!(
+                out.contains(&format!("{workers} workers")),
+                "workers = {workers}: {out}"
+            );
+        }
+        // Flag order must not matter.
+        assert!(call(&["verify", "--jobs", "2", "--batch", "4"])
+            .unwrap()
+            .contains("OK"));
+    }
+
+    #[test]
+    fn verify_jobs_rejects_bad_usage() {
+        // --jobs without --batch, a missing/zero/garbage count.
+        assert!(call(&["verify", "5", "--jobs", "4"]).is_err());
+        assert!(call(&["verify", "5", "--batch", "--jobs"]).is_err());
+        assert!(call(&["verify", "5", "--batch", "--jobs", "0"]).is_err());
+        assert!(call(&["verify", "5", "--batch", "--jobs", "many"]).is_err());
     }
 
     #[test]

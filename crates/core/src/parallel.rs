@@ -31,14 +31,22 @@ impl ParallelPlan {
         let end = end.clone().min(nfact);
         assert!(*start <= end, "start beyond end");
         let span = &end - start;
-        let (per, _) = span.divrem_u64(workers as u64);
+        // Balanced split: the remainder is spread one item each over the
+        // leading blocks, so sizes differ by at most one. (A naive
+        // "last block absorbs the remainder" collapses when the span is
+        // smaller than `workers`: per = 0 and one block gets everything.)
+        let (per, rem) = span.divrem_u64(workers as u64);
+        let one = Ubig::from(1u64);
         let mut boundaries = Vec::with_capacity(workers + 1);
         let mut cursor = start.clone();
-        for _ in 0..workers {
+        for i in 0..workers {
             boundaries.push(cursor.clone());
             cursor = &cursor + &per;
+            if (i as u64) < rem {
+                cursor = &cursor + &one;
+            }
         }
-        boundaries.push(end); // the last block absorbs the remainder
+        boundaries.push(end);
         ParallelPlan { n, boundaries }
     }
 
@@ -124,12 +132,12 @@ mod tests {
     }
 
     #[test]
-    fn remainder_goes_to_last_block() {
-        // 120 over 7 workers: blocks of 17, last gets 120 − 6·17 = 18.
+    fn remainder_spread_over_leading_blocks() {
+        // 120 over 7 workers: 120 = 7·17 + 1, so the first block gets 18
+        // and the rest 17 — sizes never differ by more than one.
         let plan = ParallelPlan::full(5, 7);
         let sizes: Vec<usize> = (0..7).map(|i| plan.block(i).count()).collect();
-        assert_eq!(sizes[..6], [17; 6]);
-        assert_eq!(sizes[6], 18);
+        assert_eq!(sizes, [18, 17, 17, 17, 17, 17, 17]);
     }
 
     #[test]
@@ -185,9 +193,34 @@ mod tests {
 
     #[test]
     fn more_workers_than_items() {
+        // Degenerate split: 3 items over 8 workers must give the three
+        // leading blocks one item each, not dump all 3 on one block.
         let plan = ParallelPlan::new(4, &Ubig::zero(), &Ubig::from(3u64), 8);
-        let total: usize = (0..8).map(|i| plan.block(i).count()).sum();
-        assert_eq!(total, 3);
+        let sizes: Vec<usize> = (0..8).map(|i| plan.block(i).count()).collect();
+        assert_eq!(sizes, [1, 1, 1, 0, 0, 0, 0, 0]);
         assert_eq!(parallel_count(&plan, |_| true), 3);
+    }
+
+    #[test]
+    fn balanced_split_blocks_stay_contiguous_and_ordered() {
+        // Every (span, workers) pairing tiles the range in order with
+        // block sizes within one of each other.
+        for workers in 1..=9usize {
+            for end in [0u64, 1, 5, 23, 24] {
+                let plan = ParallelPlan::new(4, &Ubig::zero(), &Ubig::from(end), workers);
+                let sizes: Vec<usize> = (0..workers).map(|i| plan.block(i).count()).collect();
+                let total: usize = sizes.iter().sum();
+                assert_eq!(total as u64, end.min(24), "span {end} x {workers}");
+                let (min, max) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+                assert!(max - min <= 1, "unbalanced {sizes:?}");
+                let mut next = 0u64;
+                for (i, size) in sizes.iter().enumerate() {
+                    if let Some((first, _)) = plan.block(i).next() {
+                        assert_eq!(first.to_u64(), Some(next), "block {i} not contiguous");
+                    }
+                    next += *size as u64;
+                }
+            }
+        }
     }
 }

@@ -11,6 +11,13 @@
 //! multi-cycle simulations of the pipelined converter advance in
 //! lockstep under one [`BatchSimulator::step`].
 //!
+//! Since the tape refactor, a forward pass executes the compiled
+//! [`SimProgram`] — the same levelized opcode tape the scalar simulator
+//! runs, instantiated at `u64` instead of `bool` — so batch and scalar
+//! evaluation cannot diverge, and many batch instances (one per worker
+//! thread in `hwperm-verify`'s sharded sweeps) share one compilation
+//! through `Arc<SimProgram>`.
+//!
 //! The API mirrors the scalar simulator lane-wise:
 //! [`BatchSimulator::set_input_lanes`] / [`BatchSimulator::eval`] /
 //! [`BatchSimulator::step`] / [`BatchSimulator::read_output_lanes`],
@@ -18,9 +25,11 @@
 //! batched exhaustive checks in `hwperm-verify` use to avoid per-index
 //! allocations on the hot path.
 
-use crate::netlist::{Gate, NetId, Netlist};
-use crate::sim::{assert_input_fits, lookup_input_port};
+use crate::netlist::{NetId, Netlist};
+use crate::program::SimProgram;
+use crate::sim::assert_input_fits;
 use hwperm_bignum::Ubig;
+use std::sync::Arc;
 
 /// Number of independent simulation lanes per pass: one per bit of the
 /// `u64` word stored for each net.
@@ -30,35 +39,45 @@ pub const LANES: usize = 64;
 /// forward pass.
 #[derive(Debug, Clone)]
 pub struct BatchSimulator {
-    netlist: Netlist,
-    /// Current word of every net; bit `l` is the net's value in lane `l`.
+    program: Arc<SimProgram>,
+    /// Current word of every slot; bit `l` is the slot's value in lane
+    /// `l`.
     values: Vec<u64>,
-    /// Registered state per gate index (only meaningful for `Dff`s),
-    /// one lane per bit.
-    state: Vec<u64>,
+    /// Reusable two-phase latch buffer (one entry per DFF).
+    scratch: Vec<u64>,
 }
 
 impl BatchSimulator {
-    /// Creates a batch simulator with all inputs at 0 in every lane and
-    /// DFFs at their reset values (replicated across lanes).
+    /// Compiles the netlist and creates a batch simulator with all
+    /// inputs at 0 in every lane and DFFs at their reset values
+    /// (replicated across lanes). To share one compilation across many
+    /// instances (or threads), compile once with
+    /// [`SimProgram::compile_shared`] and use
+    /// [`BatchSimulator::from_program`].
     pub fn new(netlist: Netlist) -> Self {
-        let n = netlist.len();
-        let mut state = vec![0u64; n];
-        for (i, g) in netlist.gates().iter().enumerate() {
-            if let Gate::Dff { init, .. } = g {
-                state[i] = if *init { u64::MAX } else { 0 };
-            }
-        }
+        Self::from_program(SimProgram::compile_shared(netlist))
+    }
+
+    /// A batch simulator over an already-compiled (possibly shared)
+    /// tape. Per-instance cost is one flat `u64` array — this is what
+    /// each worker thread of a sharded exhaustive sweep constructs.
+    pub fn from_program(program: Arc<SimProgram>) -> Self {
+        let values = program.initial_values();
         BatchSimulator {
-            netlist,
-            values: vec![0u64; n],
-            state,
+            program,
+            values,
+            scratch: Vec::new(),
         }
     }
 
     /// The simulated netlist.
     pub fn netlist(&self) -> &Netlist {
-        &self.netlist
+        self.program.netlist()
+    }
+
+    /// The compiled tape this simulator executes.
+    pub fn program(&self) -> &Arc<SimProgram> {
+        &self.program
     }
 
     /// Drives an input port with one value per lane (LSB-first per
@@ -76,18 +95,18 @@ impl BatchSimulator {
             "{} lane values exceed the {LANES}-lane batch width",
             values.len()
         );
-        let port = lookup_input_port(&self.netlist, name).clone();
+        let slots = self.program.input_slots(name);
         for value in values {
-            assert_input_fits(name, port.nets.len(), value.bit_len(), || value.to_string());
+            assert_input_fits(name, slots.len(), value.bit_len(), || value.to_string());
         }
-        for (bit, net) in port.nets.iter().enumerate() {
+        for (bit, &slot) in slots.iter().enumerate() {
             let mut word = 0u64;
             for (lane, value) in values.iter().enumerate() {
                 if value.bit(bit) {
                     word |= 1 << lane;
                 }
             }
-            self.values[net.index()] = word;
+            self.values[slot as usize] = word;
         }
     }
 
@@ -103,18 +122,18 @@ impl BatchSimulator {
             "{} lane values exceed the {LANES}-lane batch width",
             values.len()
         );
-        let port = lookup_input_port(&self.netlist, name).clone();
-        let width = port.nets.len();
+        let slots = self.program.input_slots(name);
+        let width = slots.len();
         for &value in values {
             let bits = (u64::BITS - value.leading_zeros()) as usize;
             assert_input_fits(name, width, bits, || value.to_string());
         }
-        for (bit, net) in port.nets.iter().enumerate() {
+        for (bit, &slot) in slots.iter().enumerate() {
             let mut word = 0u64;
             for (lane, &value) in values.iter().enumerate() {
                 word |= ((value >> bit) & 1) << lane;
             }
-            self.values[net.index()] = word;
+            self.values[slot as usize] = word;
         }
     }
 
@@ -129,18 +148,15 @@ impl BatchSimulator {
     /// Panics if the port does not exist or `words.len()` differs from
     /// the port width.
     pub fn set_input_words(&mut self, name: &str, words: &[u64]) {
-        // No port clone here (unlike the lane-domain setters): this is
-        // the hot path of the exhaustive sweeps, and the borrows of
-        // `netlist` and `values` are disjoint fields.
-        let port = lookup_input_port(&self.netlist, name);
+        let slots = self.program.input_slots(name);
         assert!(
-            words.len() == port.nets.len(),
+            words.len() == slots.len(),
             "{} words do not match input port {name:?} ({} bits)",
             words.len(),
-            port.nets.len()
+            slots.len()
         );
-        for (net, &word) in port.nets.iter().zip(words) {
-            self.values[net.index()] = word;
+        for (&slot, &word) in slots.iter().zip(words) {
+            self.values[slot as usize] = word;
         }
     }
 
@@ -151,11 +167,11 @@ impl BatchSimulator {
     /// # Panics
     /// Panics if the port does not exist.
     pub fn read_output_words(&self, name: &str) -> Vec<u64> {
-        let port = self
-            .netlist
-            .output_port(name)
-            .unwrap_or_else(|| panic!("no output port named {name:?}"));
-        port.nets.iter().map(|n| self.values[n.index()]).collect()
+        self.program
+            .output_slots(name)
+            .iter()
+            .map(|&s| self.values[s as usize])
+            .collect()
     }
 
     /// Drives an input port in a single lane, leaving the other lanes'
@@ -169,44 +185,23 @@ impl BatchSimulator {
             lane < LANES,
             "lane {lane} out of range (batch has {LANES} lanes)"
         );
-        let port = lookup_input_port(&self.netlist, name).clone();
-        assert_input_fits(name, port.nets.len(), value.bit_len(), || value.to_string());
-        for (bit, net) in port.nets.iter().enumerate() {
+        let slots = self.program.input_slots(name);
+        assert_input_fits(name, slots.len(), value.bit_len(), || value.to_string());
+        for (bit, &slot) in slots.iter().enumerate() {
             let mask = 1u64 << lane;
             if value.bit(bit) {
-                self.values[net.index()] |= mask;
+                self.values[slot as usize] |= mask;
             } else {
-                self.values[net.index()] &= !mask;
+                self.values[slot as usize] &= !mask;
             }
         }
     }
 
-    /// Combinational settle: one forward pass over the gate array, all
-    /// 64 lanes at once. Input nets keep whatever was last driven; DFF
-    /// nets present their registered state.
+    /// Combinational settle: one pass over the compiled tape, all 64
+    /// lanes at once. Input slots keep whatever was last driven; DFF
+    /// slots present their registered state.
     pub fn eval(&mut self) {
-        for i in 0..self.netlist.len() {
-            let v = match self.netlist.gates()[i] {
-                Gate::Const(c) => {
-                    if c {
-                        u64::MAX
-                    } else {
-                        0
-                    }
-                }
-                Gate::Input => continue, // externally driven
-                Gate::Not(x) => !self.values[x.index()],
-                Gate::And(x, y) => self.values[x.index()] & self.values[y.index()],
-                Gate::Or(x, y) => self.values[x.index()] | self.values[y.index()],
-                Gate::Xor(x, y) => self.values[x.index()] ^ self.values[y.index()],
-                Gate::Mux { sel, a, b } => {
-                    let s = self.values[sel.index()];
-                    (s & self.values[b.index()]) | (!s & self.values[a.index()])
-                }
-                Gate::Dff { .. } => self.state[i],
-            };
-            self.values[i] = v;
-        }
+        self.program.exec(&mut self.values);
     }
 
     /// One clock cycle: combinational settle, then every DFF latches
@@ -214,21 +209,13 @@ impl BatchSimulator {
     /// exactly as a scalar simulator fed lane `l`'s input sequence.
     pub fn step(&mut self) {
         self.eval();
-        for i in 0..self.netlist.len() {
-            if let Gate::Dff { d, .. } = self.netlist.gates()[i] {
-                self.state[i] = self.values[d.index()];
-            }
-        }
+        self.program.latch(&mut self.values, &mut self.scratch);
     }
 
     /// Resets all DFFs to their `init` values in every lane (values
     /// stay stale until the next [`BatchSimulator::eval`]).
     pub fn reset(&mut self) {
-        for (i, g) in self.netlist.gates().iter().enumerate() {
-            if let Gate::Dff { init, .. } = g {
-                self.state[i] = if *init { u64::MAX } else { 0 };
-            }
-        }
+        self.program.reset(&mut self.values);
     }
 
     /// Reads an output port in one lane (LSB-first). Call after
@@ -241,13 +228,10 @@ impl BatchSimulator {
             lane < LANES,
             "lane {lane} out of range (batch has {LANES} lanes)"
         );
-        let port = self
-            .netlist
-            .output_port(name)
-            .unwrap_or_else(|| panic!("no output port named {name:?}"));
+        let slots = self.program.output_slots(name);
         let mut out = Ubig::zero();
-        for (i, net) in port.nets.iter().enumerate() {
-            if self.values[net.index()] >> lane & 1 == 1 {
+        for (i, &slot) in slots.iter().enumerate() {
+            if self.values[slot as usize] >> lane & 1 == 1 {
                 out.set_bit(i, true);
             }
         }
@@ -268,20 +252,17 @@ impl BatchSimulator {
     /// # Panics
     /// Panics if the port does not exist or is wider than 64 bits.
     pub fn read_output_lanes_u64(&self, name: &str) -> [u64; LANES] {
-        let port = self
-            .netlist
-            .output_port(name)
-            .unwrap_or_else(|| panic!("no output port named {name:?}"));
+        let slots = self.program.output_slots(name);
         assert!(
-            port.nets.len() <= 64,
+            slots.len() <= 64,
             "output port {name:?} ({} bits) exceeds the 64-bit u64 fast path",
-            port.nets.len()
+            slots.len()
         );
         let mut out = [0u64; LANES];
-        for (bit, net) in port.nets.iter().enumerate() {
-            let word = self.values[net.index()];
-            for (lane, slot) in out.iter_mut().enumerate() {
-                *slot |= (word >> lane & 1) << bit;
+        for (bit, &slot) in slots.iter().enumerate() {
+            let word = self.values[slot as usize];
+            for (lane, dst) in out.iter_mut().enumerate() {
+                *dst |= (word >> lane & 1) << bit;
             }
         }
         out
@@ -291,7 +272,7 @@ impl BatchSimulator {
     /// structural probing — e.g. word-parallel exactly-one checks over
     /// recorded one-hot select banks.
     pub fn probe(&self, net: NetId) -> u64 {
-        self.values[net.index()]
+        self.values[self.program.slot(net)]
     }
 }
 
@@ -371,6 +352,28 @@ mod tests {
             assert_eq!(batch.read_output_lane("s", lane), scalar.read_output("s"));
             assert_eq!(batch.read_output_lane("c", lane), scalar.read_output("c"));
         }
+    }
+
+    #[test]
+    fn scalar_and_batch_share_one_program() {
+        use crate::program::SimProgram;
+        use std::sync::Arc;
+        let mut b = Builder::new();
+        let x = b.input_bus("x", 4);
+        b.output_bus("y", &x);
+        let program = SimProgram::compile_shared(b.finish());
+        let mut scalar = Simulator::from_program(Arc::clone(&program));
+        let mut batch = BatchSimulator::from_program(Arc::clone(&program));
+        scalar.set_input_u64("x", 5);
+        scalar.eval();
+        batch.set_input_lanes_u64("x", &[5; LANES]);
+        batch.eval();
+        assert_eq!(
+            batch.read_output_lane("y", 11),
+            scalar.read_output("y"),
+            "one tape, two execution widths"
+        );
+        assert!(Arc::ptr_eq(scalar.program(), batch.program()));
     }
 
     #[test]

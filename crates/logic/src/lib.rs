@@ -17,14 +17,21 @@
 //!   constant comparators, one-hot and binary muxes, decoders, shift-add
 //!   constant multipliers, register ranks) used by `hwperm-circuits` to
 //!   assemble the paper's Fig. 1/2/3 structures gate-by-gate.
+//! - [`SimProgram`]: a compile-once, run-anywhere simulation tape — the
+//!   netlist lowered into an immutable, levelized structure-of-arrays
+//!   opcode stream with flat value slots, precomputed port slot maps and
+//!   DFF slot pairs. Both simulators execute it; `Arc<SimProgram>` lets
+//!   many instances (including worker threads in `hwperm-verify`) share
+//!   one compilation.
 //! - [`Simulator`]: bit-accurate evaluation; [`Simulator::step`] models
 //!   one clock edge (combinational settle, then DFFs latch), so
 //!   pipelined circuits exhibit their real latency and one-result-per-
 //!   clock throughput.
-//! - [`BatchSimulator`]: the word-level counterpart — one `u64` per net,
-//!   each of the [`LANES`] bit positions an independent test vector, so
-//!   a single forward pass simulates 64 input vectors at once. The
-//!   exhaustive verification stack (`hwperm-verify`) is built on it.
+//! - [`BatchSimulator`]: the word-level counterpart — the same tape run
+//!   at `u64` instead of `bool`, each of the [`LANES`] bit positions an
+//!   independent test vector, so a single forward pass simulates 64
+//!   input vectors at once. The exhaustive verification stack
+//!   (`hwperm-verify`) is built on it.
 //! - [`tech`]: the stand-in for the FPGA tool reports behind Tables
 //!   III/IV — greedy ≤6-input LUT cone packing, a Stratix-IV-style ALM
 //!   packing estimate, register counts, and a logic-depth-based Fmax
@@ -52,6 +59,7 @@ pub mod blif;
 mod builder;
 mod buses;
 mod netlist;
+mod program;
 mod sim;
 pub mod tech;
 pub mod vcd;
@@ -61,6 +69,7 @@ pub use batch::{BatchSimulator, LANES};
 pub use blif::to_blif;
 pub use builder::{Builder, Bus};
 pub use netlist::{Gate, NetId, Netlist, Port, StructuralIssue};
+pub use program::{SimProgram, SimWord};
 pub use sim::Simulator;
 pub use tech::{ResourceReport, TimingModel};
 pub use vcd::Tracer;

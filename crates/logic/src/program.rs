@@ -1,0 +1,515 @@
+//! The compiled simulation tape: a [`Netlist`] lowered once into an
+//! immutable, levelized, structure-of-arrays gate program that both the
+//! scalar [`crate::Simulator`] and the 64-lane
+//! [`crate::BatchSimulator`] execute.
+//!
+//! Motivation: the original simulators re-walked the `Netlist` on every
+//! `eval`, paying a `Gate` enum match plus `NetId` indirection per gate
+//! per pass, and each simulator instance owned a full `Netlist` clone.
+//! The tape moves all of that to compile time:
+//!
+//! - **Levelized opcode stream** — combinational gates are stably
+//!   sorted by logic level (then creation order), so the tape is a flat
+//!   `while`-free instruction sequence; `Const`/`Input`/`Dff` gates are
+//!   excluded entirely (constants are baked into the initial value
+//!   array, inputs are written by the testbench, DFF outputs are state).
+//! - **Flat net slots** — every net is renumbered into a dense slot
+//!   space: state slots first (inputs, constants, DFF outputs, in
+//!   creation order), then one slot per tape op *in tape order*, so op
+//!   `j` always writes slot `comb_base + j` and the wave fills the
+//!   value array sequentially.
+//! - **Precomputed port slot maps** — input/output port names resolve
+//!   to slot vectors once, at compile time.
+//! - **DFF slot pairs** — `step` latches through a `(q, d)` slot-pair
+//!   list; no gate array scan.
+//!
+//! The program is immutable after compilation and intended to be shared
+//! across threads via `Arc<SimProgram>`: per-simulator state shrinks to
+//! one flat value array (`bool` per slot for the scalar front-end,
+//! `u64` per slot for the 64-lane one), so a thread-sharded verifier
+//! spawns workers by cloning an `Arc` instead of a `Netlist`.
+//!
+//! Compilation requires a structurally valid netlist (see
+//! [`Netlist::validate`]): gate fanin must be topologically ordered
+//! (only `Dff.d` may look forward). Out-of-range references panic at
+//! compile time; behaviour on combinational forward-references is
+//! unspecified (the lint engine exists to reject those before they get
+//! here).
+
+use crate::netlist::{Gate, NetId, Netlist, Port};
+use std::ops::{BitAnd, BitOr, BitXor, Not};
+use std::sync::Arc;
+
+/// A value domain the tape can execute over: `bool` (one simulation)
+/// or `u64` (64 bit-parallel lanes). `Mux` lowers to
+/// `(sel & b) | (!sel & a)`, which is exact in both domains.
+pub trait SimWord:
+    Copy
+    + PartialEq
+    + BitAnd<Output = Self>
+    + BitOr<Output = Self>
+    + BitXor<Output = Self>
+    + Not<Output = Self>
+    + 'static
+{
+    /// The value with every lane set to `bit`.
+    fn splat(bit: bool) -> Self;
+}
+
+impl SimWord for bool {
+    #[inline]
+    fn splat(bit: bool) -> bool {
+        bit
+    }
+}
+
+impl SimWord for u64 {
+    #[inline]
+    fn splat(bit: bool) -> u64 {
+        if bit {
+            u64::MAX
+        } else {
+            0
+        }
+    }
+}
+
+/// Tape opcode. Only combinational gates are lowered; everything else
+/// lives in the state region of the value array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+enum OpCode {
+    Not,
+    And,
+    Or,
+    Xor,
+    Mux,
+}
+
+/// A named port resolved to flat value-array slots (LSB first).
+#[derive(Debug, Clone)]
+struct SlotPort {
+    name: String,
+    slots: Vec<u32>,
+}
+
+/// One D flip-flop as a slot pair: `q` (its state slot) and `d` (the
+/// slot its data input settles into).
+#[derive(Debug, Clone, Copy)]
+struct DffSlots {
+    q: u32,
+    d: u32,
+    init: bool,
+}
+
+/// A [`Netlist`] compiled to the flat simulation tape. See the module
+/// docs for the layout; construct with [`SimProgram::compile`] and
+/// share across simulator instances (and threads) via
+/// [`SimProgram::compile_shared`].
+#[derive(Debug)]
+pub struct SimProgram {
+    /// The source netlist, retained for port metadata, diagnostics and
+    /// structural probing ([`SimProgram::netlist`]).
+    netlist: Netlist,
+    /// Net index → value-array slot.
+    slot_of: Vec<u32>,
+    /// First combinational slot; tape op `j` writes `comb_base + j`.
+    comb_base: u32,
+    /// Structure-of-arrays op stream, levelized (level, then creation
+    /// order). `args_a[j]`/`args_b[j]` are operand slots (`b == a` for
+    /// `Not`); `args_sel[j]` is the select slot (only read for `Mux`).
+    opcodes: Vec<OpCode>,
+    args_a: Vec<u32>,
+    args_b: Vec<u32>,
+    args_sel: Vec<u32>,
+    /// Tape offset where each level starts; `level_starts.last()` is
+    /// the op count. Level `k` (1-based) occupies
+    /// `level_starts[k-1]..level_starts[k]`.
+    level_starts: Vec<u32>,
+    /// Constant slots and their baked values.
+    consts: Vec<(u32, bool)>,
+    /// DFF slot pairs, in creation order.
+    dffs: Vec<DffSlots>,
+    /// Input/output ports resolved to slots, in declaration order.
+    inputs: Vec<SlotPort>,
+    outputs: Vec<SlotPort>,
+}
+
+impl SimProgram {
+    /// Lowers a validated netlist into the tape. `O(gates)` one-time
+    /// cost; the result is immutable.
+    ///
+    /// # Panics
+    /// Panics if any gate or port references an out-of-range net.
+    /// Combinational forward references (structurally invalid netlists)
+    /// compile but execute in an unspecified order — run
+    /// [`Netlist::validate`] first if provenance is in doubt.
+    pub fn compile(netlist: Netlist) -> SimProgram {
+        let n = netlist.len();
+        let in_range = |net: NetId, what: &str| {
+            assert!(
+                net.index() < n,
+                "cannot compile: {what} references out-of-range net {}",
+                net.index()
+            );
+            net
+        };
+        // Logic levels, as in `Netlist::gate_depth`: state-region gates
+        // are level 0, combinational gates one past their deepest fanin.
+        let mut level = vec![0u32; n];
+        let mut max_level = 0u32;
+        for (i, g) in netlist.gates().iter().enumerate() {
+            if g.is_combinational() {
+                let deepest = g
+                    .fanin()
+                    .map(|f| level[in_range(f, "gate").index()])
+                    .max()
+                    .unwrap_or(0);
+                level[i] = deepest + 1;
+                max_level = max_level.max(level[i]);
+            }
+        }
+        // Stable level-major order: bucket combinational gates by level,
+        // creation order within a level.
+        let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); max_level as usize];
+        let mut state_slots = 0u32;
+        for (i, g) in netlist.gates().iter().enumerate() {
+            if g.is_combinational() {
+                buckets[level[i] as usize - 1].push(i as u32);
+            } else {
+                state_slots += 1;
+            }
+        }
+        // Slot assignment: state region first (creation order), then
+        // one slot per op in tape order.
+        let mut slot_of = vec![0u32; n];
+        let mut next_state = 0u32;
+        for (i, g) in netlist.gates().iter().enumerate() {
+            if !g.is_combinational() {
+                slot_of[i] = next_state;
+                next_state += 1;
+            }
+        }
+        let comb_base = state_slots;
+        let mut level_starts = Vec::with_capacity(max_level as usize + 1);
+        level_starts.push(0u32);
+        let mut tape_order = Vec::with_capacity(n - state_slots as usize);
+        for bucket in &buckets {
+            for &i in bucket {
+                slot_of[i as usize] = comb_base + tape_order.len() as u32;
+                tape_order.push(i);
+            }
+            level_starts.push(tape_order.len() as u32);
+        }
+        // Lower the ops now that every net has a slot.
+        let mut opcodes = Vec::with_capacity(tape_order.len());
+        let mut args_a = Vec::with_capacity(tape_order.len());
+        let mut args_b = Vec::with_capacity(tape_order.len());
+        let mut args_sel = Vec::with_capacity(tape_order.len());
+        for &i in &tape_order {
+            let (code, a, b, sel) = match netlist.gates()[i as usize] {
+                Gate::Not(x) => (OpCode::Not, x, x, x),
+                Gate::And(x, y) => (OpCode::And, x, y, x),
+                Gate::Or(x, y) => (OpCode::Or, x, y, x),
+                Gate::Xor(x, y) => (OpCode::Xor, x, y, x),
+                Gate::Mux { sel, a, b } => (OpCode::Mux, a, b, sel),
+                Gate::Const(_) | Gate::Input | Gate::Dff { .. } => {
+                    unreachable!("state gates are never lowered to ops")
+                }
+            };
+            opcodes.push(code);
+            args_a.push(slot_of[a.index()]);
+            args_b.push(slot_of[b.index()]);
+            args_sel.push(slot_of[sel.index()]);
+        }
+        // State metadata: baked constants and DFF slot pairs.
+        let mut consts = Vec::new();
+        let mut dffs = Vec::new();
+        for (i, g) in netlist.gates().iter().enumerate() {
+            match *g {
+                Gate::Const(c) => consts.push((slot_of[i], c)),
+                Gate::Dff { d, init } => dffs.push(DffSlots {
+                    q: slot_of[i],
+                    d: slot_of[in_range(d, "DFF").index()],
+                    init,
+                }),
+                _ => {}
+            }
+        }
+        let resolve = |ports: &[Port], dir: &str| -> Vec<SlotPort> {
+            ports
+                .iter()
+                .map(|p| SlotPort {
+                    name: p.name.clone(),
+                    slots: p
+                        .nets
+                        .iter()
+                        .map(|&net| slot_of[in_range(net, dir).index()])
+                        .collect(),
+                })
+                .collect()
+        };
+        let inputs = resolve(netlist.input_ports(), "input port");
+        let outputs = resolve(netlist.output_ports(), "output port");
+        SimProgram {
+            netlist,
+            slot_of,
+            comb_base,
+            opcodes,
+            args_a,
+            args_b,
+            args_sel,
+            level_starts,
+            consts,
+            dffs,
+            inputs,
+            outputs,
+        }
+    }
+
+    /// [`SimProgram::compile`], wrapped for cross-thread sharing: every
+    /// simulator built from the same `Arc` shares one tape.
+    pub fn compile_shared(netlist: Netlist) -> Arc<SimProgram> {
+        Arc::new(Self::compile(netlist))
+    }
+
+    /// The source netlist.
+    pub fn netlist(&self) -> &Netlist {
+        &self.netlist
+    }
+
+    /// Number of value-array slots (= nets in the source netlist).
+    pub fn slot_count(&self) -> usize {
+        self.slot_of.len()
+    }
+
+    /// Number of tape ops (= combinational gates).
+    pub fn op_count(&self) -> usize {
+        self.opcodes.len()
+    }
+
+    /// Number of logic levels in the tape (0 for a state-only netlist).
+    pub fn level_count(&self) -> usize {
+        self.level_starts.len() - 1
+    }
+
+    /// Number of D flip-flops.
+    pub fn dff_count(&self) -> usize {
+        self.dffs.len()
+    }
+
+    /// The value-array slot a net settles into.
+    ///
+    /// # Panics
+    /// Panics if the net is out of range for the source netlist.
+    #[inline]
+    pub fn slot(&self, net: NetId) -> usize {
+        self.slot_of[net.index()] as usize
+    }
+
+    /// A fresh per-instance value array: all-zero except baked
+    /// constants and DFF reset values.
+    pub(crate) fn initial_values<W: SimWord>(&self) -> Vec<W> {
+        let mut values = vec![W::splat(false); self.slot_count()];
+        for &(slot, c) in &self.consts {
+            values[slot as usize] = W::splat(c);
+        }
+        for d in &self.dffs {
+            values[d.q as usize] = W::splat(d.init);
+        }
+        values
+    }
+
+    /// Combinational settle: executes the tape once over `values`.
+    /// Input and DFF slots are read, never written; constant slots were
+    /// baked at construction.
+    #[inline]
+    pub(crate) fn exec<W: SimWord>(&self, values: &mut [W]) {
+        let base = self.comb_base as usize;
+        for j in 0..self.opcodes.len() {
+            let a = values[self.args_a[j] as usize];
+            let v = match self.opcodes[j] {
+                OpCode::Not => !a,
+                OpCode::And => a & values[self.args_b[j] as usize],
+                OpCode::Or => a | values[self.args_b[j] as usize],
+                OpCode::Xor => a ^ values[self.args_b[j] as usize],
+                OpCode::Mux => {
+                    let s = values[self.args_sel[j] as usize];
+                    (s & values[self.args_b[j] as usize]) | (!s & a)
+                }
+            };
+            values[base + j] = v;
+        }
+    }
+
+    /// Clock edge: every DFF latches its settled `d` slot into its `q`
+    /// slot. Two-phase through `scratch` so flop-to-flop chains all
+    /// sample the pre-edge wave, exactly like the gate-walking
+    /// simulators did with their separate state array.
+    pub(crate) fn latch<W: SimWord>(&self, values: &mut [W], scratch: &mut Vec<W>) {
+        scratch.clear();
+        scratch.extend(self.dffs.iter().map(|d| values[d.d as usize]));
+        for (d, &v) in self.dffs.iter().zip(scratch.iter()) {
+            values[d.q as usize] = v;
+        }
+    }
+
+    /// Resets every DFF slot to its `init` value (other slots are left
+    /// as they are, like the pre-tape simulators).
+    pub(crate) fn reset<W: SimWord>(&self, values: &mut [W]) {
+        for d in &self.dffs {
+            values[d.q as usize] = W::splat(d.init);
+        }
+    }
+
+    /// Slots of the named input port, with the same panic diagnostics
+    /// as the simulators' `set_input` (port name plus every known input
+    /// and its width).
+    #[inline]
+    pub(crate) fn input_slots(&self, name: &str) -> &[u32] {
+        match self.inputs.iter().find(|p| p.name == name) {
+            Some(p) => &p.slots,
+            None => {
+                // Delegate to the shared lookup for the exact message.
+                crate::sim::lookup_input_port(&self.netlist, name);
+                unreachable!("lookup panics when the slot map has no entry")
+            }
+        }
+    }
+
+    /// Slots of the named output port.
+    ///
+    /// # Panics
+    /// Panics if the port does not exist.
+    #[inline]
+    pub(crate) fn output_slots(&self, name: &str) -> &[u32] {
+        self.outputs
+            .iter()
+            .find(|p| p.name == name)
+            .map(|p| &p.slots[..])
+            .unwrap_or_else(|| panic!("no output port named {name:?}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Builder;
+
+    fn adder() -> Netlist {
+        let mut b = Builder::new();
+        let x = b.input_bus("x", 4);
+        let y = b.input_bus("y", 4);
+        let (s, c) = b.add(&x, &y);
+        b.output_bus("s", &s);
+        b.output_bus("c", &[c]);
+        b.finish()
+    }
+
+    #[test]
+    fn tape_shape_matches_netlist() {
+        let nl = adder();
+        let comb = nl.combinational_count();
+        let p = SimProgram::compile(nl.clone());
+        assert_eq!(p.slot_count(), nl.len());
+        assert_eq!(p.op_count(), comb);
+        assert_eq!(p.dff_count(), 0);
+        assert!(p.level_count() >= 1);
+        assert_eq!(
+            p.level_count(),
+            nl.gate_depth(),
+            "tape levels = combinational gate depth"
+        );
+    }
+
+    #[test]
+    fn slots_are_a_permutation_of_nets() {
+        let p = SimProgram::compile(adder());
+        let mut seen = vec![false; p.slot_count()];
+        for i in 0..p.slot_count() {
+            let s = p.slot(NetId::forged(i as u32));
+            assert!(!std::mem::replace(&mut seen[s], true), "slot {s} reused");
+        }
+        assert!(seen.iter().all(|&v| v), "every slot assigned exactly once");
+    }
+
+    #[test]
+    fn tape_is_levelized() {
+        // Every op's operands live strictly below the op's own slot, so
+        // the sequential exec order is a valid topological schedule.
+        let p = SimProgram::compile(adder());
+        let base = p.comb_base as usize;
+        for j in 0..p.op_count() {
+            let out = base + j;
+            for arg in [p.args_a[j], p.args_b[j], p.args_sel[j]] {
+                assert!(
+                    (arg as usize) < out,
+                    "op {j} reads slot {arg} at or above its own slot {out}"
+                );
+            }
+        }
+        // And level starts are monotonically non-decreasing.
+        assert!(p.level_starts.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn constants_are_baked_into_initial_values() {
+        let mut b = Builder::new();
+        let x = b.input_bus("x", 1);
+        let t = b.constant(true);
+        let f = b.constant(false);
+        let and = b.and(x[0], t);
+        b.output_bus("y", &[and, f]);
+        let p = SimProgram::compile(b.finish());
+        let values: Vec<bool> = p.initial_values();
+        for &(slot, c) in &p.consts {
+            assert_eq!(values[slot as usize], c);
+        }
+    }
+
+    #[test]
+    fn dff_pairs_latch_two_phase() {
+        // q1 -> q2 flop chain: one latch moves q1's value into q2 while
+        // q1 simultaneously takes the input — no shoot-through.
+        let mut b = Builder::new();
+        let x = b.input_bus("x", 1);
+        let q1 = b.dff(x[0], false);
+        let q2 = b.dff(q1, true);
+        b.output_bus("y", &[q2]);
+        let p = SimProgram::compile(b.finish());
+        assert_eq!(p.dff_count(), 2);
+        let mut values: Vec<bool> = p.initial_values();
+        let x_slot = p.input_slots("x")[0] as usize;
+        let y_slot = p.output_slots("y")[0] as usize;
+        assert!(values[y_slot], "q2 resets to 1");
+        values[x_slot] = true;
+        let mut scratch = Vec::new();
+        p.exec(&mut values);
+        p.latch(&mut values, &mut scratch); // q1 <- 1, q2 <- old q1 (0)
+        assert!(!values[y_slot]);
+        p.exec(&mut values);
+        p.latch(&mut values, &mut scratch); // q2 <- 1
+        assert!(values[y_slot]);
+        p.reset(&mut values);
+        assert!(values[y_slot], "reset restores init");
+    }
+
+    #[test]
+    #[should_panic(expected = "out-of-range net")]
+    fn out_of_range_fanin_rejected_at_compile_time() {
+        let nl = Netlist {
+            gates: vec![Gate::Input, Gate::Not(NetId::forged(7))],
+            ..Netlist::default()
+        };
+        let _ = SimProgram::compile(nl);
+    }
+
+    #[test]
+    fn port_slot_maps_resolve_by_name() {
+        let p = SimProgram::compile(adder());
+        assert_eq!(p.input_slots("x").len(), 4);
+        assert_eq!(p.input_slots("y").len(), 4);
+        assert_eq!(p.output_slots("s").len(), 4);
+        assert_eq!(p.output_slots("c").len(), 1);
+    }
+}

@@ -1,18 +1,25 @@
 //! Bit-accurate netlist simulation.
 //!
-//! Gates are stored in topological order, so a combinational settle is a
-//! single forward pass. DFFs read their *state* during the pass and latch
-//! their `d` input on [`Simulator::step`], which models one rising clock
-//! edge — this is what lets the pipelined converter demonstrate the
-//! paper's "one permutation per clock period" behaviour with latency `n`.
+//! Since the tape refactor, the scalar simulator is a thin front-end
+//! over the compiled [`SimProgram`]: construction lowers the netlist
+//! once (levelized opcode stream, flat net slots), and per-instance
+//! state is a single flat `bool` value array. A combinational settle is
+//! one tape execution. DFFs read their *state slot* during the pass and
+//! latch their `d` slot on [`Simulator::step`], which models one rising
+//! clock edge — this is what lets the pipelined converter demonstrate
+//! the paper's "one permutation per clock period" behaviour with
+//! latency `n`.
 
-use crate::netlist::{Gate, Netlist, Port};
+use crate::netlist::{Netlist, Port};
+use crate::program::SimProgram;
 use hwperm_bignum::Ubig;
+use std::sync::Arc;
 
 /// Looks up an input port, panicking with the port name and the
 /// available ports (with widths) on a miss. Shared by the scalar
-/// [`Simulator`] and the 64-lane [`crate::BatchSimulator`] so the two
-/// front-ends can never drift apart on their diagnostics.
+/// [`Simulator`], the 64-lane [`crate::BatchSimulator`] and the
+/// [`SimProgram`] slot maps so the front-ends can never drift apart on
+/// their diagnostics.
 pub(crate) fn lookup_input_port<'a>(netlist: &'a Netlist, name: &str) -> &'a Port {
     netlist.input_port(name).unwrap_or_else(|| {
         let known: Vec<String> = netlist
@@ -46,37 +53,46 @@ pub(crate) fn assert_input_fits(
     }
 }
 
-/// Evaluates a [`Netlist`].
+/// Evaluates a [`Netlist`] by executing its compiled [`SimProgram`].
 #[derive(Debug, Clone)]
 pub struct Simulator {
-    netlist: Netlist,
-    /// Current value of every net.
+    program: Arc<SimProgram>,
+    /// Current value of every slot (inputs, constants and DFF state in
+    /// the state region; one slot per tape op above it).
     values: Vec<bool>,
-    /// Registered state per gate index (only meaningful for `Dff`s).
-    state: Vec<bool>,
+    /// Reusable two-phase latch buffer (one entry per DFF).
+    scratch: Vec<bool>,
 }
 
 impl Simulator {
-    /// Creates a simulator with all inputs at 0 and DFFs at their reset
-    /// values.
+    /// Compiles the netlist and creates a simulator with all inputs at
+    /// 0 and DFFs at their reset values. To share one compilation
+    /// across many instances (or threads), compile once with
+    /// [`SimProgram::compile_shared`] and use
+    /// [`Simulator::from_program`].
     pub fn new(netlist: Netlist) -> Self {
-        let n = netlist.len();
-        let mut state = vec![false; n];
-        for (i, g) in netlist.gates().iter().enumerate() {
-            if let Gate::Dff { init, .. } = g {
-                state[i] = *init;
-            }
-        }
+        Self::from_program(SimProgram::compile_shared(netlist))
+    }
+
+    /// A simulator over an already-compiled (possibly shared) tape.
+    /// Per-instance cost is one flat value array.
+    pub fn from_program(program: Arc<SimProgram>) -> Self {
+        let values = program.initial_values();
         Simulator {
-            netlist,
-            values: vec![false; n],
-            state,
+            program,
+            values,
+            scratch: Vec::new(),
         }
     }
 
     /// The simulated netlist.
     pub fn netlist(&self) -> &Netlist {
-        &self.netlist
+        self.program.netlist()
+    }
+
+    /// The compiled tape this simulator executes.
+    pub fn program(&self) -> &Arc<SimProgram> {
+        &self.program
     }
 
     /// Drives an input port with the low bits of `value` (LSB-first).
@@ -84,10 +100,10 @@ impl Simulator {
     /// # Panics
     /// Panics if the port does not exist or `value` does not fit its width.
     pub fn set_input(&mut self, name: &str, value: &Ubig) {
-        let port = lookup_input_port(&self.netlist, name).clone();
-        assert_input_fits(name, port.nets.len(), value.bit_len(), || value.to_string());
-        for (i, net) in port.nets.iter().enumerate() {
-            self.values[net.index()] = value.bit(i);
+        let slots = self.program.input_slots(name);
+        assert_input_fits(name, slots.len(), value.bit_len(), || value.to_string());
+        for (i, &slot) in slots.iter().enumerate() {
+            self.values[slot as usize] = value.bit(i);
         }
     }
 
@@ -96,30 +112,11 @@ impl Simulator {
         self.set_input(name, &Ubig::from(value));
     }
 
-    /// Combinational settle: one forward pass over the gate array.
-    /// Input nets keep whatever was last driven; DFF nets present their
+    /// Combinational settle: one pass over the compiled tape. Input
+    /// slots keep whatever was last driven; DFF slots present their
     /// registered state.
     pub fn eval(&mut self) {
-        // Split borrows: walk indices so `values` can be written in place.
-        for i in 0..self.netlist.len() {
-            let v = match self.netlist.gates()[i] {
-                Gate::Const(c) => c,
-                Gate::Input => continue, // externally driven
-                Gate::Not(x) => !self.values[x.index()],
-                Gate::And(x, y) => self.values[x.index()] & self.values[y.index()],
-                Gate::Or(x, y) => self.values[x.index()] | self.values[y.index()],
-                Gate::Xor(x, y) => self.values[x.index()] ^ self.values[y.index()],
-                Gate::Mux { sel, a, b } => {
-                    if self.values[sel.index()] {
-                        self.values[b.index()]
-                    } else {
-                        self.values[a.index()]
-                    }
-                }
-                Gate::Dff { .. } => self.state[i],
-            };
-            self.values[i] = v;
-        }
+        self.program.exec(&mut self.values);
     }
 
     /// One clock cycle: combinational settle, then every DFF latches its
@@ -127,21 +124,13 @@ impl Simulator {
     /// the flops sample at the edge).
     pub fn step(&mut self) {
         self.eval();
-        for i in 0..self.netlist.len() {
-            if let Gate::Dff { d, .. } = self.netlist.gates()[i] {
-                self.state[i] = self.values[d.index()];
-            }
-        }
+        self.program.latch(&mut self.values, &mut self.scratch);
     }
 
-    /// Resets all DFFs to their `init` values (values wave left stale
+    /// Resets all DFFs to their `init` values (other slots stay stale
     /// until the next [`Simulator::eval`]).
     pub fn reset(&mut self) {
-        for (i, g) in self.netlist.gates().iter().enumerate() {
-            if let Gate::Dff { init, .. } = g {
-                self.state[i] = *init;
-            }
-        }
+        self.program.reset(&mut self.values);
     }
 
     /// Reads an output port as an integer (LSB-first). Call after
@@ -150,13 +139,10 @@ impl Simulator {
     /// # Panics
     /// Panics if the port does not exist.
     pub fn read_output(&self, name: &str) -> Ubig {
-        let port = self
-            .netlist
-            .output_port(name)
-            .unwrap_or_else(|| panic!("no output port named {name:?}"));
+        let slots = self.program.output_slots(name);
         let mut out = Ubig::zero();
-        for (i, net) in port.nets.iter().enumerate() {
-            if self.values[net.index()] {
+        for (i, &slot) in slots.iter().enumerate() {
+            if self.values[slot as usize] {
                 out.set_bit(i, true);
             }
         }
@@ -165,7 +151,7 @@ impl Simulator {
 
     /// Reads a single net's current value (for structural debugging).
     pub fn probe(&self, net: crate::NetId) -> bool {
-        self.values[net.index()]
+        self.values[self.program.slot(net)]
     }
 }
 
@@ -283,6 +269,25 @@ mod tests {
             sim.eval();
             assert_eq!(sim.read_output("q").to_u64(), Some(1));
         }
+    }
+
+    #[test]
+    fn instances_share_one_compiled_program() {
+        use crate::program::SimProgram;
+        let mut b = Builder::new();
+        let x = b.input_bus("x", 4);
+        b.output_bus("y", &x);
+        let program = SimProgram::compile_shared(b.finish());
+        let mut a = Simulator::from_program(Arc::clone(&program));
+        let mut c = Simulator::from_program(Arc::clone(&program));
+        a.set_input_u64("x", 3);
+        c.set_input_u64("x", 9);
+        a.eval();
+        c.eval();
+        assert_eq!(a.read_output("y").to_u64(), Some(3));
+        assert_eq!(c.read_output("y").to_u64(), Some(9));
+        assert!(Arc::ptr_eq(a.program(), c.program()));
+        assert_eq!(Arc::strong_count(&program), 3);
     }
 
     #[test]

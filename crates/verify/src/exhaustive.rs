@@ -72,7 +72,12 @@ pub fn expected_permutation_words(n: usize) -> Vec<u64> {
         .collect()
 }
 
-fn port_width_checked(netlist: &Netlist, input: &str, output: &str, total: usize) -> usize {
+pub(crate) fn port_width_checked(
+    netlist: &Netlist,
+    input: &str,
+    output: &str,
+    total: usize,
+) -> usize {
     let in_w = netlist
         .input_port(input)
         .unwrap_or_else(|| panic!("no input port named {input:?}"))
@@ -169,6 +174,22 @@ impl BatchedExpectation {
     pub fn is_empty(&self) -> bool {
         self.per_index.is_empty()
     }
+
+    /// Number of 64-lane batches covering the table (the granularity at
+    /// which the sharded parallel sweep splits work).
+    pub fn batches(&self) -> usize {
+        self.live.len()
+    }
+
+    /// Width of the input port the table was transposed for.
+    pub fn in_bits(&self) -> usize {
+        self.in_bits
+    }
+
+    /// Width of the output port the table was transposed for.
+    pub fn out_bits(&self) -> usize {
+        self.out_bits
+    }
 }
 
 /// Exhaustive differential sweep, 64 indices per pass: drives `input`
@@ -208,6 +229,26 @@ pub fn exhaustive_check_batched_with(
     output: &str,
     table: &BatchedExpectation,
 ) -> Result<(), ExhaustiveMismatch> {
+    check_batch_range(sim, input, output, table, 0..table.batches())
+}
+
+/// Range core shared by the sequential and sharded sweeps: checks the
+/// batches in `range` (each covering [`LANES`] consecutive indices) and
+/// reports the first mismatch *within that range* in index order. The
+/// sequential sweep passes the full range; the parallel sweep hands
+/// each worker a contiguous sub-range, so the per-worker result is the
+/// worker's lowest mismatch and the earliest-shard reduction is the
+/// global one.
+///
+/// # Panics
+/// Panics if the simulator's port widths disagree with the table.
+pub(crate) fn check_batch_range(
+    sim: &mut BatchSimulator,
+    input: &str,
+    output: &str,
+    table: &BatchedExpectation,
+    range: std::ops::Range<usize>,
+) -> Result<(), ExhaustiveMismatch> {
     let out_nets = sim
         .netlist()
         .output_port(output)
@@ -220,7 +261,8 @@ pub fn exhaustive_check_batched_with(
         out_nets.len(),
         table.out_bits
     );
-    for (batch, &live) in table.live.iter().enumerate() {
+    for batch in range {
+        let live = table.live[batch];
         sim.set_input_words(
             input,
             &table.in_words[batch * table.in_bits..][..table.in_bits],
@@ -315,6 +357,17 @@ pub fn find_one_hot_violation_batched(netlist: &Netlist, input: &str) -> Option<
     if banks.is_empty() {
         return None;
     }
+    let total = one_hot_sweep_total(netlist, input);
+    let mut sim = BatchSimulator::new(netlist.clone());
+    scan_one_hot_range(&mut sim, &banks, input, 0, total)
+}
+
+/// Validates the swept input port and returns the sweep bound `2^w`.
+///
+/// # Panics
+/// Panics if the port is missing or 64+ bits wide (the sweep would not
+/// terminate in this universe anyway).
+pub(crate) fn one_hot_sweep_total(netlist: &Netlist, input: &str) -> u64 {
     let width = netlist
         .input_port(input)
         .unwrap_or_else(|| panic!("no input port named {input:?}"))
@@ -324,12 +377,25 @@ pub fn find_one_hot_violation_batched(netlist: &Netlist, input: &str) -> Option<
         width < 64,
         "input port {input:?} too wide to sweep ({width} bits)"
     );
-    let total = 1u64 << width;
-    let mut sim = BatchSimulator::new(netlist.clone());
+    1u64 << width
+}
+
+/// Range core shared by the sequential and sharded one-hot sweeps:
+/// scans input values `[start, end)` 64 per pass and returns the lowest
+/// violating value *within that range*. The trailing pass of a range
+/// that is not a multiple of [`LANES`] masks its unused lanes, so
+/// shards of any alignment compose without phantom witnesses.
+pub(crate) fn scan_one_hot_range(
+    sim: &mut BatchSimulator,
+    banks: &[Vec<hwperm_logic::NetId>],
+    input: &str,
+    start: u64,
+    end: u64,
+) -> Option<u64> {
     let mut lanes = [0u64; LANES];
-    let mut base = 0u64;
-    while base < total {
-        let count = ((total - base) as usize).min(LANES);
+    let mut base = start;
+    while base < end {
+        let count = ((end - base) as usize).min(LANES);
         for (lane, slot) in lanes[..count].iter_mut().enumerate() {
             *slot = base + lane as u64;
         }
@@ -341,7 +407,7 @@ pub fn find_one_hot_violation_batched(netlist: &Netlist, input: &str) -> Option<
             (1u64 << count) - 1
         };
         let mut violated = 0u64;
-        for bank in &banks {
+        for bank in banks {
             let mut one = 0u64;
             let mut none = u64::MAX;
             for &net in bank {

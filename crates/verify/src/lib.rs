@@ -16,7 +16,11 @@
 //! ([`exhaustive_check_batched`], [`find_one_hot_violation_batched`]):
 //! exhaustive sweeps through the 64-lane `BatchSimulator`, 64 indices
 //! per netlist walk, used where a concrete first-mismatch witness (or a
-//! BDD-independent cross-check) is wanted.
+//! BDD-independent cross-check) is wanted. A third, sharded layer
+//! ([`exhaustive_check_parallel`], [`find_one_hot_violation_parallel`])
+//! fans the batched sweep out over OS threads — contiguous per-worker
+//! index blocks over one shared compiled tape — with the same
+//! deterministic lowest-index reporting as the sequential sweeps.
 //!
 //! ```
 //! use hwperm_logic::Builder;
@@ -39,6 +43,7 @@
 
 mod exhaustive;
 mod onehot;
+mod parallel;
 
 pub use exhaustive::{
     exhaustive_check_batched, exhaustive_check_batched_with, exhaustive_check_scalar,
@@ -46,6 +51,10 @@ pub use exhaustive::{
     BatchedExpectation, ExhaustiveMismatch,
 };
 pub use onehot::{check_one_hot_bank, OneHotReport, OneHotStatus, DEFAULT_NODE_BUDGET};
+pub use parallel::{
+    exhaustive_check_parallel, exhaustive_check_parallel_repeat, exhaustive_check_parallel_with,
+    find_one_hot_violation_parallel,
+};
 
 use hwperm_bdd::{Manager, NodeId};
 use hwperm_bignum::Ubig;

@@ -1,0 +1,366 @@
+//! Thread × lane sharded exhaustive verification.
+//!
+//! The batched sweeps in [`crate::exhaustive`] settle 64 test vectors
+//! per netlist walk but still occupy one core. This module adds the
+//! second axis: the index space `[0, 2^w)` / `[0, n!)` is split into
+//! contiguous per-worker blocks — the same balanced-split idiom as
+//! `hwperm_core::ParallelPlan`, applied to 64-lane batches — and each
+//! worker runs the word-level sweep over its block on its own OS
+//! thread, so throughput scales as *threads × lanes*.
+//!
+//! Workers share exactly one thing: the compiled
+//! [`SimProgram`](hwperm_logic::SimProgram) behind an `Arc`. Each
+//! worker's [`BatchSimulator`] is just a flat `u64` value array over
+//! that shared tape, so spinning up a worker costs one allocation, not
+//! one netlist compilation.
+//!
+//! **Deterministic reporting guarantee:** the parallel sweeps return
+//! *byte-identical* results to their sequential counterparts —
+//! [`exhaustive_check_parallel`] reports the same lowest-index first
+//! mismatch as [`crate::exhaustive_check_batched`] (same index, port,
+//! got, want), and [`find_one_hot_violation_parallel`] the same lowest
+//! violating input as [`crate::find_one_hot_violation_batched`] — for
+//! every worker count. Shards are contiguous and ascending, every
+//! worker reports the lowest divergence *within its shard*, and the
+//! reduction takes the first report in shard order, which is therefore
+//! the globally lowest index. Lanes are independent (combinational
+//! words never mix bits across lanes), so the got/want words cannot
+//! depend on which batch companions an index happens to ride with.
+
+use crate::exhaustive::{
+    check_batch_range, one_hot_sweep_total, port_width_checked, scan_one_hot_range,
+    BatchedExpectation, ExhaustiveMismatch,
+};
+use hwperm_logic::{BatchSimulator, Netlist, SimProgram, LANES};
+use std::ops::Range;
+use std::sync::Arc;
+
+/// Splits `items` into `workers` contiguous, ascending ranges whose
+/// sizes differ by at most one (the remainder spread over the leading
+/// ranges — the same balanced split as `hwperm_core::ParallelPlan`).
+/// Ranges beyond the item count are empty.
+///
+/// # Panics
+/// Panics if `workers == 0`.
+pub(crate) fn shard_ranges(items: usize, workers: usize) -> Vec<Range<usize>> {
+    assert!(workers >= 1, "need at least one worker");
+    let per = items / workers;
+    let rem = items % workers;
+    let mut shards = Vec::with_capacity(workers);
+    let mut cursor = 0usize;
+    for i in 0..workers {
+        let len = per + usize::from(i < rem);
+        shards.push(cursor..cursor + len);
+        cursor += len;
+    }
+    shards
+}
+
+/// Multi-threaded [`crate::exhaustive_check_batched`]: shards the index
+/// space into contiguous per-worker blocks of 64-lane batches, sweeps
+/// each block on its own thread, and reduces to the same deterministic
+/// lowest-index first-mismatch report as the sequential sweep (see the
+/// module docs for why the reports are byte-identical).
+///
+/// `workers = 1` degrades to the sequential sweep plus one thread
+/// spawn; worker counts beyond the batch count leave the excess threads
+/// with empty shards.
+///
+/// # Panics
+/// Panics if `workers == 0`, either port is missing, the input port
+/// cannot represent every index, or either port exceeds the 64-bit
+/// `u64` fast path.
+pub fn exhaustive_check_parallel(
+    netlist: &Netlist,
+    input: &str,
+    output: &str,
+    expected: &[u64],
+    workers: usize,
+) -> Result<(), ExhaustiveMismatch> {
+    let in_w = port_width_checked(netlist, input, output, expected.len());
+    let out_w = netlist.output_port(output).unwrap().nets.len();
+    let table = BatchedExpectation::new(in_w, out_w, expected);
+    let program = SimProgram::compile_shared(netlist.clone());
+    exhaustive_check_parallel_with(&program, input, output, &table, workers)
+}
+
+/// Steady-state core of [`exhaustive_check_parallel`]: sweeps a
+/// pre-transposed table over an already-compiled shared tape. Use this
+/// when checking many tables (or repetitions) against one circuit so
+/// compilation and transposition stay out of the measured region.
+///
+/// # Panics
+/// Same conditions as [`exhaustive_check_parallel`].
+pub fn exhaustive_check_parallel_with(
+    program: &Arc<SimProgram>,
+    input: &str,
+    output: &str,
+    table: &BatchedExpectation,
+    workers: usize,
+) -> Result<(), ExhaustiveMismatch> {
+    exhaustive_check_parallel_repeat(program, input, output, table, workers, 1)
+}
+
+/// Benchmark entry point: like [`exhaustive_check_parallel_with`], but
+/// every worker re-sweeps its shard `repeats` times inside one thread
+/// scope before the reduction. Simulation is deterministic, so the
+/// result is identical to a single sweep; the point is to amortize the
+/// per-scope thread-spawn cost when timing steady-state throughput
+/// (`tables threadbench` and the criterion bench use this — a single
+/// n = 6 sweep is only 12 batches, far too little work to cover a
+/// thread spawn).
+///
+/// # Panics
+/// Same conditions as [`exhaustive_check_parallel`], plus
+/// `repeats == 0`.
+pub fn exhaustive_check_parallel_repeat(
+    program: &Arc<SimProgram>,
+    input: &str,
+    output: &str,
+    table: &BatchedExpectation,
+    workers: usize,
+    repeats: usize,
+) -> Result<(), ExhaustiveMismatch> {
+    assert!(repeats >= 1, "need at least one repetition");
+    let shards = shard_ranges(table.batches(), workers);
+    let results: Vec<Result<(), ExhaustiveMismatch>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = shards
+            .into_iter()
+            .map(|shard| {
+                let program = Arc::clone(program);
+                scope.spawn(move || {
+                    let mut sim = BatchSimulator::from_program(program);
+                    let mut result = Ok(());
+                    for _ in 0..repeats {
+                        result = check_batch_range(&mut sim, input, output, table, shard.clone());
+                    }
+                    result
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("verification worker panicked"))
+            .collect()
+    });
+    // Shards ascend, each worker reports its own lowest mismatch, so
+    // the first error in shard order is the globally lowest index.
+    results.into_iter().collect()
+}
+
+/// Multi-threaded [`crate::find_one_hot_violation_batched`]: shards
+/// `[0, 2^w)` into contiguous batch-aligned per-worker blocks and
+/// returns the lowest input value under which some recorded one-hot
+/// bank is not exactly one-hot (`None` when all banks hold everywhere).
+/// Deterministic for every worker count, by the same shard-order
+/// argument as [`exhaustive_check_parallel`].
+///
+/// # Panics
+/// Panics if `workers == 0`, the port is missing, or the port is 64+
+/// bits wide.
+pub fn find_one_hot_violation_parallel(
+    netlist: &Netlist,
+    input: &str,
+    workers: usize,
+) -> Option<u64> {
+    assert!(workers >= 1, "need at least one worker");
+    let banks = netlist.one_hot_banks().to_vec();
+    if banks.is_empty() {
+        return None;
+    }
+    let total = one_hot_sweep_total(netlist, input);
+    let batches = total.div_ceil(LANES as u64) as usize;
+    let program = SimProgram::compile_shared(netlist.clone());
+    let shards = shard_ranges(batches, workers);
+    let results: Vec<Option<u64>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = shards
+            .into_iter()
+            .map(|shard| {
+                let program = Arc::clone(&program);
+                let banks = &banks;
+                scope.spawn(move || {
+                    let mut sim = BatchSimulator::from_program(program);
+                    let start = (shard.start * LANES) as u64;
+                    let end = ((shard.end * LANES) as u64).min(total);
+                    scan_one_hot_range(&mut sim, banks, input, start, end)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("verification worker panicked"))
+            .collect()
+    });
+    results.into_iter().flatten().next()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exhaustive::exhaustive_check_batched;
+    use crate::find_one_hot_violation_batched;
+    use hwperm_logic::Builder;
+
+    fn passthrough(bits: usize) -> Netlist {
+        let mut b = Builder::new();
+        let x = b.input_bus("x", bits);
+        b.output_bus("y", &x);
+        b.finish()
+    }
+
+    #[test]
+    fn shard_ranges_tile_and_balance() {
+        for workers in 1..=9usize {
+            for items in [0usize, 1, 3, 12, 64, 65] {
+                let shards = shard_ranges(items, workers);
+                assert_eq!(shards.len(), workers);
+                assert_eq!(shards[0].start, 0);
+                assert_eq!(shards[workers - 1].end, items);
+                let mut cursor = 0;
+                let mut sizes = Vec::new();
+                for s in &shards {
+                    assert_eq!(s.start, cursor, "contiguous");
+                    cursor = s.end;
+                    sizes.push(s.len());
+                }
+                let (min, max) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+                assert!(max - min <= 1, "unbalanced {sizes:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn shard_sizes_match_parallel_plan() {
+        // Same balanced-split idiom as hwperm_core::ParallelPlan: block
+        // sizes must agree for every (span, workers) pairing.
+        use hwperm_bignum::Ubig;
+        use hwperm_core::ParallelPlan;
+        for workers in [1usize, 2, 3, 7, 8] {
+            for items in [0usize, 3, 12, 24] {
+                let shards = shard_ranges(items, workers);
+                let plan = ParallelPlan::new(4, &Ubig::zero(), &Ubig::from(items as u64), workers);
+                for (i, shard) in shards.iter().enumerate() {
+                    assert_eq!(
+                        shard.len(),
+                        plan.block(i).count(),
+                        "{items} items x {workers} workers, block {i}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_workers_rejected() {
+        let nl = passthrough(3);
+        let expected: Vec<u64> = (0..8).collect();
+        let _ = exhaustive_check_parallel(&nl, "x", "y", &expected, 0);
+    }
+
+    #[test]
+    fn clean_sweep_passes_for_every_worker_count() {
+        let nl = passthrough(8); // 256 indices = 4 batches
+        let expected: Vec<u64> = (0..256).collect();
+        for workers in [1usize, 2, 3, 4, 8, 13] {
+            assert_eq!(
+                exhaustive_check_parallel(&nl, "x", "y", &expected, workers),
+                Ok(()),
+                "workers = {workers}"
+            );
+        }
+    }
+
+    #[test]
+    fn first_mismatch_identical_to_sequential_for_every_worker_count() {
+        let nl = passthrough(8);
+        // Corrupt several indices across different prospective shards;
+        // every worker count must report exactly the sequential witness.
+        let mut expected: Vec<u64> = (0..256).collect();
+        for &i in &[70usize, 71, 130, 255] {
+            expected[i] ^= 0x3;
+        }
+        let sequential = exhaustive_check_batched(&nl, "x", "y", &expected).unwrap_err();
+        assert_eq!(sequential.index, 70);
+        for workers in [1usize, 2, 3, 8] {
+            let parallel =
+                exhaustive_check_parallel(&nl, "x", "y", &expected, workers).unwrap_err();
+            assert_eq!(parallel, sequential, "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn mismatch_in_late_shard_still_found() {
+        let nl = passthrough(8);
+        let mut expected: Vec<u64> = (0..256).collect();
+        expected[255] = 0; // last lane of the last batch
+        for workers in [1usize, 2, 4, 8] {
+            let err = exhaustive_check_parallel(&nl, "x", "y", &expected, workers).unwrap_err();
+            assert_eq!(err.index, 255, "workers = {workers}");
+            assert_eq!(err.got, 255);
+            assert_eq!(err.want, 0);
+        }
+    }
+
+    #[test]
+    fn more_workers_than_batches_degrades_gracefully() {
+        let nl = passthrough(3); // 8 indices = a single partial batch
+        let mut expected: Vec<u64> = (0..8).collect();
+        expected[6] = 0;
+        let err = exhaustive_check_parallel(&nl, "x", "y", &expected, 8).unwrap_err();
+        assert_eq!(err.index, 6);
+    }
+
+    #[test]
+    fn repeats_return_the_single_sweep_result() {
+        let mut b = Builder::new();
+        let x = b.input_bus("x", 7);
+        b.output_bus("y", &x);
+        let nl = b.finish();
+        let mut expected: Vec<u64> = (0..100).collect();
+        expected[99] = 1;
+        let table = BatchedExpectation::new(7, 7, &expected);
+        let program = SimProgram::compile_shared(nl);
+        let once = exhaustive_check_parallel_with(&program, "x", "y", &table, 3);
+        let many = exhaustive_check_parallel_repeat(&program, "x", "y", &table, 3, 5);
+        assert_eq!(once, many);
+        assert_eq!(once.unwrap_err().index, 99);
+    }
+
+    #[test]
+    fn one_hot_parallel_matches_sequential() {
+        // Truncated decoder: sel in {13, 14, 15} drives zero lines, so
+        // the lowest witness is 13 for every worker count.
+        let mut b = Builder::new();
+        let sel = b.input_bus("sel", 4);
+        let lines = b.decoder(&sel, 13);
+        b.record_one_hot_bank(&lines);
+        b.output_bus("hot", &lines);
+        let nl = b.finish();
+        assert_eq!(find_one_hot_violation_batched(&nl, "sel"), Some(13));
+        for workers in [1usize, 2, 3, 8] {
+            assert_eq!(
+                find_one_hot_violation_parallel(&nl, "sel", workers),
+                Some(13),
+                "workers = {workers}"
+            );
+        }
+    }
+
+    #[test]
+    fn one_hot_parallel_clean_bank_and_no_banks() {
+        let mut b = Builder::new();
+        let sel = b.input_bus("sel", 4);
+        let lines = b.decoder(&sel, 16);
+        b.record_one_hot_bank(&lines);
+        b.output_bus("hot", &lines);
+        let nl = b.finish();
+        for workers in [1usize, 2, 8] {
+            assert_eq!(find_one_hot_violation_parallel(&nl, "sel", workers), None);
+        }
+        // No recorded banks: trivially None, even with a missing port
+        // untouched (the bank check short-circuits first).
+        let plain = passthrough(3);
+        assert_eq!(find_one_hot_violation_parallel(&plain, "x", 4), None);
+    }
+}
