@@ -1,0 +1,52 @@
+//! Oracle-table generation throughput — the criterion view of
+//! `tables oraclebench`. CI compile-checks this target
+//! (`cargo bench --no-run`) on every push so the block-decoding API
+//! cannot silently rot out of the bench.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hwperm_factoradic::{unrank_u64, BlockDecoder};
+use hwperm_verify::expected_permutation_words_parallel;
+
+fn factorial(n: usize) -> u64 {
+    (1..=n as u64).product()
+}
+
+/// Per-index reference: one factoradic decode + pack per table entry.
+fn naive_table(n: usize) -> Vec<u64> {
+    (0..factorial(n))
+        .map(|i| unrank_u64(n, i).pack().to_u64().unwrap())
+        .collect()
+}
+
+fn bench_table_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("oracle_table");
+    for n in [7usize, 8] {
+        group.throughput(Throughput::Elements(factorial(n)));
+        group.bench_with_input(BenchmarkId::new("naive", n), &n, |b, &n| {
+            b.iter(|| naive_table(black_box(n)))
+        });
+        group.bench_with_input(BenchmarkId::new("block", n), &n, |b, &n| {
+            let mut decoder = BlockDecoder::new(n);
+            let total = decoder.total();
+            b.iter(|| decoder.decode_words(black_box(0..total)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_sharded_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("oracle_table_sharded");
+    let n = 8usize;
+    group.throughput(Throughput::Elements(factorial(n)));
+    for workers in [1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new(format!("n{n}"), workers),
+            &workers,
+            |b, &workers| b.iter(|| expected_permutation_words_parallel(black_box(n), workers)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table_generation, bench_sharded_generation);
+criterion_main!(benches);

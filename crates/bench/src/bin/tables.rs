@@ -7,19 +7,23 @@
 //!
 //! Subcommands: `table1 table2 table3 table4 fig1 fig3 bias fig4
 //! derangements naive sorter parallel cascade rank variations prove
-//! simbench threadbench verify all` (plus `fig4-netlist` to run Fig. 4
-//! on the gate-level simulation instead of the bit-exact mirror,
-//! `simbench-json` to emit the scalar-vs-batched record CI stores as
-//! `BENCH_sim.json`, and `threadbench-json` for the workers × n
-//! scaling matrix CI stores as `BENCH_parallel.json`).
+//! simbench threadbench oraclebench verify all` (plus `fig4-netlist` to
+//! run Fig. 4 on the gate-level simulation instead of the bit-exact
+//! mirror, `simbench-json` to emit the scalar-vs-batched record CI
+//! stores as `BENCH_sim.json`, `threadbench-json` for the workers × n
+//! scaling matrix CI stores as `BENCH_parallel.json`, and
+//! `oraclebench-json` for the table-generation matrix CI stores as
+//! `BENCH_oracle.json`).
 
-use hwperm_bench::{baselines, extensions, figures, resources, simbench, tables, threadbench};
+use hwperm_bench::{
+    baselines, extensions, figures, oraclebench, resources, simbench, tables, threadbench,
+};
 
 fn usage() -> ! {
     eprintln!(
         "usage: tables <experiment>\n  experiments: table1 table2 table3 table4 fig1 fig3 bias \
          fig4 fig4-netlist derangements naive sorter parallel verify cascade rank variations prove \
-         simbench simbench-json threadbench threadbench-json all"
+         simbench simbench-json threadbench threadbench-json oraclebench oraclebench-json all"
     );
     std::process::exit(2);
 }
@@ -50,6 +54,8 @@ fn main() {
         "simbench-json" => print!("{}", simbench::sim_throughput_json()),
         "threadbench" => print!("{}", threadbench::thread_scaling_text()),
         "threadbench-json" => print!("{}", threadbench::thread_scaling_json()),
+        "oraclebench" => print!("{}", oraclebench::oracle_throughput_text()),
+        "oraclebench-json" => print!("{}", oraclebench::oracle_throughput_json()),
         _ => usage(),
     };
     if arg == "all" {
@@ -72,6 +78,7 @@ fn main() {
             "variations",
             "simbench",
             "threadbench",
+            "oraclebench",
             "prove",
         ] {
             println!("==================================================================");

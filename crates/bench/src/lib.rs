@@ -10,6 +10,7 @@
 pub mod baselines;
 pub mod extensions;
 pub mod figures;
+pub mod oraclebench;
 pub mod resources;
 pub mod simbench;
 pub mod tables;

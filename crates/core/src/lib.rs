@@ -35,11 +35,12 @@ mod sources;
 pub mod stream;
 
 pub use montecarlo::{
-    chi_square_uniform, derangement_experiment, fig4_histogram, DerangementResult,
+    chi_square_uniform, derangement_experiment, derangement_experiment_packed, fig4_histogram,
+    DerangementResult,
 };
 pub use parallel::{parallel_count, parallel_reduce, ParallelPlan};
 pub use sources::{
     CascadeSource, CircuitRandomSource, CircuitSource, PermutationSource, RandomIndexSource,
     RandomPermSource, SoftwareRandomSource, SoftwareSource,
 };
-pub use stream::PermutationStream;
+pub use stream::{PackedPermutationStream, PermutationStream};

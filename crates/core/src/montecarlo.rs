@@ -1,6 +1,7 @@
 //! The paper's Section III Monte-Carlo experiments.
 
 use crate::sources::RandomPermSource;
+use hwperm_perm::packed_is_derangement;
 use std::collections::BTreeMap;
 
 /// Outcome of the derangement experiment (Section III.C).
@@ -33,6 +34,35 @@ pub fn derangement_experiment(
     }
     DerangementResult {
         n: source.n(),
+        samples,
+        derangements,
+        e_estimate: samples as f64 / derangements as f64,
+    }
+}
+
+/// Packed-word fast path of [`derangement_experiment`]: draws through
+/// [`RandomPermSource::next_packed_u64`] and tests the fixed-point-free
+/// property directly on the packed word
+/// ([`packed_is_derangement`] — XOR against the packed identity, every
+/// field nonzero), so sources with an allocation-free packed path run
+/// the whole experiment without touching the heap. Seed for seed, the
+/// result is identical to [`derangement_experiment`].
+///
+/// # Panics
+/// Panics if `n > 16` (the packed word would not fit a `u64`).
+pub fn derangement_experiment_packed(
+    source: &mut dyn RandomPermSource,
+    samples: u64,
+) -> DerangementResult {
+    let n = source.n();
+    let mut derangements = 0u64;
+    for _ in 0..samples {
+        if packed_is_derangement(n, source.next_packed_u64()) {
+            derangements += 1;
+        }
+    }
+    DerangementResult {
+        n,
         samples,
         derangements,
         e_estimate: samples as f64 / derangements as f64,
@@ -97,6 +127,19 @@ mod tests {
             "e ≈ {}",
             result.e_estimate
         );
+    }
+
+    #[test]
+    fn packed_experiment_matches_allocating_experiment_exactly() {
+        // Not just statistically close: same seed, same sample count ⇒
+        // the same random sequence ⇒ bit-identical results.
+        for (n, seed) in [(4usize, 42u64), (8, 7), (16, 123)] {
+            let mut a = SoftwareRandomSource::new(n, seed);
+            let mut b = SoftwareRandomSource::new(n, seed);
+            let alloc = derangement_experiment(&mut a, 5_000);
+            let packed = derangement_experiment_packed(&mut b, 5_000);
+            assert_eq!(alloc, packed, "n = {n}");
+        }
     }
 
     #[test]

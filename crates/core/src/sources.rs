@@ -6,7 +6,10 @@ use hwperm_circuits::{
     ShuffleOptions,
 };
 use hwperm_factoradic::unrank;
-use hwperm_perm::{shuffle::knuth_shuffle, Permutation};
+use hwperm_perm::{
+    shuffle::{knuth_shuffle, knuth_shuffle_in_place},
+    Permutation,
+};
 use hwperm_rng::XorShift64Star;
 
 /// Anything that maps an index in `[0, n!)` to the corresponding
@@ -132,6 +135,18 @@ pub trait RandomPermSource {
 
     /// The next random permutation.
     fn next_permutation(&mut self) -> Permutation;
+
+    /// The next random permutation as the paper's packed
+    /// `n·⌈log₂n⌉`-bit word. Draws from the same random sequence as
+    /// [`RandomPermSource::next_permutation`] (interleaving the two is
+    /// well-defined); sources with an allocation-free path override
+    /// this, the default packs the allocating result.
+    ///
+    /// # Panics
+    /// Panics if `n > 16` (the packed word would not fit a `u64`).
+    fn next_packed_u64(&mut self) -> u64 {
+        self.next_permutation().pack_u64()
+    }
 }
 
 /// Software Knuth shuffle over an unbiased host RNG.
@@ -139,6 +154,8 @@ pub trait RandomPermSource {
 pub struct SoftwareRandomSource {
     n: usize,
     rng: XorShift64Star,
+    /// Reused by the packed fast path (reset to identity per draw).
+    scratch: Permutation,
 }
 
 impl SoftwareRandomSource {
@@ -147,6 +164,7 @@ impl SoftwareRandomSource {
         SoftwareRandomSource {
             n,
             rng: XorShift64Star::new(seed),
+            scratch: Permutation::identity(n),
         }
     }
 }
@@ -158,6 +176,16 @@ impl RandomPermSource for SoftwareRandomSource {
 
     fn next_permutation(&mut self) -> Permutation {
         knuth_shuffle(self.n, &mut self.rng)
+    }
+
+    fn next_packed_u64(&mut self) -> u64 {
+        // Same RNG consumption as `next_permutation` (shuffle of the
+        // identity), but shuffling a reused scratch permutation —
+        // allocation-free, and seed-for-seed identical to packing the
+        // allocating path.
+        self.scratch.reset_identity();
+        knuth_shuffle_in_place(&mut self.scratch, &mut self.rng);
+        self.scratch.pack_u64()
     }
 }
 
@@ -276,6 +304,51 @@ mod tests {
                 assert_eq!(p.n(), 6);
                 assert!(Permutation::try_from_slice(p.as_slice()).is_ok());
             }
+        }
+    }
+
+    #[test]
+    fn packed_fast_path_matches_allocating_path_seed_for_seed() {
+        // Both paths must consume the RNG identically, so two sources
+        // with the same seed stay in lockstep draw for draw — and
+        // interleaving the two methods on one source is well-defined.
+        let mut packed = SoftwareRandomSource::new(8, 33);
+        let mut alloc = SoftwareRandomSource::new(8, 33);
+        for draw in 0..200 {
+            assert_eq!(
+                packed.next_packed_u64(),
+                alloc.next_permutation().pack_u64(),
+                "draw {draw}"
+            );
+        }
+        // Interleave on a single source against a pure packed replay.
+        let mut mixed = SoftwareRandomSource::new(6, 5);
+        let mut replay = SoftwareRandomSource::new(6, 5);
+        for draw in 0..50 {
+            let want = replay.next_packed_u64();
+            let got = if draw % 2 == 0 {
+                mixed.next_packed_u64()
+            } else {
+                mixed.next_permutation().pack_u64()
+            };
+            assert_eq!(got, want, "draw {draw}");
+        }
+    }
+
+    #[test]
+    fn default_packed_path_agrees_across_sources() {
+        // Sources without an override use the default (pack the
+        // allocating result); spot-check it yields valid packed words.
+        let mut src = RandomIndexSource::new(5, 3);
+        for _ in 0..10 {
+            let word = src.next_packed_u64();
+            let mut seen = 0u32;
+            for field in 0..5 {
+                let v = (word >> (field * 3)) & 0b111;
+                assert!(v < 5);
+                seen |= 1 << v;
+            }
+            assert_eq!(seen, 0b11111, "word {word:#x} is not a permutation");
         }
     }
 

@@ -1,0 +1,219 @@
+//! Block decoding: amortized bulk unranking into packed words.
+//!
+//! Unranking every index independently pays the full digit-extraction
+//! cascade (O(n) digits, each with a compare bank and a bitboard
+//! select) per permutation, plus a `Permutation` allocation. A block
+//! decoder pays that price **once per block**: it unranks the block's
+//! base index with the branchless [`Unranker`], then walks
+//! lexicographic successors in place ([`next_lex_in_slice`] — O(1)
+//! amortized per step, since index order *is* lexicographic order) and
+//! emits each permutation directly as the paper's packed
+//! `n·⌈log₂n⌉`-bit word. No allocation happens after warm-up.
+//!
+//! This is the software analogue of the paper's pipelined circuit
+//! streaming one permutation per clock, and the decode/successor split
+//! that Blekos' linear-time unranking and Bassil's generation survey
+//! both identify as where bulk permutation generation wins its order of
+//! magnitude.
+
+use crate::digits::factorials_u64;
+use crate::rank::Unranker;
+use hwperm_perm::{bits_per_element, next_lex_in_slice};
+use std::ops::Range;
+
+/// Reusable engine decoding contiguous index ranges `[start, end)` of
+/// `[0, n!)` into packed `u64` permutation words: one true unranking
+/// per range, lexicographic successor stepping for the rest.
+#[derive(Debug, Clone)]
+pub struct BlockDecoder {
+    n: usize,
+    total: u64,
+    bits: usize,
+    unranker: Unranker,
+    buf: Vec<u32>,
+}
+
+impl BlockDecoder {
+    /// A block decoder for `n`-element permutations. The packed word
+    /// must fit a `u64`, so `1 ≤ n ≤ 16` (`16·⌈log₂16⌉ = 64` bits).
+    ///
+    /// # Panics
+    /// Panics if `n` is outside `1..=16`.
+    pub fn new(n: usize) -> Self {
+        assert!(
+            (1..=16).contains(&n),
+            "n = {n} out of the supported 1..=16 (packed word must fit a u64)"
+        );
+        BlockDecoder {
+            n,
+            total: factorials_u64(n)[n],
+            bits: bits_per_element(n),
+            unranker: Unranker::new(n),
+            buf: Vec::with_capacity(n),
+        }
+    }
+
+    /// Number of elements `n`.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The size of the index space, `n!`.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Packs the current scratch permutation (position 0 in the
+    /// most-significant field, identical to `Permutation::pack`).
+    #[inline]
+    fn word(&self) -> u64 {
+        self.buf
+            .iter()
+            .fold(0u64, |acc, &v| (acc << self.bits) | v as u64)
+    }
+
+    /// Calls `f(index, packed_word)` for every index in `range`, in
+    /// ascending order. The range's base index is unranked once;
+    /// everything after steps by in-place lexicographic successor.
+    ///
+    /// # Panics
+    /// Panics if `range.end > n!` (an empty range anywhere is allowed).
+    pub fn for_each_word(&mut self, range: Range<u64>, mut f: impl FnMut(u64, u64)) {
+        assert!(
+            range.end <= self.total,
+            "range end {} beyond n! = {} for n = {}",
+            range.end,
+            self.total,
+            self.n
+        );
+        if range.start >= range.end {
+            return;
+        }
+        self.unranker.unrank_into(range.start, &mut self.buf);
+        f(range.start, self.word());
+        for index in range.start + 1..range.end {
+            let stepped = next_lex_in_slice(&mut self.buf);
+            debug_assert!(stepped, "successor must exist below n!");
+            f(index, self.word());
+        }
+    }
+
+    /// Appends the packed words for every index in `range` to `out`
+    /// (which is **not** cleared, so blocks can be concatenated).
+    ///
+    /// # Panics
+    /// Panics if `range.end > n!`.
+    pub fn decode_words_into(&mut self, range: Range<u64>, out: &mut Vec<u64>) {
+        out.reserve(range.end.saturating_sub(range.start) as usize);
+        self.for_each_word(range, |_, word| out.push(word));
+    }
+
+    /// Allocating convenience wrapper over
+    /// [`BlockDecoder::decode_words_into`].
+    ///
+    /// # Panics
+    /// Panics if `range.end > n!`.
+    pub fn decode_words(&mut self, range: Range<u64>) -> Vec<u64> {
+        let mut out = Vec::new();
+        self.decode_words_into(range, &mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rank::unrank_u64;
+
+    /// The per-index reference: unrank + pack, one index at a time.
+    fn naive_words(n: usize, range: Range<u64>) -> Vec<u64> {
+        range
+            .map(|i| unrank_u64(n, i).pack().to_u64().expect("fits for n <= 16"))
+            .collect()
+    }
+
+    #[test]
+    fn full_table_matches_per_index_path_n4_to_n6() {
+        for n in 4usize..=6 {
+            let total = factorials_u64(n)[n];
+            let mut decoder = BlockDecoder::new(n);
+            assert_eq!(
+                decoder.decode_words(0..total),
+                naive_words(n, 0..total),
+                "n = {n}"
+            );
+        }
+    }
+
+    #[test]
+    fn chunked_decoding_tiles_to_the_same_table() {
+        // Decoding [0, n!) in blocks of any size must concatenate to
+        // exactly the monolithic table (block boundaries invisible).
+        let n = 6;
+        let total = factorials_u64(n)[n];
+        let mut decoder = BlockDecoder::new(n);
+        let whole = decoder.decode_words(0..total);
+        for block in [1u64, 7, 64, 719, 720] {
+            let mut tiled = Vec::new();
+            let mut base = 0u64;
+            while base < total {
+                let end = (base + block).min(total);
+                decoder.decode_words_into(base..end, &mut tiled);
+                base = end;
+            }
+            assert_eq!(tiled, whole, "block size {block}");
+        }
+    }
+
+    #[test]
+    fn mid_range_blocks_match() {
+        let mut decoder = BlockDecoder::new(7);
+        assert_eq!(decoder.decode_words(100..164), naive_words(7, 100..164));
+        assert_eq!(decoder.decode_words(5039..5040), naive_words(7, 5039..5040));
+    }
+
+    #[test]
+    fn for_each_word_reports_ascending_indices() {
+        let mut decoder = BlockDecoder::new(5);
+        let mut seen = Vec::new();
+        decoder.for_each_word(17..42, |i, w| seen.push((i, w)));
+        assert_eq!(seen.len(), 25);
+        for (offset, (index, word)) in seen.iter().enumerate() {
+            assert_eq!(*index, 17 + offset as u64);
+            assert_eq!(
+                *word,
+                unrank_u64(5, *index).pack().to_u64().unwrap(),
+                "index {index}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_ranges_and_degenerate_sizes() {
+        let mut decoder = BlockDecoder::new(4);
+        assert!(decoder.decode_words(5..5).is_empty());
+        let mut one = BlockDecoder::new(1);
+        assert_eq!(one.total(), 1);
+        assert_eq!(one.decode_words(0..1), vec![0]);
+    }
+
+    #[test]
+    fn widest_supported_size_packs_correctly() {
+        // n = 16: the packed word is exactly 64 bits.
+        let mut decoder = BlockDecoder::new(16);
+        let words = decoder.decode_words(0..3);
+        assert_eq!(words, naive_words(16, 0..3));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of the supported 1..=16")]
+    fn oversized_n_rejected() {
+        BlockDecoder::new(17);
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond n!")]
+    fn out_of_range_end_rejected() {
+        BlockDecoder::new(4).decode_words(0..25);
+    }
+}

@@ -73,8 +73,12 @@ impl Iterator for IndexedPermutations {
         let index = self.front.clone();
         self.front.add_u64_assign(1);
         if self.front < self.back {
-            self.front_perm = perm.next_lex();
-            debug_assert!(self.front_perm.is_some(), "successor must exist below n!");
+            // One clone per yielded item (`perm` is handed out); the
+            // successor itself is computed in place.
+            let mut succ = perm.clone();
+            let stepped = succ.next_lex_into();
+            debug_assert!(stepped, "successor must exist below n!");
+            self.front_perm = Some(succ);
         }
         Some((index, perm))
     }
@@ -98,8 +102,10 @@ impl DoubleEndedIterator for IndexedPermutations {
             .take()
             .unwrap_or_else(|| unrank(self.n, &self.back));
         if self.front < self.back {
-            self.back_perm = perm.prev_lex();
-            debug_assert!(self.back_perm.is_some(), "predecessor must exist above 0");
+            let mut pred = perm.clone();
+            let stepped = pred.prev_lex_into();
+            debug_assert!(stepped, "predecessor must exist above 0");
+            self.back_perm = Some(pred);
         }
         Some((self.back.clone(), perm))
     }

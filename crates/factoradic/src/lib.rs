@@ -37,12 +37,14 @@
 //! assert_eq!(rank(&p).to_u64(), Some(11));
 //! ```
 
+pub mod block;
 pub mod combinadic;
 pub mod digits;
 pub mod iter;
 pub mod rank;
 pub mod variations;
 
+pub use block::BlockDecoder;
 pub use combinadic::{binomial, rank_combination, to_codeword, unrank_combination};
 pub use digits::{
     factorials_u64, from_digits, from_digits_u64, to_digits, to_digits_greedy, to_digits_u64,

@@ -22,44 +22,100 @@ pub fn unrank_u64(n: usize, index: u64) -> Permutation {
     Permutation::from_lehmer(&to_digits_u64(n, index))
 }
 
+/// The position of the `k`-th set bit of `mask` (0-based from the LSB)
+/// by branchless popcount halving: six fixed steps, each counting the
+/// low half of the remaining window and conditionally descending into
+/// the high half with arithmetic (no data-dependent branches).
+///
+/// `k` must be below `mask.count_ones()` (debug-asserted); the result
+/// is unspecified otherwise.
+#[inline]
+pub(crate) fn select_nth_set(mask: u64, mut k: u32) -> u32 {
+    debug_assert!(k < mask.count_ones(), "select past the last set bit");
+    let mut window = mask;
+    let mut pos = 0u32;
+    for shift in [32u32, 16, 8, 4, 2, 1] {
+        let low = window & ((1u64 << shift) - 1);
+        let count = low.count_ones();
+        let descend = u32::from(k >= count);
+        k -= count * descend;
+        pos += shift * descend;
+        window >>= shift * descend;
+    }
+    pos
+}
+
 /// Reusable state for allocation-free bulk unranking (the Table II CPU
-/// baseline in its fastest form): factorials are precomputed once and
-/// the remaining-element scratch is reused across calls.
+/// baseline in its fastest form). Two precomputed tables mirror the
+/// paper's Fig. 1 dataflow in software:
+///
+/// - the digit multiples `s·i!` (`s ≤ i`), so each factoradic digit is
+///   extracted by the paper's greedy compare/subtract cascade —
+///   branchless comparison counting, no division;
+/// - a `u64` occupancy bitboard of the not-yet-used elements, with
+///   popcount-based select-nth-set-bit replacing the old `Vec<u32>`
+///   scratch and its O(n) `remove()` memmove per digit — the software
+///   mirror of the paper's one-hot MUX element-selection column.
 #[derive(Debug, Clone)]
 pub struct Unranker {
     n: usize,
     factorials: Vec<u64>,
-    scratch: Vec<u32>,
+    /// Row `i` (stride `n`) holds `s·i!` for `s = 0..=i`: the Fig. 1
+    /// comparator-bank constants.
+    multiples: Vec<u64>,
 }
 
 impl Unranker {
     /// An unranker for `n`-element permutations (`n ≤ 20`).
     pub fn new(n: usize) -> Self {
+        let factorials = crate::digits::factorials_u64(n);
+        let mut multiples = vec![0u64; n * n];
+        for i in 0..n {
+            for s in 0..=i {
+                // s ≤ i, so s·i! < (i+1)! ≤ 20! — no overflow.
+                multiples[i * n + s] = s as u64 * factorials[i];
+            }
+        }
         Unranker {
             n,
-            factorials: crate::digits::factorials_u64(n),
-            scratch: Vec::with_capacity(n),
+            factorials,
+            multiples,
         }
     }
 
     /// Writes the `index`-th permutation into `out` (resized to `n`).
-    /// No heap allocation after warm-up.
+    /// No heap allocation after warm-up, no division, no scratch-vector
+    /// shifting: digits come from the greedy compare/subtract cascade
+    /// and elements from the occupancy bitboard.
     ///
     /// # Panics
     /// Panics if `index >= n!`.
     pub fn unrank_into(&mut self, index: u64, out: &mut Vec<u32>) {
         let n = self.n;
         assert!(index < self.factorials[n], "index out of range for n = {n}");
-        self.scratch.clear();
-        self.scratch.extend(0..n as u32);
         out.clear();
+        if n == 0 {
+            return;
+        }
+        // Bit e set ⇔ element e not yet placed (n ≤ 20 < 64).
+        let mut free: u64 = (1u64 << n) - 1;
         let mut rem = index;
         for i in (0..n).rev() {
-            let f = self.factorials[i];
-            let digit = (rem / f) as usize;
-            rem %= f;
-            out.push(self.scratch.remove(digit));
+            // Greedy digit: the number of multiples s·i! (s = 1..=i)
+            // that fit under the remainder — a thermometer comparison,
+            // compiled to conditional adds.
+            let row = &self.multiples[i * n..i * n + i + 1];
+            let mut digit = 0usize;
+            for &m in &row[1..] {
+                digit += usize::from(rem >= m);
+            }
+            rem -= row[digit];
+            // The digit-th smallest unused element, by bitboard select.
+            let elem = select_nth_set(free, digit as u32);
+            free &= !(1u64 << elem);
+            out.push(elem);
         }
+        debug_assert_eq!(rem, 0);
     }
 
     /// Allocating convenience wrapper (equivalent to [`unrank_u64`]).
@@ -181,9 +237,65 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "out of range")]
-    fn unranker_range_check() {
+    #[should_panic(expected = "index out of range for n = 4")]
+    fn unranker_range_check_message_pinned() {
         Unranker::new(4).unrank(24);
+    }
+
+    #[test]
+    #[should_panic(expected = "index 24 out of range for n = 4 (n! = 24)")]
+    fn unrank_u64_range_check_message_pinned() {
+        unrank_u64(4, 24);
+    }
+
+    #[test]
+    fn select_nth_set_matches_naive_scan() {
+        // Differential check of the branchless halving select against a
+        // clear-lowest-bit reference, across sparse and dense masks.
+        let naive = |mask: u64, k: u32| {
+            let mut m = mask;
+            for _ in 0..k {
+                m &= m - 1;
+            }
+            m.trailing_zeros()
+        };
+        let masks = [
+            1u64,
+            0b1010_1100,
+            (1u64 << 20) - 1,
+            u64::MAX,
+            0x8000_0000_0000_0001,
+            0x0123_4567_89ab_cdef,
+        ];
+        for mask in masks {
+            for k in 0..mask.count_ones() {
+                assert_eq!(
+                    select_nth_set(mask, k),
+                    naive(mask, k),
+                    "mask = {mask:#x}, k = {k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn unranker_matches_unrank_u64_at_n20_extremes() {
+        // The widest u64 size: first, last, and a mid index all agree
+        // with the per-index reference path.
+        let nfact = crate::digits::factorials_u64(20)[20];
+        let mut unranker = Unranker::new(20);
+        for index in [0u64, 1, nfact / 2, nfact - 1] {
+            assert_eq!(unranker.unrank(index), unrank_u64(20, index), "N = {index}");
+        }
+    }
+
+    #[test]
+    fn unranker_handles_degenerate_sizes() {
+        let mut buf = vec![99u32; 3];
+        Unranker::new(0).unrank_into(0, &mut buf);
+        assert!(buf.is_empty());
+        Unranker::new(1).unrank_into(0, &mut buf);
+        assert_eq!(buf, [0]);
     }
 
     #[test]

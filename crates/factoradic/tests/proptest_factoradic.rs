@@ -130,4 +130,38 @@ proptest! {
         let p = unrank_u64(n, seed % nfact);
         prop_assert!(Permutation::try_from_slice(p.as_slice()).is_ok());
     }
+
+    #[test]
+    fn unrank_roundtrip_with_boundaries(n in 1usize..=20, seed in any::<u64>()) {
+        // Every size up to the u64 limit, always including both ends of
+        // the index space alongside a random interior index.
+        let nfact = factorials_u64(n)[n];
+        for index in [0, nfact - 1, seed % nfact] {
+            prop_assert_eq!(rank_u64(&unrank_u64(n, index)), index, "n = {}", n);
+        }
+    }
+
+    #[test]
+    fn bitboard_unranker_matches_unrank_u64(n in 1usize..=20, seed in any::<u64>()) {
+        // The branchless bitboard engine against the digit-vector
+        // reference path, same index.
+        let nfact = factorials_u64(n)[n];
+        let index = seed % nfact;
+        let mut unranker = Unranker::new(n);
+        prop_assert_eq!(unranker.unrank(index), unrank_u64(n, index));
+    }
+
+    #[test]
+    fn block_decoder_matches_per_index_unranking(n in 4usize..=8, a in any::<u64>(), b in any::<u64>()) {
+        // A random sub-range of [0, n!): block decoding must equal the
+        // per-index unrank + pack path entry for entry.
+        let nfact = factorials_u64(n)[n];
+        let (a, b) = (a % (nfact + 1), b % (nfact + 1));
+        let range = a.min(b)..(a.max(b).min(a.min(b) + 500));
+        let naive: Vec<u64> = range
+            .clone()
+            .map(|i| unrank_u64(n, i).pack().to_u64().unwrap())
+            .collect();
+        prop_assert_eq!(BlockDecoder::new(n).decode_words(range), naive);
+    }
 }

@@ -8,57 +8,93 @@
 
 use crate::Permutation;
 
+/// Advances `v` to its lexicographic successor in place (classic Knuth
+/// Algorithm L: pivot, swap, reverse suffix — no allocation). Returns
+/// `false` and leaves `v` untouched when it is already the last
+/// permutation (descending sequence).
+///
+/// This is the slice-level core behind [`Permutation::next_lex_into`],
+/// exposed so bulk decoders can step raw element buffers without
+/// constructing a `Permutation` per item.
+pub fn next_lex_in_slice(v: &mut [u32]) -> bool {
+    let n = v.len();
+    if n < 2 {
+        return false;
+    }
+    // Longest descending suffix; pivot is just before it.
+    let mut i = n - 1;
+    while i > 0 && v[i - 1] >= v[i] {
+        i -= 1;
+    }
+    if i == 0 {
+        return false;
+    }
+    let pivot = i - 1;
+    // Smallest element in the suffix greater than the pivot.
+    let mut j = n - 1;
+    while v[j] <= v[pivot] {
+        j -= 1;
+    }
+    v.swap(pivot, j);
+    v[i..].reverse();
+    true
+}
+
+/// Steps `v` back to its lexicographic predecessor in place. Returns
+/// `false` and leaves `v` untouched when it is already the first
+/// permutation (ascending sequence). Mirror of [`next_lex_in_slice`].
+pub fn prev_lex_in_slice(v: &mut [u32]) -> bool {
+    let n = v.len();
+    if n < 2 {
+        return false;
+    }
+    let mut i = n - 1;
+    while i > 0 && v[i - 1] <= v[i] {
+        i -= 1;
+    }
+    if i == 0 {
+        return false;
+    }
+    let pivot = i - 1;
+    let mut j = n - 1;
+    while v[j] >= v[pivot] {
+        j -= 1;
+    }
+    v.swap(pivot, j);
+    v[i..].reverse();
+    true
+}
+
 impl Permutation {
+    /// Advances `self` to its lexicographic successor in place —
+    /// allocation-free, O(n) worst case and O(1) amortized over a
+    /// sequential walk. Returns `false` (leaving `self` unchanged) when
+    /// `self` is already the last permutation.
+    pub fn next_lex_into(&mut self) -> bool {
+        next_lex_in_slice(self.as_mut_slice())
+    }
+
+    /// Steps `self` back to its lexicographic predecessor in place.
+    /// Returns `false` (leaving `self` unchanged) when `self` is
+    /// already the identity. Mirror of [`Permutation::next_lex_into`].
+    pub fn prev_lex_into(&mut self) -> bool {
+        prev_lex_in_slice(self.as_mut_slice())
+    }
+
     /// The next permutation in lexicographic order, or `None` if `self`
-    /// is the last one (descending sequence). Classic Knuth Algorithm L.
+    /// is the last one (descending sequence). Allocating wrapper over
+    /// the in-place [`Permutation::next_lex_into`].
     pub fn next_lex(&self) -> Option<Permutation> {
-        let mut v = self.as_slice().to_vec();
-        let n = v.len();
-        if n < 2 {
-            return None;
-        }
-        // Longest descending suffix; pivot is just before it.
-        let mut i = n - 1;
-        while i > 0 && v[i - 1] >= v[i] {
-            i -= 1;
-        }
-        if i == 0 {
-            return None;
-        }
-        let pivot = i - 1;
-        // Smallest element in the suffix greater than the pivot.
-        let mut j = n - 1;
-        while v[j] <= v[pivot] {
-            j -= 1;
-        }
-        v.swap(pivot, j);
-        v[i..].reverse();
-        Some(Permutation::from_vec_unchecked(v))
+        let mut succ = self.clone();
+        succ.next_lex_into().then_some(succ)
     }
 
     /// The previous permutation in lexicographic order, or `None` if
-    /// `self` is the identity.
+    /// `self` is the identity. Allocating wrapper over the in-place
+    /// [`Permutation::prev_lex_into`].
     pub fn prev_lex(&self) -> Option<Permutation> {
-        let mut v = self.as_slice().to_vec();
-        let n = v.len();
-        if n < 2 {
-            return None;
-        }
-        let mut i = n - 1;
-        while i > 0 && v[i - 1] <= v[i] {
-            i -= 1;
-        }
-        if i == 0 {
-            return None;
-        }
-        let pivot = i - 1;
-        let mut j = n - 1;
-        while v[j] >= v[pivot] {
-            j -= 1;
-        }
-        v.swap(pivot, j);
-        v[i..].reverse();
-        Some(Permutation::from_vec_unchecked(v))
+        let mut pred = self.clone();
+        pred.prev_lex_into().then_some(pred)
     }
 
     /// The lexicographically last permutation `n−1 … 1 0` (index `n!−1`).
@@ -86,7 +122,12 @@ impl Iterator for AllPermutations {
 
     fn next(&mut self) -> Option<Permutation> {
         let cur = self.next.take()?;
-        self.next = cur.next_lex();
+        // One clone per yielded item (unavoidable: `cur` is handed out),
+        // but the successor itself is computed in place.
+        let mut succ = cur.clone();
+        if succ.next_lex_into() {
+            self.next = Some(succ);
+        }
         Some(cur)
     }
 }
@@ -138,5 +179,43 @@ mod tests {
         assert_eq!(Permutation::all(0).count(), 1);
         assert_eq!(Permutation::all(1).count(), 1);
         assert_eq!(Permutation::all(2).count(), 2);
+    }
+
+    #[test]
+    fn in_place_walk_matches_allocating_wrappers_exhaustively() {
+        // Forward: step a single permutation through all of S_5 in place
+        // and compare every state against the allocating successor chain.
+        let mut walker = Permutation::identity(5);
+        let mut reference = Permutation::identity(5);
+        for _ in 0..119 {
+            assert!(walker.next_lex_into());
+            reference = reference.next_lex().unwrap();
+            assert_eq!(walker, reference);
+        }
+        assert!(!walker.next_lex_into(), "last permutation has no successor");
+        assert_eq!(walker, Permutation::last_lex(5), "failed step leaves value");
+        // Backward, all the way home.
+        for _ in 0..119 {
+            assert!(walker.prev_lex_into());
+            assert_eq!(Some(walker.clone()), reference.prev_lex());
+            reference = reference.prev_lex().unwrap();
+        }
+        assert!(!walker.prev_lex_into(), "identity has no predecessor");
+        assert!(walker.is_identity(), "failed step leaves value");
+    }
+
+    #[test]
+    fn slice_core_handles_degenerate_lengths() {
+        let mut empty: [u32; 0] = [];
+        assert!(!next_lex_in_slice(&mut empty));
+        assert!(!prev_lex_in_slice(&mut empty));
+        let mut single = [0u32];
+        assert!(!next_lex_in_slice(&mut single));
+        assert!(!prev_lex_in_slice(&mut single));
+        let mut pair = [0u32, 1];
+        assert!(next_lex_in_slice(&mut pair));
+        assert_eq!(pair, [1, 0]);
+        assert!(prev_lex_in_slice(&mut pair));
+        assert_eq!(pair, [0, 1]);
     }
 }

@@ -56,6 +56,63 @@ impl Permutation {
     pub fn packed_width(n: usize) -> usize {
         n * bits_per_element(n)
     }
+
+    /// `u64` fast path of [`Permutation::pack`]: the same
+    /// `n·⌈log₂n⌉`-bit word, assembled by a single shift/or fold with no
+    /// bignum allocation.
+    ///
+    /// # Panics
+    /// Panics if the packed word exceeds 64 bits (`n > 16`).
+    pub fn pack_u64(&self) -> u64 {
+        let n = self.n();
+        let b = bits_per_element(n);
+        assert!(
+            n * b <= 64,
+            "packed width {} exceeds the u64 fast path (n = {n})",
+            n * b
+        );
+        // Position 0 is the most-significant field, so a left-to-right
+        // fold lands every element at the same offset as pack().
+        self.as_slice()
+            .iter()
+            .fold(0u64, |acc, &v| (acc << b) | v as u64)
+    }
+}
+
+/// The packed word of the identity permutation (`0 1 … n−1`), on the
+/// `u64` fast path. Fixed points of any packed word are exactly the
+/// fields where it agrees with this constant.
+///
+/// # Panics
+/// Panics if the packed word exceeds 64 bits (`n > 16`).
+pub fn packed_identity_u64(n: usize) -> u64 {
+    let b = bits_per_element(n);
+    assert!(
+        n * b <= 64,
+        "packed width {} exceeds the u64 fast path (n = {n})",
+        n * b
+    );
+    (0..n as u64).fold(0u64, |acc, v| (acc << b) | v)
+}
+
+/// Derangement test directly on a packed `u64` word, without unpacking:
+/// XOR against the packed identity and require every `⌈log₂n⌉`-bit
+/// field to be non-zero (a zero field is a fixed point). This is the
+/// allocation-free predicate behind the Monte-Carlo fast path.
+///
+/// # Panics
+/// Panics if the packed word exceeds 64 bits (`n > 16`).
+pub fn packed_is_derangement(n: usize, word: u64) -> bool {
+    let b = bits_per_element(n);
+    let field = (1u64 << b) - 1;
+    let mut diff = word ^ packed_identity_u64(n);
+    for _ in 0..n {
+        if diff & field == 0 {
+            return false;
+        }
+        diff >>= b;
+    }
+    true
 }
 
 #[cfg(test)]
@@ -106,5 +163,41 @@ mod tests {
         let w = p.pack();
         assert!(w.bit_len() > 64);
         assert_eq!(Permutation::unpack(20, &w).unwrap(), p);
+    }
+
+    #[test]
+    fn pack_u64_matches_pack_exhaustive_n5_and_at_the_width_limit() {
+        for p in Permutation::all(5) {
+            assert_eq!(Some(p.pack_u64()), p.pack().to_u64());
+        }
+        // n = 16 is exactly 64 bits — the widest the fast path accepts.
+        let wide = Permutation::last_lex(16);
+        assert_eq!(Some(wide.pack_u64()), wide.pack().to_u64());
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the u64 fast path")]
+    fn pack_u64_rejects_wide_permutations() {
+        Permutation::identity(17).pack_u64();
+    }
+
+    #[test]
+    fn packed_identity_agrees_with_identity_pack() {
+        for n in [1usize, 2, 4, 9, 16] {
+            assert_eq!(packed_identity_u64(n), Permutation::identity(n).pack_u64());
+        }
+    }
+
+    #[test]
+    fn packed_derangement_matches_slice_predicate_exhaustively() {
+        for n in [1usize, 2, 4, 5] {
+            for p in Permutation::all(n) {
+                assert_eq!(
+                    packed_is_derangement(n, p.pack_u64()),
+                    p.is_derangement(),
+                    "n = {n}, p = {p}"
+                );
+            }
+        }
     }
 }

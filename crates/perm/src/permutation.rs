@@ -101,6 +101,21 @@ impl Permutation {
         self.map
     }
 
+    /// Mutable view of the one-line notation for in-place rearrangement
+    /// within this crate. Callers must preserve the permutation
+    /// invariant (only element-preserving rewrites are allowed).
+    #[inline]
+    pub(crate) fn as_mut_slice(&mut self) -> &mut [u32] {
+        &mut self.map
+    }
+
+    /// Resets to the identity in place, without reallocating.
+    pub fn reset_identity(&mut self) {
+        for (i, v) in self.map.iter_mut().enumerate() {
+            *v = i as u32;
+        }
+    }
+
     /// Element at position `i`.
     #[inline]
     pub fn at(&self, i: usize) -> u32 {

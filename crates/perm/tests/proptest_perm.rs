@@ -90,6 +90,50 @@ proptest! {
     }
 
     #[test]
+    fn in_place_lex_steps_match_allocating_wrappers(p in permutation(20)) {
+        // next_lex_into/prev_lex_into must agree with next_lex/prev_lex
+        // on both the stepped value and boundary behaviour (false ⇒
+        // value untouched).
+        let mut fwd = p.clone();
+        match p.next_lex() {
+            Some(next) => {
+                prop_assert!(fwd.next_lex_into());
+                prop_assert_eq!(&fwd, &next);
+            }
+            None => {
+                prop_assert!(!fwd.next_lex_into());
+                prop_assert_eq!(&fwd, &p);
+            }
+        }
+        let mut bwd = p.clone();
+        match p.prev_lex() {
+            Some(prev) => {
+                prop_assert!(bwd.prev_lex_into());
+                prop_assert_eq!(&bwd, &prev);
+            }
+            None => {
+                prop_assert!(!bwd.prev_lex_into());
+                prop_assert_eq!(&bwd, &p);
+            }
+        }
+    }
+
+    #[test]
+    fn pack_u64_matches_general_pack(p in permutation(16)) {
+        // The u64 fast path against the Ubig packing, over the whole
+        // supported width range (n = 16 packs to exactly 64 bits).
+        prop_assert_eq!(Some(p.pack_u64()), p.pack().to_u64());
+    }
+
+    #[test]
+    fn packed_derangement_matches_unpacked(p in permutation(16)) {
+        prop_assert_eq!(
+            hwperm_perm::packed_is_derangement(p.n(), p.pack_u64()),
+            p.is_derangement()
+        );
+    }
+
+    #[test]
     fn apply_then_inverse_apply_restores(p in permutation(25)) {
         let data: Vec<u32> = (0..p.n() as u32).map(|x| x * 10 + 3).collect();
         let permuted = p.apply(&data);

@@ -16,10 +16,12 @@
 //!
 //! The expectation table is data, not a closure, so the timed region of
 //! a scalar-vs-batched benchmark measures simulation throughput alone —
-//! software unranking cost is paid once, outside both sweeps.
+//! software unranking cost is paid once, outside both sweeps. Table
+//! generation itself lives in the oracle module
+//! ([`crate::expected_permutation_words`] — block-decoded, with a
+//! thread-sharded variant).
 
 use hwperm_bignum::Ubig;
-use hwperm_factoradic::unrank_u64;
 use hwperm_logic::{BatchSimulator, Netlist, Simulator, LANES};
 use std::fmt;
 
@@ -47,30 +49,6 @@ impl fmt::Display for ExhaustiveMismatch {
 }
 
 impl std::error::Error for ExhaustiveMismatch {}
-
-/// The expectation table for the Fig. 1 converter: element `i` is the
-/// packed word of the permutation at factoradic index `i`, for every
-/// `i` in `[0, n!)`.
-///
-/// Precomputed once so differential sweeps (and benchmarks) compare
-/// pure simulation against data instead of re-unranking per index.
-///
-/// # Panics
-/// Panics if `n` is 0 or large enough that the table or the packed word
-/// would not fit (`n > 9` — 9! = 362 880 entries is already far past
-/// every circuit this workspace generates).
-pub fn expected_permutation_words(n: usize) -> Vec<u64> {
-    assert!((1..=9).contains(&n), "n = {n} out of the supported 1..=9");
-    let total = (1..=n as u64).product::<u64>();
-    (0..total)
-        .map(|i| {
-            unrank_u64(n, i)
-                .pack()
-                .to_u64()
-                .expect("packed width <= 64 for n <= 9")
-        })
-        .collect()
-}
 
 pub(crate) fn port_width_checked(
     netlist: &Netlist,
@@ -499,19 +477,6 @@ mod tests {
         let nl = passthrough();
         let expected: Vec<u64> = (0..9).collect(); // 9 > 2^3
         let _ = exhaustive_check_batched(&nl, "x", "y", &expected);
-    }
-
-    #[test]
-    fn expected_words_match_identity_at_index_zero() {
-        // Index 0 unranks to the identity permutation.
-        let words = expected_permutation_words(4);
-        assert_eq!(words.len(), 24);
-        let identity = unrank_u64(4, 0).pack().to_u64().unwrap();
-        assert_eq!(words[0], identity);
-        // All 24 words are distinct (a converter that collapses two
-        // indices would be caught by *some* entry).
-        let set: std::collections::HashSet<u64> = words.iter().copied().collect();
-        assert_eq!(set.len(), 24);
     }
 
     /// Decoder bank: exactly one-hot for every select value.

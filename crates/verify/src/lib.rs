@@ -43,14 +43,16 @@
 
 mod exhaustive;
 mod onehot;
+mod oracle;
 mod parallel;
 
 pub use exhaustive::{
     exhaustive_check_batched, exhaustive_check_batched_with, exhaustive_check_scalar,
-    exhaustive_check_scalar_with, expected_permutation_words, find_one_hot_violation_batched,
-    BatchedExpectation, ExhaustiveMismatch,
+    exhaustive_check_scalar_with, find_one_hot_violation_batched, BatchedExpectation,
+    ExhaustiveMismatch,
 };
 pub use onehot::{check_one_hot_bank, OneHotReport, OneHotStatus, DEFAULT_NODE_BUDGET};
+pub use oracle::{expected_permutation_words, expected_permutation_words_parallel};
 pub use parallel::{
     exhaustive_check_parallel, exhaustive_check_parallel_repeat, exhaustive_check_parallel_with,
     find_one_hot_violation_parallel,

@@ -1,0 +1,90 @@
+//! Parity suite for the block-decoded oracle tables (ISSUE PR 4
+//! acceptance): the block-decoding engine and its thread-sharded
+//! variant must be indistinguishable from the per-index unranking path
+//! — byte for byte, for every n and every worker count.
+
+use hwperm_factoradic::{unrank_u64, BlockDecoder};
+use hwperm_verify::{expected_permutation_words, expected_permutation_words_parallel};
+
+/// The per-index reference path: one full factoradic decode + pack per
+/// index, exactly what `expected_permutation_words` did before the
+/// block-decoding engine.
+fn per_index_words(n: usize) -> Vec<u64> {
+    let total: u64 = (1..=n as u64).product();
+    (0..total)
+        .map(|i| {
+            unrank_u64(n, i)
+                .pack()
+                .to_u64()
+                .expect("packed width <= 64 for n <= 9")
+        })
+        .collect()
+}
+
+#[test]
+fn block_decoded_table_matches_per_index_path_n4_to_n8() {
+    for n in 4usize..=8 {
+        assert_eq!(expected_permutation_words(n), per_index_words(n), "n = {n}");
+    }
+}
+
+#[test]
+fn chunked_block_decoding_tiles_to_the_per_index_table() {
+    // Concatenating blocks of any size must reproduce the per-index
+    // table exactly — block boundaries are invisible.
+    for n in [4usize, 5, 6] {
+        let reference = per_index_words(n);
+        let total = reference.len() as u64;
+        let mut decoder = BlockDecoder::new(n);
+        for block in [1u64, 3, 64, 120, 719] {
+            let mut tiled = Vec::new();
+            let mut base = 0u64;
+            while base < total {
+                let end = (base + block).min(total);
+                decoder.decode_words_into(base..end, &mut tiled);
+                base = end;
+            }
+            assert_eq!(tiled, reference, "n = {n}, block size {block}");
+        }
+    }
+}
+
+#[test]
+fn parallel_table_byte_identical_for_n4_to_n8() {
+    // The acceptance sweep at the sizes that run quickly in debug
+    // builds; n = 9 (362 880 entries) is covered by the release-gated
+    // test below.
+    for n in 4usize..=8 {
+        let reference = per_index_words(n);
+        for workers in [1usize, 2, 3, 8] {
+            assert_eq!(
+                expected_permutation_words_parallel(n, workers),
+                reference,
+                "n = {n}, workers = {workers}"
+            );
+        }
+    }
+}
+
+#[test]
+fn parallel_table_byte_identical_at_n9() {
+    // The full acceptance bound: 9! = 362 880 entries. The sharded
+    // tables are compared against the per-index reference, so this also
+    // covers the sequential block-decoded path (workers = 1).
+    let reference = per_index_words(9);
+    for workers in [1usize, 2, 3, 8] {
+        assert_eq!(
+            expected_permutation_words_parallel(9, workers),
+            reference,
+            "workers = {workers}"
+        );
+    }
+}
+
+#[test]
+fn worker_counts_beyond_the_index_space_degrade_gracefully() {
+    // More workers than indices: surplus shards are empty, output
+    // unchanged.
+    let reference = per_index_words(4);
+    assert_eq!(expected_permutation_words_parallel(4, 100), reference);
+}
