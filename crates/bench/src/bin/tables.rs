@@ -7,23 +7,26 @@
 //!
 //! Subcommands: `table1 table2 table3 table4 fig1 fig3 bias fig4
 //! derangements naive sorter parallel cascade rank variations prove
-//! simbench threadbench oraclebench verify all` (plus `fig4-netlist` to
-//! run Fig. 4 on the gate-level simulation instead of the bit-exact
-//! mirror, `simbench-json` to emit the scalar-vs-batched record CI
-//! stores as `BENCH_sim.json`, `threadbench-json` for the workers × n
-//! scaling matrix CI stores as `BENCH_parallel.json`, and
-//! `oraclebench-json` for the table-generation matrix CI stores as
-//! `BENCH_oracle.json`).
+//! simbench threadbench oraclebench faultbench verify all` (plus
+//! `fig4-netlist` to run Fig. 4 on the gate-level simulation instead
+//! of the bit-exact mirror, `simbench-json` to emit the
+//! scalar-vs-batched record CI stores as `BENCH_sim.json`,
+//! `threadbench-json` for the workers × n scaling matrix CI stores as
+//! `BENCH_parallel.json`, `oraclebench-json` for the table-generation
+//! matrix CI stores as `BENCH_oracle.json`, and `faultbench-json` for
+//! the stuck-at campaign matrix CI stores as `BENCH_faults.json`).
 
 use hwperm_bench::{
-    baselines, extensions, figures, oraclebench, resources, simbench, tables, threadbench,
+    baselines, extensions, faultbench, figures, oraclebench, resources, simbench, tables,
+    threadbench,
 };
 
 fn usage() -> ! {
     eprintln!(
         "usage: tables <experiment>\n  experiments: table1 table2 table3 table4 fig1 fig3 bias \
          fig4 fig4-netlist derangements naive sorter parallel verify cascade rank variations prove \
-         simbench simbench-json threadbench threadbench-json oraclebench oraclebench-json all"
+         simbench simbench-json threadbench threadbench-json oraclebench oraclebench-json \
+         faultbench faultbench-json all"
     );
     std::process::exit(2);
 }
@@ -56,6 +59,8 @@ fn main() {
         "threadbench-json" => print!("{}", threadbench::thread_scaling_json()),
         "oraclebench" => print!("{}", oraclebench::oracle_throughput_text()),
         "oraclebench-json" => print!("{}", oraclebench::oracle_throughput_json()),
+        "faultbench" => print!("{}", faultbench::fault_campaign_text()),
+        "faultbench-json" => print!("{}", faultbench::fault_campaign_json()),
         _ => usage(),
     };
     if arg == "all" {
@@ -79,6 +84,7 @@ fn main() {
             "simbench",
             "threadbench",
             "oraclebench",
+            "faultbench",
             "prove",
         ] {
             println!("==================================================================");

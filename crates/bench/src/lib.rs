@@ -9,6 +9,7 @@
 #![warn(missing_docs)]
 pub mod baselines;
 pub mod extensions;
+pub mod faultbench;
 pub mod figures;
 pub mod oraclebench;
 pub mod resources;

@@ -64,6 +64,14 @@ usage: hwperm <command> [args]
                                   Error-severity diagnostic fires)
   bias <m> <k>                   pigeonhole bias of an m-bit LFSR over [0,k)
   sort <key> <key> ...           sort through the selection network
+  faults <n> [--family F] [--jobs N] [--json]
+                                 single-stuck-at fault campaign against
+                                 the exhaustive oracle (family:
+                                 converter | rank | combination |
+                                 variation | sort | all; default
+                                 converter); reports detected / silent /
+                                 masked verdicts, coverage percentages,
+                                 and every silent fault's witness
   verify <n> [--batch] [--jobs N]  netlist vs software cross-check
                                  (--batch: 64-lane word-level gate
                                   sweep of the converter netlist;
@@ -121,6 +129,56 @@ fn lint_family_netlist(family: &str, n: usize) -> Result<hwperm_logic::Netlist, 
         "sort" => SortingNetwork::new(n, key_width.max(2)).netlist().clone(),
         "random-index" => RandomIndexGenerator::new(n, 0x5eed).netlist().clone(),
         other => return Err(err(format!("unknown circuit {other:?}"))),
+    })
+}
+
+/// Every circuit family `hwperm faults` can campaign over: purely
+/// combinational, one input port, one output port.
+const CAMPAIGN_FAMILIES: [&str; 5] = ["converter", "rank", "combination", "variation", "sort"];
+
+/// Builds the named family's netlist at size `n` plus its (input,
+/// output) port pair for a fault campaign. Derived parameters match
+/// [`lint_family_netlist`]: combination/variation take k = ⌈n/2⌉, the
+/// sorter keys are wide enough to hold n distinct values.
+fn campaign_family_netlist(
+    family: &str,
+    n: usize,
+) -> Result<(hwperm_logic::Netlist, &'static str, &'static str), CliError> {
+    use hwperm_circuits::{IndexToCombinationConverter, IndexToVariationConverter};
+    let k = n.div_ceil(2);
+    let key_width = (usize::BITS as usize - (n - 1).leading_zeros() as usize).max(2);
+    Ok(match family {
+        "converter" => (
+            converter_netlist(n, ConverterOptions::default()),
+            "index",
+            "perm",
+        ),
+        "rank" => (
+            PermToIndexConverter::new(n).netlist().clone(),
+            "perm",
+            "index",
+        ),
+        "combination" => (
+            IndexToCombinationConverter::new(n, k).netlist().clone(),
+            "index",
+            "codeword",
+        ),
+        "variation" => (
+            IndexToVariationConverter::new(n, k).netlist().clone(),
+            "index",
+            "out",
+        ),
+        "sort" => (
+            SortingNetwork::new(n, key_width).netlist().clone(),
+            "data",
+            "sorted",
+        ),
+        other => {
+            return Err(err(format!(
+                "unknown campaign family {other:?} (families: converter | rank | \
+                 combination | variation | sort | all)"
+            )))
+        }
     })
 }
 
@@ -427,6 +485,137 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             };
             Ok(hwperm_logic::to_verilog(&netlist, &name))
         }
+        "faults" => {
+            const FAULTS_USAGE: &str = "usage: hwperm faults <n> [--family F] [--jobs N] [--json]";
+            let mut json = false;
+            let mut jobs = 1usize;
+            let mut family: Option<&String> = None;
+            let mut positional: Vec<&String> = Vec::new();
+            let mut it = rest.iter();
+            while let Some(arg) = it.next() {
+                match arg.as_str() {
+                    "--json" => json = true,
+                    "--jobs" => {
+                        let v = it
+                            .next()
+                            .ok_or_else(|| err("--jobs needs a worker count"))?;
+                        let v = parse_usize(v, "worker count")?;
+                        if v == 0 {
+                            return Err(err("--jobs needs at least one worker"));
+                        }
+                        jobs = v;
+                    }
+                    "--family" => {
+                        family = Some(
+                            it.next()
+                                .ok_or_else(|| err("--family needs a circuit family"))?,
+                        );
+                    }
+                    _ => positional.push(arg),
+                }
+            }
+            let n = parse_usize(positional.first().ok_or_else(|| err(FAULTS_USAGE))?, "n")?;
+            if !(2..=5).contains(&n) {
+                return Err(err(
+                    "fault campaigns sweep every fault against every input; n must be 2..=5",
+                ));
+            }
+            let families: Vec<&str> = match family.map(|s| s.as_str()) {
+                None => vec!["converter"],
+                Some("all") => CAMPAIGN_FAMILIES.to_vec(),
+                Some(f) if CAMPAIGN_FAMILIES.contains(&f) => vec![f],
+                Some(other) => {
+                    return Err(err(format!(
+                        "unknown campaign family {other:?} (families: converter | rank | \
+                         combination | variation | sort | all)"
+                    )))
+                }
+            };
+            let mut out = String::new();
+            if json {
+                out.push('[');
+            }
+            for (i, fam) in families.iter().enumerate() {
+                let (netlist, input, output) = campaign_family_netlist(fam, n)?;
+                // The converter checks against the independent
+                // block-decoded oracle plus the packed-permutation
+                // validity guard; the other families self-golden
+                // against their fault-free sweep.
+                let report = if *fam == "converter" {
+                    let expected = hwperm_verify::expected_permutation_words(n);
+                    let valid = move |word: u64| hwperm_perm::packed_is_permutation_u64(n, word);
+                    hwperm_verify::stuck_at_campaign(
+                        &netlist,
+                        input,
+                        output,
+                        &expected,
+                        Some(&valid),
+                        jobs,
+                    )
+                } else {
+                    let golden = hwperm_verify::golden_output_words(&netlist, input, output);
+                    hwperm_verify::stuck_at_campaign(&netlist, input, output, &golden, None, jobs)
+                };
+                let silent: Vec<(String, u64)> = report
+                    .silent_faults()
+                    .map(|v| {
+                        let hwperm_verify::FaultOutcome::Silent { witness } = v.outcome else {
+                            unreachable!("silent_faults yields only silent verdicts");
+                        };
+                        (v.fault.to_string(), witness)
+                    })
+                    .collect();
+                if json {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    let silent_json = silent
+                        .iter()
+                        .map(|(fault, witness)| {
+                            format!("{{\"fault\":\"{fault}\",\"witness\":{witness}}}")
+                        })
+                        .collect::<Vec<_>>()
+                        .join(",");
+                    out.push_str(&format!(
+                        "{{\"circuit\":\"{fam}\",\"n\":{n},\"workers\":{jobs},\
+                         \"faults\":{},\"detected\":{},\"silent\":{},\"masked\":{},\
+                         \"coverage_percent\":{:.2},\"guard_coverage_percent\":{:.2},\
+                         \"silent_faults\":[{silent_json}]}}",
+                        report.total(),
+                        report.detected(),
+                        report.silent(),
+                        report.masked(),
+                        report.coverage_percent(),
+                        report.guard_coverage_percent(),
+                    ));
+                } else {
+                    out.push_str(&format!(
+                        "== {fam} (n = {n}) ==\n\
+                         single-stuck-at universe: {} faults\n\
+                         detected {} | silent {} | masked {}\n\
+                         fault coverage {:.2}% | guard coverage {:.2}%\n",
+                        report.total(),
+                        report.detected(),
+                        report.silent(),
+                        report.masked(),
+                        report.coverage_percent(),
+                        report.guard_coverage_percent(),
+                    ));
+                    if silent.is_empty() {
+                        out.push_str("silent faults: none\n");
+                    } else {
+                        out.push_str("silent faults:\n");
+                        for (fault, witness) in &silent {
+                            out.push_str(&format!("  {fault} — witness index {witness}\n"));
+                        }
+                    }
+                }
+            }
+            if json {
+                out.push_str("]\n");
+            }
+            Ok(out)
+        }
         "verify" => {
             const VERIFY_USAGE: &str = "usage: hwperm verify <n> [--batch] [--jobs N]";
             let batch = rest.iter().any(|a| a == "--batch");
@@ -654,6 +843,61 @@ mod tests {
         assert!(call(&["verify", "5", "--batch", "--jobs"]).is_err());
         assert!(call(&["verify", "5", "--batch", "--jobs", "0"]).is_err());
         assert!(call(&["verify", "5", "--batch", "--jobs", "many"]).is_err());
+    }
+
+    #[test]
+    fn faults_campaign_reports_coverage() {
+        let out = call(&["faults", "4"]).unwrap();
+        assert!(out.contains("== converter (n = 4) =="), "{out}");
+        assert!(out.contains("single-stuck-at universe:"), "{out}");
+        assert!(out.contains("fault coverage"), "{out}");
+        assert!(out.contains("silent faults:"), "{out}");
+        assert!(out.contains("witness index"), "{out}");
+    }
+
+    #[test]
+    fn faults_all_sweeps_every_campaign_family() {
+        let out = call(&["faults", "3", "--family", "all", "--jobs", "2"]).unwrap();
+        for family in CAMPAIGN_FAMILIES {
+            assert!(out.contains(&format!("== {family} (n = 3) ==")), "{out}");
+        }
+    }
+
+    #[test]
+    fn faults_results_identical_across_worker_counts() {
+        let one = call(&["faults", "4", "--jobs", "1"]).unwrap();
+        for workers in ["2", "3", "8"] {
+            assert_eq!(
+                call(&["faults", "4", "--jobs", workers]).unwrap(),
+                one,
+                "workers = {workers}"
+            );
+        }
+    }
+
+    #[test]
+    fn faults_json_is_machine_readable() {
+        let out = call(&["faults", "4", "--json"]).unwrap();
+        assert!(out.starts_with('['), "{out}");
+        assert!(out.trim_end().ends_with(']'), "{out}");
+        assert!(out.contains("\"circuit\":\"converter\""), "{out}");
+        assert!(out.contains("\"coverage_percent\":"), "{out}");
+        assert!(out.contains("\"silent_faults\":[{\"fault\":\""), "{out}");
+    }
+
+    #[test]
+    fn faults_rejects_bad_usage_as_user_errors() {
+        // The satellite requirement: --jobs 0 and out-of-range <n> must
+        // come back as CliErrors (exit 2 in main), never panics.
+        assert!(call(&["faults", "4", "--jobs", "0"]).is_err());
+        assert!(call(&["faults", "4", "--jobs"]).is_err());
+        assert!(call(&["faults", "4", "--jobs", "many"]).is_err());
+        assert!(call(&["faults", "1"]).is_err());
+        assert!(call(&["faults", "6"]).is_err());
+        assert!(call(&["faults", "banana"]).is_err());
+        assert!(call(&["faults"]).is_err());
+        assert!(call(&["faults", "4", "--family", "nonsense"]).is_err());
+        assert!(call(&["faults", "4", "--family"]).is_err());
     }
 
     #[test]

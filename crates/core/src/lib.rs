@@ -29,11 +29,20 @@
 //! assert_eq!(sw.permutation(&index), hw.permutation(&index));
 //! ```
 
+//!
+//! Robustness: [`GuardedPermSource`] wraps any [`RandomPermSource`]
+//! with cheap output checking (packed permutation validity, optional
+//! rank-back spot checks) and a [`FaultPolicy`] — panic, bounded
+//! retry, or graceful fallback to the software unranker — with atomic
+//! counters exposing what the guard saw.
+
+pub mod guard;
 pub mod montecarlo;
 pub mod parallel;
 mod sources;
 pub mod stream;
 
+pub use guard::{FaultPolicy, GuardCounters, GuardStats, GuardedPermSource};
 pub use montecarlo::{
     chi_square_uniform, derangement_experiment, derangement_experiment_packed, fig4_histogram,
     DerangementResult,

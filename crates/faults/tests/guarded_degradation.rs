@@ -1,0 +1,88 @@
+//! End-to-end acceptance: a pipelined Fig. 3 shuffle circuit with a
+//! single-event upset on one element-pipeline register, wrapped in a
+//! [`GuardedPermSource`], must (a) detect the corruption on every draw
+//! and (b) still complete the paper's derangement experiment with
+//! correct statistics by gracefully degrading to the software
+//! unranker. This is the full robustness stack in one test:
+//! fault overlay → faulted circuit stream → guard → Monte Carlo.
+
+use hwperm_circuits::{shuffle_netlist, ShuffleOptions};
+use hwperm_core::{
+    derangement_experiment_packed, FaultPolicy, GuardedPermSource, RandomPermSource,
+};
+use hwperm_faults::{FaultSpec, FaultyShuffleSource};
+use hwperm_perm::packed_is_permutation_u64;
+
+const N: usize = 4;
+const OPTS: ShuffleOptions = ShuffleOptions {
+    lfsr_width: 16,
+    pipelined: true,
+    seed: 0xD15EA5E,
+};
+
+/// A pipelined shuffle source with a capture-path upset on the first
+/// element-pipeline register. For n = 4 the 2-bit element fields cover
+/// 0..4 exactly, so the flip always duplicates an element: every draw
+/// is corrupt.
+fn upset_source() -> FaultyShuffleSource {
+    let netlist = shuffle_netlist(N, OPTS);
+    let dffs = FaultyShuffleSource::pipeline_dff_nets(&netlist);
+    assert!(
+        !dffs.is_empty(),
+        "pipelined shuffle netlist has no element-pipeline registers"
+    );
+    FaultyShuffleSource::new(N, OPTS, &[FaultSpec::DffFlip { net: dffs[0] }])
+}
+
+#[test]
+fn upset_pipeline_register_corrupts_the_raw_stream() {
+    let mut faulty = upset_source();
+    for draw in 0..200 {
+        let word = faulty.next_packed_u64();
+        assert!(
+            !packed_is_permutation_u64(N, word),
+            "draw {draw} survived the upset: {word:#06b}"
+        );
+    }
+}
+
+#[test]
+fn guarded_stream_detects_the_upset_and_falls_back_with_honest_statistics() {
+    let mut guarded = GuardedPermSource::new(upset_source(), FaultPolicy::Fallback);
+    let samples = 40_000u64;
+    let result = derangement_experiment_packed(&mut guarded, samples);
+
+    // The guard saw every corrupt circuit draw and substituted a
+    // software-unranked permutation each time.
+    let stats = guarded.stats();
+    assert_eq!(stats.detected, samples, "every draw should trip the guard");
+    assert_eq!(stats.fell_back, samples);
+    assert_eq!(stats.retried, 0);
+
+    // The experiment still lands on the true derangement rate for
+    // n = 4: d_4 / 4! = 9/24 = 0.375, e ≈ 24/9.
+    assert_eq!(result.samples, samples);
+    let p = result.derangements as f64 / result.samples as f64;
+    assert!((p - 0.375).abs() < 0.02, "p = {p}");
+    assert!(
+        (result.e_estimate - 24.0 / 9.0).abs() < 0.15,
+        "e = {}",
+        result.e_estimate
+    );
+}
+
+#[test]
+fn guarded_stream_passes_a_healthy_circuit_through_untouched() {
+    let mut bare = FaultyShuffleSource::new(N, OPTS, &[]);
+    let mut guarded =
+        GuardedPermSource::new(FaultyShuffleSource::new(N, OPTS, &[]), FaultPolicy::Panic);
+    for draw in 0..500 {
+        assert_eq!(
+            guarded.next_packed_u64(),
+            bare.next_packed_u64(),
+            "guard perturbed a healthy stream at draw {draw}"
+        );
+    }
+    let stats = guarded.stats();
+    assert_eq!((stats.detected, stats.retried, stats.fell_back), (0, 0, 0));
+}

@@ -307,9 +307,28 @@ impl SimProgram {
         self.slot_of[net.index()] as usize
     }
 
+    /// First combinational slot: slots `0..comb_base()` hold state
+    /// (inputs, constants, DFF outputs, in creation order), and tape op
+    /// `j` writes slot `comb_base() + j`. External tape drivers (the
+    /// fault-overlay executors in `hwperm-faults`) use this to translate
+    /// a combinational net's slot into its tape-op position.
+    #[inline]
+    pub fn comb_base(&self) -> usize {
+        self.comb_base as usize
+    }
+
+    /// `true` iff the net is a DFF output (its slot is a register state
+    /// slot that [`SimProgram::latch`] overwrites on every clock edge).
+    ///
+    /// # Panics
+    /// Panics if the net is out of range for the source netlist.
+    pub fn is_dff_net(&self, net: NetId) -> bool {
+        matches!(self.netlist.gates()[net.index()], Gate::Dff { .. })
+    }
+
     /// A fresh per-instance value array: all-zero except baked
     /// constants and DFF reset values.
-    pub(crate) fn initial_values<W: SimWord>(&self) -> Vec<W> {
+    pub fn initial_values<W: SimWord>(&self) -> Vec<W> {
         let mut values = vec![W::splat(false); self.slot_count()];
         for &(slot, c) in &self.consts {
             values[slot as usize] = W::splat(c);
@@ -324,9 +343,32 @@ impl SimProgram {
     /// Input and DFF slots are read, never written; constant slots were
     /// baked at construction.
     #[inline]
-    pub(crate) fn exec<W: SimWord>(&self, values: &mut [W]) {
+    pub fn exec<W: SimWord>(&self, values: &mut [W]) {
+        self.exec_range(values, 0..self.opcodes.len());
+    }
+
+    /// Executes tape ops `range` (op `j` writes slot
+    /// `comb_base() + j`). Segmented execution is what lets an external
+    /// driver interpose on the wave mid-tape: run `0..j+1`, overwrite op
+    /// `j`'s output slot, then run `j+1..op_count()` — the mechanism
+    /// behind `hwperm-faults`' non-destructive stuck-at overlays. The
+    /// full-tape [`SimProgram::exec`] is this with `0..op_count()`.
+    ///
+    /// Correctness requires segments be executed in ascending,
+    /// contiguous order starting at 0 (the tape is levelized, so op `j`
+    /// only reads slots below `comb_base() + j`).
+    ///
+    /// # Panics
+    /// Panics if `range` exceeds `0..op_count()`.
+    #[inline]
+    pub fn exec_range<W: SimWord>(&self, values: &mut [W], range: std::ops::Range<usize>) {
+        assert!(
+            range.end <= self.opcodes.len(),
+            "tape range {range:?} exceeds the {}-op tape",
+            self.opcodes.len()
+        );
         let base = self.comb_base as usize;
-        for j in 0..self.opcodes.len() {
+        for j in range {
             let a = values[self.args_a[j] as usize];
             let v = match self.opcodes[j] {
                 OpCode::Not => !a,
@@ -346,7 +388,7 @@ impl SimProgram {
     /// slot. Two-phase through `scratch` so flop-to-flop chains all
     /// sample the pre-edge wave, exactly like the gate-walking
     /// simulators did with their separate state array.
-    pub(crate) fn latch<W: SimWord>(&self, values: &mut [W], scratch: &mut Vec<W>) {
+    pub fn latch<W: SimWord>(&self, values: &mut [W], scratch: &mut Vec<W>) {
         scratch.clear();
         scratch.extend(self.dffs.iter().map(|d| values[d.d as usize]));
         for (d, &v) in self.dffs.iter().zip(scratch.iter()) {
@@ -356,7 +398,7 @@ impl SimProgram {
 
     /// Resets every DFF slot to its `init` value (other slots are left
     /// as they are, like the pre-tape simulators).
-    pub(crate) fn reset<W: SimWord>(&self, values: &mut [W]) {
+    pub fn reset<W: SimWord>(&self, values: &mut [W]) {
         for d in &self.dffs {
             values[d.q as usize] = W::splat(d.init);
         }
@@ -365,8 +407,11 @@ impl SimProgram {
     /// Slots of the named input port, with the same panic diagnostics
     /// as the simulators' `set_input` (port name plus every known input
     /// and its width).
+    ///
+    /// # Panics
+    /// Panics if the port does not exist.
     #[inline]
-    pub(crate) fn input_slots(&self, name: &str) -> &[u32] {
+    pub fn input_slots(&self, name: &str) -> &[u32] {
         match self.inputs.iter().find(|p| p.name == name) {
             Some(p) => &p.slots,
             None => {
@@ -382,7 +427,7 @@ impl SimProgram {
     /// # Panics
     /// Panics if the port does not exist.
     #[inline]
-    pub(crate) fn output_slots(&self, name: &str) -> &[u32] {
+    pub fn output_slots(&self, name: &str) -> &[u32] {
         self.outputs
             .iter()
             .find(|p| p.name == name)
@@ -492,6 +537,60 @@ mod tests {
         assert!(values[y_slot]);
         p.reset(&mut values);
         assert!(values[y_slot], "reset restores init");
+    }
+
+    #[test]
+    fn segmented_exec_matches_full_exec() {
+        // Splitting the tape at every position and overwriting nothing
+        // must reproduce the one-shot wave exactly — the contract the
+        // fault-overlay executors rely on.
+        let p = SimProgram::compile(adder());
+        let mut reference: Vec<bool> = p.initial_values();
+        let x = p.input_slots("x").to_vec();
+        for (bit, &slot) in x.iter().enumerate() {
+            reference[slot as usize] = (0b1011 >> bit) & 1 == 1;
+        }
+        let seeded = reference.clone();
+        p.exec(&mut reference);
+        for split in 0..=p.op_count() {
+            let mut values = seeded.clone();
+            p.exec_range(&mut values, 0..split);
+            p.exec_range(&mut values, split..p.op_count());
+            assert_eq!(values, reference, "split at op {split}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the 17-op tape")]
+    fn exec_range_rejects_out_of_range_ops() {
+        let p = SimProgram::compile(adder());
+        assert_eq!(p.op_count(), 17, "adder tape size drifted; fix the test");
+        let mut values: Vec<bool> = p.initial_values();
+        p.exec_range(&mut values, 0..p.op_count() + 1);
+    }
+
+    #[test]
+    fn comb_base_separates_state_from_tape_slots() {
+        let mut b = Builder::new();
+        let x = b.input_bus("x", 2);
+        let q = b.dff(x[0], false);
+        let g = b.and(x[1], q);
+        b.output_bus("y", &[g]);
+        let nl = b.finish();
+        let p = SimProgram::compile(nl.clone());
+        for (i, gate) in nl.gates().iter().enumerate() {
+            let net = NetId::forged(i as u32);
+            assert_eq!(
+                p.slot(net) >= p.comb_base(),
+                gate.is_combinational(),
+                "net {i}"
+            );
+            assert_eq!(
+                p.is_dff_net(net),
+                matches!(gate, Gate::Dff { .. }),
+                "net {i}"
+            );
+        }
     }
 
     #[test]

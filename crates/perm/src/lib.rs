@@ -37,7 +37,7 @@ mod permutation;
 pub mod shuffle;
 
 pub use lex::{next_lex_in_slice, prev_lex_in_slice, AllPermutations};
-pub use pack::{packed_identity_u64, packed_is_derangement};
+pub use pack::{packed_identity_u64, packed_is_derangement, packed_is_permutation_u64};
 pub use permutation::{PermError, Permutation};
 
 /// Bits needed to represent one element of an `n`-element permutation:

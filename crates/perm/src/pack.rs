@@ -115,6 +115,42 @@ pub fn packed_is_derangement(n: usize, word: u64) -> bool {
     true
 }
 
+/// Permutation-validity test directly on a packed `u64` word, without
+/// unpacking: every `⌈log₂n⌉`-bit field must name an element below `n`,
+/// the bits above the `n·⌈log₂n⌉`-bit payload must be zero, and the
+/// popcount of the seen-element bitboard must equal `n` (an element
+/// seen twice folds onto one bit, so duplicates shrink the popcount).
+/// This is the cheap output checker behind `GuardedPermSource`.
+///
+/// # Panics
+/// Panics if the packed word exceeds 64 bits (`n > 16`).
+pub fn packed_is_permutation_u64(n: usize, word: u64) -> bool {
+    let b = bits_per_element(n);
+    let width = n * b;
+    assert!(
+        width <= 64,
+        "packed width {width} exceeds the u64 fast path (n = {n})"
+    );
+    if width < 64 && word >> width != 0 {
+        return false;
+    }
+    if n == 0 {
+        return true;
+    }
+    let field = (1u64 << b) - 1;
+    let mut seen = 0u64;
+    let mut w = word;
+    for _ in 0..n {
+        let e = w & field;
+        if e >= n as u64 {
+            return false;
+        }
+        seen |= 1u64 << e;
+        w >>= b;
+    }
+    seen.count_ones() as usize == n
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -186,6 +222,54 @@ mod tests {
         for n in [1usize, 2, 4, 9, 16] {
             assert_eq!(packed_identity_u64(n), Permutation::identity(n).pack_u64());
         }
+    }
+
+    #[test]
+    fn packed_permutation_check_matches_unpack_exhaustively() {
+        // Every 8-bit word either unpacks to a valid n = 4 permutation
+        // or fails the packed predicate — the two must agree bit for
+        // bit over the whole word space.
+        for word in 0..256u64 {
+            assert_eq!(
+                packed_is_permutation_u64(4, word),
+                Permutation::unpack(4, &Ubig::from(word)).is_ok(),
+                "word = {word:#010b}"
+            );
+        }
+    }
+
+    #[test]
+    fn packed_permutation_check_accepts_all_valid_words() {
+        for n in [1usize, 2, 3, 5, 8] {
+            for p in Permutation::all(n) {
+                assert!(packed_is_permutation_u64(n, p.pack_u64()), "p = {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn packed_permutation_check_rejects_corrupt_words() {
+        // Any single-bit flip of a packed n = 4 word collides two fields
+        // (the 2-bit fields cover 0..4 exactly), so every flip must be
+        // caught.
+        for p in Permutation::all(4) {
+            let w = p.pack_u64();
+            for bit in 0..64 {
+                assert!(
+                    !packed_is_permutation_u64(4, w ^ (1u64 << bit)),
+                    "p = {p}, bit = {bit}"
+                );
+            }
+        }
+        // Out-of-range field (element 5 for n = 5) and high-bit garbage.
+        let w5 = Permutation::identity(5).pack_u64();
+        assert!(!packed_is_permutation_u64(5, w5 | 0b101 << 12));
+        assert!(!packed_is_permutation_u64(5, w5 | 1u64 << 63));
+        // n = 16 fills the whole u64: no high-bit check applies.
+        assert!(packed_is_permutation_u64(
+            16,
+            Permutation::last_lex(16).pack_u64()
+        ));
     }
 
     #[test]

@@ -41,11 +41,24 @@
 //! assert!(a.equivalent(&c).unwrap());
 //! ```
 
+//!
+//! A fourth layer turns the sweeps inward: [`stuck_at_campaign`] runs
+//! the single-stuck-at fault universe of a netlist through 64-lane
+//! fault overlays (`hwperm-faults`), classifying every fault as
+//! detected, silent, or masked against the golden table — the
+//! measurement side of the robustness story whose runtime side is
+//! `hwperm_core`'s guarded streams.
+
+mod campaign;
 mod exhaustive;
 mod onehot;
 mod oracle;
 mod parallel;
 
+pub use campaign::{
+    golden_output_words, single_stuck_at_universe, stuck_at_campaign, stuck_at_campaign_scalar,
+    CampaignReport, FaultOutcome, FaultVerdict,
+};
 pub use exhaustive::{
     exhaustive_check_batched, exhaustive_check_batched_with, exhaustive_check_scalar,
     exhaustive_check_scalar_with, find_one_hot_violation_batched, BatchedExpectation,
