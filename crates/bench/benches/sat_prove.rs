@@ -1,0 +1,62 @@
+//! SAT proof-obligation throughput — the criterion view of
+//! `tables provebench`. CI compile-checks this target
+//! (`cargo bench --no-run`) on every push so the miter API cannot
+//! silently rot out of the bench.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hwperm_circuits::{converter_netlist, ConverterOptions, PermToIndexConverter};
+use hwperm_verify::{
+    expected_permutation_words, prove_against_table, prove_inverse_identity, ProveOutcome,
+};
+
+fn factorial(n: usize) -> u64 {
+    (1..=n as u64).product()
+}
+
+fn bench_table_proof(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sat_prove_table");
+    for n in [4usize, 5, 6] {
+        group.throughput(Throughput::Elements(factorial(n)));
+        group.bench_with_input(BenchmarkId::new("converter", n), &n, |b, &n| {
+            let netlist = converter_netlist(n, ConverterOptions::default());
+            let expected = expected_permutation_words(n);
+            b.iter(|| {
+                let out =
+                    prove_against_table(black_box(&netlist), "index", "perm", &expected).unwrap();
+                assert!(matches!(out, ProveOutcome::Proved(_)));
+                out
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_inverse_proof(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sat_prove_inverse");
+    for n in [4usize, 5] {
+        group.throughput(Throughput::Elements(factorial(n)));
+        group.bench_with_input(BenchmarkId::new("rank_unrank", n), &n, |b, &n| {
+            let conv = converter_netlist(n, ConverterOptions::default());
+            let rank = PermToIndexConverter::new(n).netlist().clone();
+            b.iter(|| {
+                let out = prove_inverse_identity(
+                    black_box(&conv),
+                    "index",
+                    "perm",
+                    &rank,
+                    "perm",
+                    "index",
+                    factorial(n),
+                    None,
+                )
+                .unwrap();
+                assert!(matches!(out, ProveOutcome::Proved(_)));
+                out
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table_proof, bench_inverse_proof);
+criterion_main!(benches);

@@ -13,12 +13,14 @@
 //! scalar-vs-batched record CI stores as `BENCH_sim.json`,
 //! `threadbench-json` for the workers × n scaling matrix CI stores as
 //! `BENCH_parallel.json`, `oraclebench-json` for the table-generation
-//! matrix CI stores as `BENCH_oracle.json`, and `faultbench-json` for
-//! the stuck-at campaign matrix CI stores as `BENCH_faults.json`).
+//! matrix CI stores as `BENCH_oracle.json`, `faultbench-json` for
+//! the stuck-at campaign matrix CI stores as `BENCH_faults.json`, and
+//! `provebench-json` for the SAT proof-obligation matrix CI stores as
+//! `BENCH_prove.json`).
 
 use hwperm_bench::{
-    baselines, extensions, faultbench, figures, oraclebench, resources, simbench, tables,
-    threadbench,
+    baselines, extensions, faultbench, figures, oraclebench, provebench, resources, simbench,
+    tables, threadbench,
 };
 
 fn usage() -> ! {
@@ -26,7 +28,7 @@ fn usage() -> ! {
         "usage: tables <experiment>\n  experiments: table1 table2 table3 table4 fig1 fig3 bias \
          fig4 fig4-netlist derangements naive sorter parallel verify cascade rank variations prove \
          simbench simbench-json threadbench threadbench-json oraclebench oraclebench-json \
-         faultbench faultbench-json all"
+         faultbench faultbench-json provebench provebench-json all"
     );
     std::process::exit(2);
 }
@@ -61,6 +63,8 @@ fn main() {
         "oraclebench-json" => print!("{}", oraclebench::oracle_throughput_json()),
         "faultbench" => print!("{}", faultbench::fault_campaign_text()),
         "faultbench-json" => print!("{}", faultbench::fault_campaign_json()),
+        "provebench" => print!("{}", provebench::prove_throughput_text()),
+        "provebench-json" => print!("{}", provebench::prove_throughput_json()),
         _ => usage(),
     };
     if arg == "all" {
@@ -85,6 +89,7 @@ fn main() {
             "threadbench",
             "oraclebench",
             "faultbench",
+            "provebench",
             "prove",
         ] {
             println!("==================================================================");

@@ -12,6 +12,7 @@ pub mod extensions;
 pub mod faultbench;
 pub mod figures;
 pub mod oraclebench;
+pub mod provebench;
 pub mod resources;
 pub mod simbench;
 pub mod tables;

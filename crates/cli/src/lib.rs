@@ -61,7 +61,27 @@ usage: hwperm <command> [args]
                                   shuffle | shuffle-pipelined | rank |
                                   combination | variation | sort |
                                   random-index | all; exit 2 if any
-                                  Error-severity diagnostic fires)
+                                  Error-severity diagnostic fires;
+                                  one-hot proofs escalate from BDD to
+                                  SAT, and index-port families carry the
+                                  range contract index < total for the
+                                  range-dont-care pass)
+  prove <n> [--family F] [--jobs N] [--json]
+                                 SAT proof obligations over the compiled
+                                 tape: converter table conformance vs
+                                 the block-decoded oracle, pipelined
+                                 converter k-step unrolling vs its
+                                 combinational twin, rank ∘ unrank
+                                 identity, combination / variation table
+                                 conformance (family: converter |
+                                 converter-pipelined | rank |
+                                 combination | variation | all; default
+                                 converter; n = 2..=9, the n ≥ 8
+                                 converter table proof takes minutes;
+                                 exit 2 on refuted or invalid
+                                 obligations, counterexamples decode to
+                                 the exhaustive sweeps' first-mismatch
+                                 format)
   bias <m> <k>                   pigeonhole bias of an m-bit LFSR over [0,k)
   sort <key> <key> ...           sort through the selection network
   faults <n> [--family F] [--jobs N] [--json]
@@ -132,9 +152,120 @@ fn lint_family_netlist(family: &str, n: usize) -> Result<hwperm_logic::Netlist, 
     })
 }
 
+/// The range contract of a family's index input port — `(port, bound)`
+/// such that the environment only ever drives `port < bound` — or
+/// `None` for families without one (or whose bound overflows `u64`).
+/// Feeds the lint `range-dont-care` pass.
+fn lint_family_range(family: &str, n: usize) -> Option<(&'static str, u64)> {
+    let k = n.div_ceil(2);
+    match family {
+        "converter" | "converter-pipelined" => {
+            Ubig::factorial(n as u64).to_u64().map(|b| ("index", b))
+        }
+        "combination" => hwperm_factoradic::binomial(n as u64, k as u64)
+            .to_u64()
+            .map(|b| ("index", b)),
+        "variation" => hwperm_factoradic::falling_factorial(n as u64, k as u64)
+            .to_u64()
+            .map(|b| ("index", b)),
+        _ => None,
+    }
+}
+
 /// Every circuit family `hwperm faults` can campaign over: purely
 /// combinational, one input port, one output port.
 const CAMPAIGN_FAMILIES: [&str; 5] = ["converter", "rank", "combination", "variation", "sort"];
+
+/// Every proof obligation family `hwperm prove all` discharges.
+const PROVE_FAMILIES: [&str; 5] = [
+    "converter",
+    "converter-pipelined",
+    "rank",
+    "combination",
+    "variation",
+];
+
+/// Discharges the named family's proof obligation at size `n`,
+/// returning the obligation's description and the solver's verdict.
+fn prove_family(
+    family: &str,
+    n: usize,
+) -> Result<(&'static str, hwperm_verify::ProveOutcome), CliError> {
+    use hwperm_circuits::{IndexToCombinationConverter, IndexToVariationConverter};
+    let k = n.div_ceil(2);
+    let factorial: u64 = (1..=n as u64).product();
+    let fail = |e: hwperm_verify::VerifyError| err(format!("{family}: invalid obligation: {e}"));
+    match family {
+        "converter" => {
+            let netlist = converter_netlist(n, ConverterOptions::default());
+            let expected = hwperm_verify::expected_permutation_words(n);
+            let out = hwperm_verify::prove_against_table(&netlist, "index", "perm", &expected)
+                .map_err(fail)?;
+            Ok(("table conformance vs block-decoded oracle", out))
+        }
+        "converter-pipelined" => {
+            let pipe = converter_netlist(
+                n,
+                ConverterOptions {
+                    pipelined: true,
+                    perm_input_port: false,
+                },
+            );
+            let comb = converter_netlist(n, ConverterOptions::default());
+            let out = hwperm_verify::prove_pipelined_equivalent(
+                &pipe,
+                &comb,
+                "index",
+                "perm",
+                n - 1,
+                factorial,
+                None,
+            )
+            .map_err(fail)?;
+            Ok(("k-step unrolling vs combinational twin", out))
+        }
+        "rank" => {
+            let conv = converter_netlist(n, ConverterOptions::default());
+            let rank = PermToIndexConverter::new(n).netlist().clone();
+            let out = hwperm_verify::prove_inverse_identity(
+                &conv, "index", "perm", &rank, "perm", "index", factorial, None,
+            )
+            .map_err(fail)?;
+            Ok(("rank ∘ unrank identity over all indices", out))
+        }
+        "combination" => {
+            let netlist = IndexToCombinationConverter::new(n, k).netlist().clone();
+            let expected = hwperm_verify::expected_combination_words(n, k);
+            let out = hwperm_verify::prove_against_table(&netlist, "index", "codeword", &expected)
+                .map_err(fail)?;
+            Ok(("table conformance vs software unranker", out))
+        }
+        "variation" => {
+            let netlist = IndexToVariationConverter::new(n, k).netlist().clone();
+            let expected = hwperm_verify::expected_variation_words(n, k);
+            let out = hwperm_verify::prove_against_table(&netlist, "index", "out", &expected)
+                .map_err(fail)?;
+            Ok(("table conformance vs software unranker", out))
+        }
+        other => Err(err(format!(
+            "unknown prove family {other:?} (families: converter | converter-pipelined | \
+             rank | combination | variation | all)"
+        ))),
+    }
+}
+
+/// Wraps a subcommand's JSON result objects in the envelope shared by
+/// `lint --json`, `faults --json` and `prove --json`: tool identity,
+/// version, subcommand, exit status, and the per-circuit results.
+fn json_envelope(command: &str, errors: usize, results: &str) -> String {
+    let (status, exit) = if errors == 0 { ("ok", 0) } else { ("error", 2) };
+    format!(
+        "{{\"tool\":\"hwperm\",\"version\":\"{}\",\"command\":\"{command}\",\
+         \"status\":\"{status}\",\"exit\":{exit},\"errors\":{errors},\
+         \"results\":[{results}]}}\n",
+        env!("CARGO_PKG_VERSION"),
+    )
+}
 
 /// Builds the named family's netlist at size `n` plus its (input,
 /// output) port pair for a fault campaign. Derived parameters match
@@ -373,12 +504,13 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             };
             let mut out = String::new();
             let mut errors = 0usize;
-            if json {
-                out.push('[');
-            }
             for (i, family) in families.iter().enumerate() {
                 let netlist = lint_family_netlist(family, n)?;
-                let report = hwperm_lint::lint_netlist(&netlist);
+                let mut config = hwperm_lint::LintConfig::new();
+                if let Some((port, bound)) = lint_family_range(family, n) {
+                    config = config.with_range_bound(port, bound);
+                }
+                let report = hwperm_lint::lint_netlist_with(&netlist, &config);
                 errors += report.error_count();
                 if json {
                     if i > 0 {
@@ -393,7 +525,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                 }
             }
             if json {
-                out.push_str("]\n");
+                out = json_envelope("lint", errors, &out);
             }
             if errors > 0 {
                 return Err(err(format!(
@@ -532,9 +664,6 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                 }
             };
             let mut out = String::new();
-            if json {
-                out.push('[');
-            }
             for (i, fam) in families.iter().enumerate() {
                 let (netlist, input, output) = campaign_family_netlist(fam, n)?;
                 // The converter checks against the independent
@@ -612,7 +741,174 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                 }
             }
             if json {
-                out.push_str("]\n");
+                out = json_envelope("faults", 0, &out);
+            }
+            Ok(out)
+        }
+        "prove" => {
+            const PROVE_USAGE: &str = "usage: hwperm prove <n> [--family F] [--jobs N] [--json]";
+            let mut json = false;
+            let mut jobs = 1usize;
+            let mut family: Option<&String> = None;
+            let mut positional: Vec<&String> = Vec::new();
+            let mut it = rest.iter();
+            while let Some(arg) = it.next() {
+                match arg.as_str() {
+                    "--json" => json = true,
+                    "--jobs" => {
+                        let v = it
+                            .next()
+                            .ok_or_else(|| err("--jobs needs a worker count"))?;
+                        let v = parse_usize(v, "worker count")?;
+                        if v == 0 {
+                            return Err(err("--jobs needs at least one worker"));
+                        }
+                        jobs = v;
+                    }
+                    "--family" => {
+                        family = Some(
+                            it.next()
+                                .ok_or_else(|| err("--family needs a circuit family"))?,
+                        );
+                    }
+                    _ => positional.push(arg),
+                }
+            }
+            let n = parse_usize(positional.first().ok_or_else(|| err(PROVE_USAGE))?, "n")?;
+            if !(2..=9).contains(&n) {
+                return Err(err(
+                    "proof obligations need the n! oracle tables; n must be 2..=9",
+                ));
+            }
+            let families: Vec<&str> = match family.map(|s| s.as_str()) {
+                None => vec!["converter"],
+                Some("all") => PROVE_FAMILIES.to_vec(),
+                Some(f) if PROVE_FAMILIES.contains(&f) => vec![f],
+                Some(other) => {
+                    return Err(err(format!(
+                        "unknown prove family {other:?} (families: converter | \
+                         converter-pipelined | rank | combination | variation | all)"
+                    )))
+                }
+            };
+            // Obligations are independent; a small worker pool pulls
+            // family indices off a shared counter.
+            type FamilyVerdict = Result<(&'static str, hwperm_verify::ProveOutcome), CliError>;
+            let workers = jobs.min(families.len());
+            let next = std::sync::atomic::AtomicUsize::new(0);
+            let slots: Vec<std::sync::Mutex<Option<FamilyVerdict>>> = families
+                .iter()
+                .map(|_| std::sync::Mutex::new(None))
+                .collect();
+            std::thread::scope(|scope| {
+                for _ in 0..workers {
+                    scope.spawn(|| loop {
+                        let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        let Some(fam) = families.get(i) else { break };
+                        let verdict = prove_family(fam, n);
+                        *slots[i].lock().expect("prove slot poisoned") = Some(verdict);
+                    });
+                }
+            });
+            let mut out = String::new();
+            let mut failures = 0usize;
+            for (i, fam) in families.iter().enumerate() {
+                let verdict = slots[i]
+                    .lock()
+                    .expect("prove slot poisoned")
+                    .take()
+                    .expect("prove worker finished every family");
+                if i > 0 && json {
+                    out.push(',');
+                }
+                match verdict {
+                    Ok((obligation, outcome)) => {
+                        let s = outcome.stats();
+                        let stats_text = format!(
+                            "vars {}, clauses {}, conflicts {}, decisions {}",
+                            s.vars, s.clauses, s.conflicts, s.decisions
+                        );
+                        let stats_json = format!(
+                            "\"vars\":{},\"clauses\":{},\"conflicts\":{},\
+                             \"decisions\":{},\"propagations\":{}",
+                            s.vars, s.clauses, s.conflicts, s.decisions, s.propagations
+                        );
+                        match outcome {
+                            hwperm_verify::ProveOutcome::Proved(_) => {
+                                if json {
+                                    out.push_str(&format!(
+                                        "{{\"circuit\":\"{fam}\",\"n\":{n},\
+                                         \"obligation\":\"{obligation}\",\
+                                         \"verdict\":\"proved\",{stats_json}}}"
+                                    ));
+                                } else {
+                                    out.push_str(&format!(
+                                        "== {fam} (n = {n}) ==\n\
+                                         obligation: {obligation}\n\
+                                         proved ({stats_text})\n"
+                                    ));
+                                }
+                            }
+                            hwperm_verify::ProveOutcome::Refuted(mismatch, _) => {
+                                failures += 1;
+                                if json {
+                                    out.push_str(&format!(
+                                        "{{\"circuit\":\"{fam}\",\"n\":{n},\
+                                         \"obligation\":\"{obligation}\",\
+                                         \"verdict\":\"refuted\",\
+                                         \"counterexample\":{{\"index\":{},\
+                                         \"port\":\"{}\",\"got\":{},\"want\":{}}},\
+                                         {stats_json}}}",
+                                        mismatch.index, mismatch.port, mismatch.got, mismatch.want
+                                    ));
+                                } else {
+                                    out.push_str(&format!(
+                                        "== {fam} (n = {n}) ==\n\
+                                         obligation: {obligation}\n\
+                                         REFUTED: {mismatch} ({stats_text})\n"
+                                    ));
+                                }
+                            }
+                            hwperm_verify::ProveOutcome::Unknown(_) => {
+                                failures += 1;
+                                if json {
+                                    out.push_str(&format!(
+                                        "{{\"circuit\":\"{fam}\",\"n\":{n},\
+                                         \"obligation\":\"{obligation}\",\
+                                         \"verdict\":\"unknown\",{stats_json}}}"
+                                    ));
+                                } else {
+                                    out.push_str(&format!(
+                                        "== {fam} (n = {n}) ==\n\
+                                         obligation: {obligation}\n\
+                                         unknown: conflict budget exhausted ({stats_text})\n"
+                                    ));
+                                }
+                            }
+                        }
+                    }
+                    Err(e) => {
+                        failures += 1;
+                        if json {
+                            out.push_str(&format!(
+                                "{{\"circuit\":\"{fam}\",\"n\":{n},\
+                                 \"verdict\":\"invalid\",\"error\":\"{}\"}}",
+                                e.0.replace('"', "\\\"")
+                            ));
+                        } else {
+                            out.push_str(&format!("== {fam} (n = {n}) ==\ninvalid: {e}\n"));
+                        }
+                    }
+                }
+            }
+            if json {
+                out = json_envelope("prove", failures, &out);
+            }
+            if failures > 0 {
+                return Err(err(format!(
+                    "prove failed {failures} obligation(s)\n{}",
+                    out.trim_end()
+                )));
             }
             Ok(out)
         }
@@ -878,8 +1174,10 @@ mod tests {
     #[test]
     fn faults_json_is_machine_readable() {
         let out = call(&["faults", "4", "--json"]).unwrap();
-        assert!(out.starts_with('['), "{out}");
-        assert!(out.trim_end().ends_with(']'), "{out}");
+        assert!(out.starts_with("{\"tool\":\"hwperm\""), "{out}");
+        assert!(out.trim_end().ends_with('}'), "{out}");
+        assert!(out.contains("\"command\":\"faults\""), "{out}");
+        assert!(out.contains("\"status\":\"ok\",\"exit\":0"), "{out}");
         assert!(out.contains("\"circuit\":\"converter\""), "{out}");
         assert!(out.contains("\"coverage_percent\":"), "{out}");
         assert!(out.contains("\"silent_faults\":[{\"fault\":\""), "{out}");
@@ -928,11 +1226,84 @@ mod tests {
     #[test]
     fn lint_json_is_machine_readable() {
         let out = call(&["lint", "rank", "4", "--json"]).unwrap();
-        assert!(out.starts_with('['), "{out}");
-        assert!(out.trim_end().ends_with(']'), "{out}");
+        assert!(out.starts_with("{\"tool\":\"hwperm\""), "{out}");
+        assert!(out.trim_end().ends_with('}'), "{out}");
+        assert!(out.contains("\"command\":\"lint\""), "{out}");
         assert!(out.contains("\"circuit\":\"rank\""), "{out}");
         assert!(out.contains("\"n\":4"), "{out}");
         assert!(out.contains("\"diagnostics\""), "{out}");
+    }
+
+    #[test]
+    fn prove_converter_is_proved() {
+        let out = call(&["prove", "4"]).unwrap();
+        assert!(out.contains("== converter (n = 4) =="), "{out}");
+        assert!(out.contains("obligation: "), "{out}");
+        assert!(out.contains("proved (vars "), "{out}");
+    }
+
+    #[test]
+    fn prove_all_discharges_every_family() {
+        let out = call(&["prove", "4", "--family", "all", "--jobs", "2"]).unwrap();
+        for family in PROVE_FAMILIES {
+            assert!(out.contains(&format!("== {family} (n = 4) ==")), "{out}");
+        }
+        assert!(!out.contains("REFUTED"), "{out}");
+        assert!(!out.contains("unknown"), "{out}");
+    }
+
+    #[test]
+    fn prove_results_identical_across_worker_counts() {
+        let one = call(&["prove", "3", "--family", "all", "--jobs", "1"]).unwrap();
+        for workers in ["2", "5"] {
+            assert_eq!(
+                call(&["prove", "3", "--family", "all", "--jobs", workers]).unwrap(),
+                one,
+                "workers = {workers}"
+            );
+        }
+    }
+
+    #[test]
+    fn prove_json_is_machine_readable() {
+        let out = call(&["prove", "4", "--family", "rank", "--json"]).unwrap();
+        assert!(out.starts_with("{\"tool\":\"hwperm\""), "{out}");
+        assert!(out.contains("\"command\":\"prove\""), "{out}");
+        assert!(out.contains("\"circuit\":\"rank\""), "{out}");
+        assert!(out.contains("\"verdict\":\"proved\""), "{out}");
+        assert!(out.contains("\"conflicts\":"), "{out}");
+        assert!(out.contains("\"propagations\":"), "{out}");
+    }
+
+    #[test]
+    fn prove_rejects_bad_usage_as_user_errors() {
+        assert!(call(&["prove"]).is_err());
+        assert!(call(&["prove", "1"]).is_err());
+        assert!(call(&["prove", "10"]).is_err());
+        assert!(call(&["prove", "banana"]).is_err());
+        assert!(call(&["prove", "4", "--family", "nonsense"]).is_err());
+        assert!(call(&["prove", "4", "--family"]).is_err());
+        assert!(call(&["prove", "4", "--jobs", "0"]).is_err());
+        assert!(call(&["prove", "4", "--jobs"]).is_err());
+    }
+
+    #[test]
+    fn json_envelope_schema_is_shared_across_subcommands() {
+        // Satellite 2: every JSON-emitting subcommand wraps its results
+        // in the same envelope so downstream tooling can parse one
+        // schema. Keys must appear in the same order for all three.
+        let lint = call(&["lint", "converter", "4", "--json"]).unwrap();
+        let faults = call(&["faults", "4", "--json"]).unwrap();
+        let prove = call(&["prove", "4", "--json"]).unwrap();
+        for (cmd, out) in [("lint", &lint), ("faults", &faults), ("prove", &prove)] {
+            let prefix = format!(
+                "{{\"tool\":\"hwperm\",\"version\":\"{}\",\"command\":\"{cmd}\",\
+                 \"status\":\"ok\",\"exit\":0,\"errors\":0,\"results\":[",
+                env!("CARGO_PKG_VERSION")
+            );
+            assert!(out.starts_with(&prefix), "{cmd}: {out}");
+            assert!(out.trim_end().ends_with("]}"), "{cmd}: {out}");
+        }
     }
 
     #[test]

@@ -18,7 +18,8 @@
 //! | `port-name`      | Error | duplicate, empty, or zero-width port names |
 //! | `floating-input` | Error | `Input` gates read by logic but driven by no input port |
 //! | `comb-cycle`     | Error | combinational cycles, found by Tarjan SCC over the combinational subgraph (sound on post-[`Netlist::with_gate_replaced`] graphs, where creation order no longer implies topological order) |
-//! | `one-hot`        | Error | recorded MUX select banks ([`Netlist::one_hot_banks`]) that are *not* exactly one-hot, proven or refuted by `hwperm-verify`'s bounded cone BDD query |
+//! | `one-hot`        | Error | recorded MUX select banks ([`Netlist::one_hot_banks`]) that are *not* exactly one-hot, proven or refuted by `hwperm-verify`'s bounded cone BDD query — with SAT escalation when the BDD budget is exhausted, and an explicit `skipped` finding when every budget runs out (never a silent pass) |
+//! | `range-dont-care`| Error | banks the one-hot pass refuted (or skipped) re-queried under the configured input-range contract (`port < bound`, see [`LintConfig::with_range_bound`]): a violation reachable only by out-of-range inputs is range don't-care (Info); one reachable in range stays an error |
 //! | `unused-input`   | Warn  | input port bits that fan out nowhere |
 //! | `dead-gate`      | Warn  | gates whose value can never reach an output port |
 //! | `const-fold`     | Warn  | gates the builder's folding rules would have simplified away (e.g. `And(x, 0)`) |
@@ -31,8 +32,11 @@
 //! or JSON ([`LintReport::to_json`]); `hwperm lint` in the CLI wraps
 //! both.
 
-use hwperm_logic::{Gate, Netlist, StructuralIssue};
-use hwperm_verify::{check_one_hot_bank, OneHotStatus, DEFAULT_NODE_BUDGET};
+use hwperm_logic::{Gate, NetId, Netlist, StructuralIssue};
+use hwperm_verify::{
+    check_one_hot_bank_escalated, check_one_hot_bank_sat, OneHotStatus, DEFAULT_NODE_BUDGET,
+    DEFAULT_SAT_CONFLICT_BUDGET,
+};
 use std::collections::HashMap;
 use std::fmt;
 
@@ -50,6 +54,10 @@ pub enum LintId {
     CombCycle,
     /// Recorded one-hot select banks that are not exactly one-hot.
     OneHot,
+    /// One-hot violations re-judged under the input-range contract:
+    /// reachable in range is an error, confined to the don't-care
+    /// region is advisory.
+    RangeDontCare,
     /// Input port bits with no fanout.
     UnusedInput,
     /// Gates unreachable from any output port.
@@ -65,12 +73,13 @@ pub enum LintId {
 }
 
 /// All lints, in pass execution order.
-pub const ALL_LINTS: [LintId; 11] = [
+pub const ALL_LINTS: [LintId; 12] = [
     LintId::Structure,
     LintId::PortName,
     LintId::FloatingInput,
     LintId::CombCycle,
     LintId::OneHot,
+    LintId::RangeDontCare,
     LintId::UnusedInput,
     LintId::DeadGate,
     LintId::ConstFold,
@@ -88,6 +97,7 @@ impl LintId {
             LintId::FloatingInput => "floating-input",
             LintId::CombCycle => "comb-cycle",
             LintId::OneHot => "one-hot",
+            LintId::RangeDontCare => "range-dont-care",
             LintId::UnusedInput => "unused-input",
             LintId::DeadGate => "dead-gate",
             LintId::ConstFold => "const-fold",
@@ -109,7 +119,8 @@ impl LintId {
             | LintId::PortName
             | LintId::FloatingInput
             | LintId::CombCycle
-            | LintId::OneHot => Severity::Error,
+            | LintId::OneHot
+            | LintId::RangeDontCare => Severity::Error,
             LintId::UnusedInput | LintId::DeadGate | LintId::ConstFold | LintId::DffRank => {
                 Severity::Warn
             }
@@ -187,6 +198,12 @@ impl fmt::Display for Diagnostic {
 pub struct LintConfig {
     /// BDD node budget for each one-hot bank query.
     pub node_budget: usize,
+    /// CDCL conflict budget for each SAT escalation or range query.
+    pub sat_conflict_budget: u64,
+    /// Input-range contract `(input port name, exclusive bound)` for
+    /// the `range-dont-care` pass; `None` disables the pass. The CLI
+    /// supplies the converter contract (`"index"`, `n!`).
+    pub range_bound: Option<(String, u64)>,
     /// `None` = suppressed; `Some(sev)` = overridden severity.
     overrides: HashMap<LintId, Option<Severity>>,
 }
@@ -195,6 +212,8 @@ impl Default for LintConfig {
     fn default() -> Self {
         LintConfig {
             node_budget: DEFAULT_NODE_BUDGET,
+            sat_conflict_budget: DEFAULT_SAT_CONFLICT_BUDGET,
+            range_bound: None,
             overrides: HashMap::new(),
         }
     }
@@ -221,6 +240,20 @@ impl LintConfig {
     /// Sets an explicit severity for a lint.
     pub fn set_severity(mut self, lint: LintId, severity: Severity) -> Self {
         self.overrides.insert(lint, Some(severity));
+        self
+    }
+
+    /// Sets the CDCL conflict budget for SAT escalation and range
+    /// queries.
+    pub fn with_sat_conflict_budget(mut self, conflicts: u64) -> Self {
+        self.sat_conflict_budget = conflicts;
+        self
+    }
+
+    /// Declares the input-range contract `port < bound`, enabling the
+    /// `range-dont-care` pass.
+    pub fn with_range_bound(mut self, port: impl Into<String>, bound: u64) -> Self {
+        self.range_bound = Some((port.into(), bound));
         self
     }
 
@@ -350,6 +383,9 @@ struct Linter<'a> {
     /// Set when the structure pass saw out-of-range references: the
     /// graph passes would index out of bounds, so they are skipped.
     out_of_range: bool,
+    /// Banks the one-hot pass could not prove unconditionally
+    /// (refuted or skipped), queued for the range-don't-care pass.
+    unproved_banks: Vec<(usize, Vec<NetId>)>,
 }
 
 impl<'a> Linter<'a> {
@@ -359,6 +395,7 @@ impl<'a> Linter<'a> {
             config,
             report: LintReport::default(),
             out_of_range: false,
+            unproved_banks: Vec::new(),
         }
     }
 
@@ -374,11 +411,34 @@ impl<'a> Linter<'a> {
         }
     }
 
+    /// Like [`Self::emit`], but never above `cap` — for findings that
+    /// report an *unknown* or advisory condition under a lint whose
+    /// configured severity reflects its refutation case.
+    fn emit_capped(
+        &mut self,
+        lint: LintId,
+        cap: Severity,
+        message: String,
+        nets: Vec<usize>,
+        ports: Vec<String>,
+    ) {
+        if let Some(severity) = self.config.severity(lint) {
+            self.report.diagnostics.push(Diagnostic {
+                lint,
+                severity: severity.min(cap),
+                message,
+                nets,
+                ports,
+            });
+        }
+    }
+
     fn run(mut self) -> LintReport {
         self.pass_structure();
         if !self.out_of_range {
             self.pass_comb_cycle();
             self.pass_one_hot();
+            self.pass_range_dont_care();
             self.pass_unused_input();
             self.pass_dead_gate();
             self.pass_const_fold();
@@ -513,16 +573,25 @@ impl<'a> Linter<'a> {
         }
     }
 
-    /// Proves every recorded one-hot select bank exactly one-hot via the
-    /// bounded cone BDD query in `hwperm-verify`; refutations are
-    /// errors, a blown node budget is a warning (the property is then
-    /// unknown, not false).
+    /// Proves every recorded one-hot select bank exactly one-hot via
+    /// `hwperm-verify`'s tiered query: structural, then bounded BDD,
+    /// then SAT escalation when the node budget is exhausted.
+    /// Refutations are errors; a check that exhausts *every* budget is
+    /// reported as an explicit `skipped` finding (capped at Warn — the
+    /// property is unknown, not false), never passed silently.
     fn pass_one_hot(&mut self) {
         for (bank_idx, bank) in self.netlist.one_hot_banks().iter().enumerate() {
-            let result = check_one_hot_bank(self.netlist, bank, self.config.node_budget);
+            let result = check_one_hot_bank_escalated(
+                self.netlist,
+                bank,
+                self.config.node_budget,
+                self.config.sat_conflict_budget,
+            );
             let nets: Vec<usize> = bank.iter().take(NET_LIST_CAP).map(|n| n.index()).collect();
             match result.status {
-                OneHotStatus::ProvedStructural | OneHotStatus::ProvedBdd => {}
+                OneHotStatus::ProvedStructural
+                | OneHotStatus::ProvedBdd
+                | OneHotStatus::ProvedSat => {}
                 OneHotStatus::Refuted { assignment } => {
                     let witness: Vec<String> = assignment
                         .iter()
@@ -539,24 +608,44 @@ impl<'a> Linter<'a> {
                         nets,
                         vec![],
                     );
+                    self.unproved_banks.push((bank_idx, bank.clone()));
                 }
+                // The escalated checker never returns a bare
+                // `BudgetExceeded`, but the match stays total: fold it
+                // into the skipped report.
                 OneHotStatus::BudgetExceeded { nodes } => {
-                    if let Some(sev) = self.config.severity(LintId::OneHot) {
-                        // Unknown, not refuted: cap at Warn unless the
-                        // config suppressed the lint entirely.
-                        let severity = sev.min(Severity::Warn);
-                        self.report.diagnostics.push(Diagnostic {
-                            lint: LintId::OneHot,
-                            severity,
-                            message: format!(
-                                "select bank {bank_idx} ({} lines) unverified: BDD budget \
-                                 exceeded at {nodes} nodes",
-                                bank.len()
-                            ),
-                            nets,
-                            ports: vec![],
-                        });
-                    }
+                    let (bdd_nodes, sat_conflicts) = (nodes, self.config.sat_conflict_budget);
+                    self.emit_capped(
+                        LintId::OneHot,
+                        Severity::Warn,
+                        format!(
+                            "select bank {bank_idx} ({} lines) skipped: unverified after \
+                             BDD budget ({bdd_nodes} nodes) and SAT budget ({sat_conflicts} \
+                             conflicts) were exhausted",
+                            bank.len()
+                        ),
+                        nets,
+                        vec![],
+                    );
+                    self.unproved_banks.push((bank_idx, bank.clone()));
+                }
+                OneHotStatus::Skipped {
+                    bdd_nodes,
+                    sat_conflicts,
+                } => {
+                    self.emit_capped(
+                        LintId::OneHot,
+                        Severity::Warn,
+                        format!(
+                            "select bank {bank_idx} ({} lines) skipped: unverified after \
+                             BDD budget ({bdd_nodes} nodes) and SAT budget ({sat_conflicts} \
+                             conflicts) were exhausted",
+                            bank.len()
+                        ),
+                        nets,
+                        vec![],
+                    );
+                    self.unproved_banks.push((bank_idx, bank.clone()));
                 }
                 OneHotStatus::ConeInvalid(why) => {
                     self.emit(
@@ -564,6 +653,108 @@ impl<'a> Linter<'a> {
                         format!("select bank {bank_idx} has an invalid fanin cone: {why}"),
                         nets,
                         vec![],
+                    );
+                }
+            }
+        }
+    }
+
+    /// Range don't-care safety: every bank the one-hot pass could not
+    /// prove unconditionally is re-queried by SAT under the configured
+    /// input-range contract `port < bound`. A proof means the
+    /// violation needs an out-of-range input — advisory (Info), the
+    /// circuit is safe wherever the contract holds (the converter's
+    /// index port only carries values below `n!`). A refutation is an
+    /// in-range violation and keeps the configured (Error) severity.
+    fn pass_range_dont_care(&mut self) {
+        let Some((port_name, bound)) = self.config.range_bound.clone() else {
+            return;
+        };
+        let banks = std::mem::take(&mut self.unproved_banks);
+        if banks.is_empty() {
+            return;
+        }
+        let Some(port) = self.netlist.input_port(&port_name) else {
+            self.emit(
+                LintId::RangeDontCare,
+                format!("range contract references missing input port {port_name}"),
+                vec![],
+                vec![port_name],
+            );
+            return;
+        };
+        let port_nets = port.nets.clone();
+        for (bank_idx, bank) in banks {
+            let result = check_one_hot_bank_sat(
+                self.netlist,
+                &bank,
+                Some((&port_nets, bound)),
+                Some(self.config.sat_conflict_budget),
+            );
+            let nets: Vec<usize> = bank.iter().take(NET_LIST_CAP).map(|n| n.index()).collect();
+            match result.status {
+                OneHotStatus::ProvedStructural
+                | OneHotStatus::ProvedBdd
+                | OneHotStatus::ProvedSat => {
+                    self.emit_capped(
+                        LintId::RangeDontCare,
+                        Severity::Info,
+                        format!(
+                            "select bank {bank_idx} is one-hot for all {port_name} < {bound}: \
+                             remaining violations are range don't-care",
+                        ),
+                        nets,
+                        vec![port_name.clone()],
+                    );
+                }
+                OneHotStatus::Refuted { assignment } => {
+                    let witness: Vec<String> = assignment
+                        .iter()
+                        .take(NET_LIST_CAP)
+                        .map(|(net, v)| format!("net {net}={}", u8::from(*v)))
+                        .collect();
+                    self.emit(
+                        LintId::RangeDontCare,
+                        format!(
+                            "select bank {bank_idx} is not one-hot even within \
+                             {port_name} < {bound}; witness: {}",
+                            witness.join(", ")
+                        ),
+                        nets,
+                        vec![port_name.clone()],
+                    );
+                }
+                OneHotStatus::Skipped { sat_conflicts, .. } => {
+                    self.emit_capped(
+                        LintId::RangeDontCare,
+                        Severity::Warn,
+                        format!(
+                            "select bank {bank_idx} skipped: range query exhausted the SAT \
+                             budget ({sat_conflicts} conflicts)",
+                        ),
+                        nets,
+                        vec![port_name.clone()],
+                    );
+                }
+                OneHotStatus::BudgetExceeded { .. } => {
+                    let sat_conflicts = self.config.sat_conflict_budget;
+                    self.emit_capped(
+                        LintId::RangeDontCare,
+                        Severity::Warn,
+                        format!(
+                            "select bank {bank_idx} skipped: range query exhausted the SAT \
+                             budget ({sat_conflicts} conflicts)",
+                        ),
+                        nets,
+                        vec![port_name.clone()],
+                    );
+                }
+                OneHotStatus::ConeInvalid(why) => {
+                    self.emit(
+                        LintId::RangeDontCare,
+                        format!("select bank {bank_idx} has an invalid fanin cone: {why}"),
+                        nets,
+                        vec![port_name.clone()],
                     );
                 }
             }
@@ -911,6 +1102,120 @@ mod tests {
         assert!(json.starts_with('{') && json.ends_with('}'));
         assert!(json.contains("\\\"quoted"));
         assert!(json.contains("\"warnings\":1"));
+    }
+
+    /// A decoder bank over adder sum bits with `record_one_hot_bank`:
+    /// genuinely one-hot, but too wide for a 4-node BDD budget.
+    /// `broken_lines` > 0 drops that many trailing lines, making the
+    /// bank refutable (the dropped codes hit zero lines).
+    fn adder_decoder_bank(broken_lines: usize) -> Netlist {
+        let mut b = Builder::new();
+        let x = b.input_bus("x", 8);
+        let y = b.input_bus("y", 8);
+        let (s, _) = b.add(&x, &y);
+        let lines = b.decoder(&s[..3], 8);
+        let bank = &lines[..lines.len() - broken_lines];
+        b.record_one_hot_bank(bank);
+        b.output_bus("hot", bank);
+        b.output_bus("sum", &s); // keep every input bit live
+        b.finish()
+    }
+
+    #[test]
+    fn sat_escalation_closes_bdd_budget_gap() {
+        // Before the SAT tier this config produced an "unverified"
+        // warning; now the escalated proof leaves a clean report.
+        let nl = adder_decoder_bank(0);
+        let config = LintConfig::new();
+        let starved = LintConfig {
+            node_budget: 4,
+            ..config
+        };
+        let report = lint_netlist_with(&nl, &starved);
+        assert!(report.diagnostics.is_empty(), "{report}");
+    }
+
+    #[test]
+    fn exhausted_budgets_emit_explicit_skipped_finding() {
+        // Satellite pin: with every budget starved the pass must say
+        // "skipped" out loud (capped at Warn), never pass silently.
+        let nl = adder_decoder_bank(0);
+        let starved = LintConfig {
+            node_budget: 4,
+            ..LintConfig::new()
+        }
+        .with_sat_conflict_budget(0);
+        let report = lint_netlist_with(&nl, &starved);
+        let findings: Vec<_> = report.of(LintId::OneHot).collect();
+        assert_eq!(findings.len(), 1, "{report}");
+        assert_eq!(findings[0].severity, Severity::Warn);
+        assert!(findings[0].message.contains("skipped"), "{report}");
+    }
+
+    #[test]
+    fn mutated_bank_is_refuted_by_escalation_not_skipped() {
+        // The SAT tier must produce a real refutation when the BDD
+        // budget is starved — a skip here would hide the mutation.
+        let nl = adder_decoder_bank(1);
+        let starved = LintConfig {
+            node_budget: 4,
+            ..LintConfig::new()
+        };
+        let report = lint_netlist_with(&nl, &starved);
+        let findings: Vec<_> = report.of(LintId::OneHot).collect();
+        assert_eq!(findings.len(), 1, "{report}");
+        assert_eq!(findings[0].severity, Severity::Error);
+        assert!(findings[0].message.contains("not one-hot"), "{report}");
+        assert!(!report.is_clean());
+    }
+
+    /// Three decoder lines over a 2-bit port: violated only at
+    /// `index == 3`.
+    fn truncated_decoder_bank() -> Netlist {
+        let mut b = Builder::new();
+        let index = b.input_bus("index", 2);
+        let lines = b.decoder(&index, 3);
+        b.record_one_hot_bank(&lines);
+        b.output_bus("hot", &lines);
+        b.finish()
+    }
+
+    #[test]
+    fn range_dont_care_downgrades_out_of_range_violation() {
+        let nl = truncated_decoder_bank();
+        let config = LintConfig::new().with_range_bound("index", 3);
+        let report = lint_netlist_with(&nl, &config);
+        // The unconditional refutation still fires as an error...
+        assert_eq!(report.of(LintId::OneHot).count(), 1);
+        // ...and the range pass proves it confined to the don't-care
+        // region.
+        let findings: Vec<_> = report.of(LintId::RangeDontCare).collect();
+        assert_eq!(findings.len(), 1, "{report}");
+        assert_eq!(findings[0].severity, Severity::Info);
+        assert!(findings[0].message.contains("don't-care"), "{report}");
+    }
+
+    #[test]
+    fn range_dont_care_keeps_in_range_violation_as_error() {
+        let nl = truncated_decoder_bank();
+        let config = LintConfig::new().with_range_bound("index", 4);
+        let report = lint_netlist_with(&nl, &config);
+        let findings: Vec<_> = report.of(LintId::RangeDontCare).collect();
+        assert_eq!(findings.len(), 1, "{report}");
+        assert_eq!(findings[0].severity, Severity::Error);
+        assert!(findings[0].message.contains("even within"), "{report}");
+    }
+
+    #[test]
+    fn range_dont_care_is_silent_without_a_contract() {
+        let report = lint_netlist(&truncated_decoder_bank());
+        assert_eq!(report.of(LintId::RangeDontCare).count(), 0);
+        // The missing-port misconfiguration is reported, not ignored.
+        let config = LintConfig::new().with_range_bound("no-such-port", 4);
+        let report = lint_netlist_with(&truncated_decoder_bank(), &config);
+        let findings: Vec<_> = report.of(LintId::RangeDontCare).collect();
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].message.contains("missing input port"));
     }
 
     #[test]

@@ -10,7 +10,7 @@ pub type Bus = Vec<NetId>;
 
 /// Incrementally builds a [`Netlist`]. All combinational combinators
 /// produce gates in topological order by construction.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Builder {
     netlist: Netlist,
     zero: Option<NetId>,
@@ -26,12 +26,41 @@ pub struct Builder {
     /// — two registers with the same input are still two state
     /// elements, and merging them would change register counts.
     memo: std::collections::HashMap<Gate, NetId>,
+    /// When cleared ([`Builder::new_unoptimized`]), the peephole rules
+    /// and the CSE memo are bypassed: every combinator call emits its
+    /// gate verbatim. Constant nets stay deduplicated (two `Const`
+    /// gates of one polarity carry no information).
+    optimize: bool,
+}
+
+impl Default for Builder {
+    fn default() -> Self {
+        Builder::new()
+    }
 }
 
 impl Builder {
     /// An empty builder.
     pub fn new() -> Self {
-        Builder::default()
+        Builder {
+            netlist: Netlist::default(),
+            zero: None,
+            one: None,
+            memo: std::collections::HashMap::new(),
+            optimize: true,
+        }
+    }
+
+    /// An empty builder with every peephole rule and the CSE memo
+    /// disabled: the generated netlist is the literal transcription of
+    /// the combinator calls. Exists so the formal layer can prove the
+    /// optimizer sound — `prove_equivalent` miters an optimized build
+    /// against this one.
+    pub fn new_unoptimized() -> Self {
+        Builder {
+            optimize: false,
+            ..Builder::new()
+        }
     }
 
     fn push(&mut self, gate: Gate) -> NetId {
@@ -123,6 +152,9 @@ impl Builder {
     /// Inverter, with folding of constants and double negation.
     /// Inversions of the same net are deduplicated.
     pub fn not(&mut self, x: NetId) -> NetId {
+        if !self.optimize {
+            return self.push(Gate::Not(x));
+        }
         match self.gate(x) {
             Gate::Const(v) => self.constant(!v),
             Gate::Not(inner) => inner,
@@ -138,6 +170,9 @@ impl Builder {
     /// 2-input AND with constant folding, idempotence, and
     /// contradiction (`x ∧ ¬x = 0`) elimination.
     pub fn and(&mut self, x: NetId, y: NetId) -> NetId {
+        if !self.optimize {
+            return self.push(Gate::And(x, y));
+        }
         match (self.const_value(x), self.const_value(y)) {
             (Some(false), _) | (_, Some(false)) => self.constant(false),
             (Some(true), _) => y,
@@ -154,6 +189,9 @@ impl Builder {
     /// 2-input OR with constant folding, idempotence, and tautology
     /// (`x ∨ ¬x = 1`) elimination.
     pub fn or(&mut self, x: NetId, y: NetId) -> NetId {
+        if !self.optimize {
+            return self.push(Gate::Or(x, y));
+        }
         match (self.const_value(x), self.const_value(y)) {
             (Some(true), _) | (_, Some(true)) => self.constant(true),
             (Some(false), _) => y,
@@ -170,6 +208,9 @@ impl Builder {
     /// 2-input XOR with constant folding and complement awareness
     /// (`x ⊕ ¬x = 1`).
     pub fn xor(&mut self, x: NetId, y: NetId) -> NetId {
+        if !self.optimize {
+            return self.push(Gate::Xor(x, y));
+        }
         match (self.const_value(x), self.const_value(y)) {
             (Some(false), _) => y,
             (_, Some(false)) => x,
@@ -186,6 +227,9 @@ impl Builder {
 
     /// 2:1 mux: `sel ? b : a`, with folding.
     pub fn mux(&mut self, sel: NetId, a: NetId, b: NetId) -> NetId {
+        if !self.optimize {
+            return self.push(Gate::Mux { sel, a, b });
+        }
         match self.const_value(sel) {
             Some(false) => return a,
             Some(true) => return b,
@@ -470,5 +514,34 @@ mod tests {
         let mut b = Builder::new();
         b.input_bus("x", 1);
         b.input_bus("x", 2);
+    }
+
+    #[test]
+    fn unoptimized_builder_emits_gates_verbatim() {
+        let mut b = Builder::new_unoptimized();
+        let x = b.input_bus("x", 1)[0];
+        let one = b.constant(true);
+        // Every fold the optimizing builder would take is refused.
+        let n1 = b.not(x);
+        let n2 = b.not(n1);
+        assert_ne!(n2, x, "double negation kept");
+        assert_eq!(b.gate(n2), Gate::Not(n1));
+        let a = b.and(x, one);
+        assert_eq!(b.gate(a), Gate::And(x, one), "constant AND kept");
+        let a2 = b.and(one, x);
+        assert_ne!(a, a2, "no CSE, no operand sorting");
+        let m = b.mux(one, x, n1);
+        assert_eq!(
+            b.gate(m),
+            Gate::Mux {
+                sel: one,
+                a: x,
+                b: n1
+            }
+        );
+        // Still a valid netlist after DCE.
+        b.output_bus("y", &[n2, a, a2, m]);
+        let nl = b.finish();
+        assert_eq!(nl.validate(), Ok(()));
     }
 }

@@ -69,7 +69,7 @@ pub use batch::{BatchSimulator, LANES};
 pub use blif::to_blif;
 pub use builder::{Builder, Bus};
 pub use netlist::{Gate, NetId, Netlist, Port, StructuralIssue};
-pub use program::{SimProgram, SimWord};
+pub use program::{DffSlotPair, SimProgram, SimWord, TapeOp};
 pub use sim::Simulator;
 pub use tech::{ResourceReport, TimingModel};
 pub use vcd::Tracer;

@@ -86,6 +86,64 @@ enum OpCode {
     Mux,
 }
 
+/// One tape op decoded for external analyzers (the CNF encoder in
+/// `hwperm-sat`, fault-site enumeration, …). All operands are
+/// value-array slots, already resolved — an analyzer walking
+/// [`SimProgram::op`] in tape order sees exactly the data flow
+/// [`SimProgram::exec`] executes, with op `j` defining slot
+/// `comb_base() + j`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TapeOp {
+    /// `out = !a`.
+    Not {
+        /// Operand slot.
+        a: u32,
+    },
+    /// `out = a & b`.
+    And {
+        /// Left operand slot.
+        a: u32,
+        /// Right operand slot.
+        b: u32,
+    },
+    /// `out = a | b`.
+    Or {
+        /// Left operand slot.
+        a: u32,
+        /// Right operand slot.
+        b: u32,
+    },
+    /// `out = a ^ b`.
+    Xor {
+        /// Left operand slot.
+        a: u32,
+        /// Right operand slot.
+        b: u32,
+    },
+    /// `out = sel ? b : a`.
+    Mux {
+        /// Select slot.
+        sel: u32,
+        /// Slot taken when `sel` is 0.
+        a: u32,
+        /// Slot taken when `sel` is 1.
+        b: u32,
+    },
+}
+
+/// One D flip-flop's slot pair, as exposed to external analyzers: the
+/// state slot `q`, the slot `d` its next value settles into, and the
+/// reset value. See [`SimProgram::dff_slot_pairs`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DffSlotPair {
+    /// The register's state slot (read by the combinational wave).
+    pub q: u32,
+    /// The slot holding the settled next-state value.
+    pub d: u32,
+    /// Reset/initial value.
+    pub init: bool,
+}
+
 /// A named port resolved to flat value-array slots (LSB first).
 #[derive(Debug, Clone)]
 struct SlotPort {
@@ -402,6 +460,40 @@ impl SimProgram {
         for d in &self.dffs {
             values[d.q as usize] = W::splat(d.init);
         }
+    }
+
+    /// Decodes tape op `j` for external analyzers. The op defines slot
+    /// `comb_base() + j`; operands are value-array slots strictly below
+    /// that (the tape is levelized).
+    ///
+    /// # Panics
+    /// Panics if `j >= op_count()`.
+    #[inline]
+    pub fn op(&self, j: usize) -> TapeOp {
+        let (a, b, sel) = (self.args_a[j], self.args_b[j], self.args_sel[j]);
+        match self.opcodes[j] {
+            OpCode::Not => TapeOp::Not { a },
+            OpCode::And => TapeOp::And { a, b },
+            OpCode::Or => TapeOp::Or { a, b },
+            OpCode::Xor => TapeOp::Xor { a, b },
+            OpCode::Mux => TapeOp::Mux { sel, a, b },
+        }
+    }
+
+    /// Iterates the constant slots and their baked values, in creation
+    /// order.
+    pub fn const_slots(&self) -> impl Iterator<Item = (u32, bool)> + '_ {
+        self.consts.iter().copied()
+    }
+
+    /// Iterates the DFF slot pairs, in creation order — the same order
+    /// [`SimProgram::latch`] processes them.
+    pub fn dff_slot_pairs(&self) -> impl Iterator<Item = DffSlotPair> + '_ {
+        self.dffs.iter().map(|d| DffSlotPair {
+            q: d.q,
+            d: d.d,
+            init: d.init,
+        })
     }
 
     /// Slots of the named input port, with the same panic diagnostics

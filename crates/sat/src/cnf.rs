@@ -1,0 +1,478 @@
+//! A CNF formula under construction, with memoized Tseitin gate
+//! helpers.
+//!
+//! The builder mirrors `hwperm_logic::Builder`'s ergonomics at the
+//! clause level: [`Cnf::and`], [`Cnf::or`], [`Cnf::xor`] and
+//! [`Cnf::mux`] introduce a definitional variable with the standard
+//! Tseitin clauses — but first constant-fold, cancel trivial operand
+//! patterns (`a∧a`, `a∧¬a`, …) and consult a structural-hash memo, so
+//! encoding two near-identical circuits into one formula (the miter
+//! construction) collapses their shared structure to shared variables
+//! instead of duplicating clauses. One reserved variable pinned true
+//! represents both constants, which keeps every helper total.
+//!
+//! Solving never mutates the formula: [`Cnf::solve`] feeds the clauses
+//! to a fresh [`Solver`], so one encoded circuit can back any number of
+//! independent queries (each query = the shared clauses plus
+//! query-specific assertions added to a clone).
+
+use crate::solver::{Lit, SatResult, Solver, SolverStats};
+use std::collections::HashMap;
+
+/// Memo key: operation tag plus canonicalized operand literal codes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum GateKey {
+    And(u32, u32),
+    Xor(u32, u32),
+    Mux(u32, u32, u32),
+}
+
+/// A growing CNF formula plus the gate-helper memo.
+#[derive(Debug, Clone, Default)]
+pub struct Cnf {
+    n_vars: u32,
+    /// Flat clause storage: literal arena plus end offsets.
+    lits: Vec<Lit>,
+    ends: Vec<u32>,
+    memo: HashMap<GateKey, Lit>,
+    true_lit: Option<Lit>,
+}
+
+impl Cnf {
+    /// An empty formula.
+    pub fn new() -> Cnf {
+        Cnf::default()
+    }
+
+    /// Number of variables allocated.
+    pub fn num_vars(&self) -> usize {
+        self.n_vars as usize
+    }
+
+    /// Number of clauses added.
+    pub fn num_clauses(&self) -> usize {
+        self.ends.len()
+    }
+
+    /// Allocates a fresh variable, returned as its positive literal.
+    pub fn new_var(&mut self) -> Lit {
+        let v = self.n_vars;
+        self.n_vars += 1;
+        Lit::positive(v)
+    }
+
+    /// The literal representing constant `value`. Backed by a single
+    /// reserved variable pinned true by a unit clause (allocated
+    /// lazily).
+    pub fn constant(&mut self, value: bool) -> Lit {
+        let t = match self.true_lit {
+            Some(t) => t,
+            None => {
+                let t = self.new_var();
+                self.add_clause(&[t]);
+                self.true_lit = Some(t);
+                t
+            }
+        };
+        if value {
+            t
+        } else {
+            !t
+        }
+    }
+
+    /// `true` iff `lit` is the pinned constant literal for `value`.
+    fn is_const(&self, lit: Lit, value: bool) -> bool {
+        match self.true_lit {
+            Some(t) => lit == if value { t } else { !t },
+            None => false,
+        }
+    }
+
+    /// Adds a clause (disjunction of literals).
+    pub fn add_clause(&mut self, clause: &[Lit]) {
+        self.lits.extend_from_slice(clause);
+        self.ends.push(self.lits.len() as u32);
+    }
+
+    /// Asserts a single literal (a unit clause).
+    pub fn assert_lit(&mut self, lit: Lit) {
+        self.add_clause(&[lit]);
+    }
+
+    /// Iterates the clauses added so far.
+    pub fn clauses(&self) -> impl Iterator<Item = &[Lit]> + '_ {
+        let mut start = 0usize;
+        self.ends.iter().map(move |&end| {
+            let c = &self.lits[start..end as usize];
+            start = end as usize;
+            c
+        })
+    }
+
+    // ---- memoized gate helpers ------------------------------------
+
+    /// `a ∧ b` as a literal (definitional variable or a folded
+    /// operand).
+    pub fn and(&mut self, a: Lit, b: Lit) -> Lit {
+        // Constant folding and trivial-operand cancellation.
+        if self.is_const(a, true) || a == b {
+            return b;
+        }
+        if self.is_const(b, true) {
+            return a;
+        }
+        if self.is_const(a, false) || self.is_const(b, false) || a == !b {
+            return self.constant(false);
+        }
+        let (x, y) = if a.code() <= b.code() { (a, b) } else { (b, a) };
+        let key = GateKey::And(x.code() as u32, y.code() as u32);
+        if let Some(&hit) = self.memo.get(&key) {
+            return hit;
+        }
+        let out = self.new_var();
+        self.add_clause(&[!out, x]);
+        self.add_clause(&[!out, y]);
+        self.add_clause(&[out, !x, !y]);
+        self.memo.insert(key, out);
+        out
+    }
+
+    /// `a ∨ b`, via De Morgan over the memoized AND (so `a∨b` and
+    /// `¬(¬a∧¬b)` share one definition).
+    pub fn or(&mut self, a: Lit, b: Lit) -> Lit {
+        !self.and(!a, !b)
+    }
+
+    /// `a ⊕ b` as a literal.
+    pub fn xor(&mut self, a: Lit, b: Lit) -> Lit {
+        if self.is_const(a, false) {
+            return b;
+        }
+        if self.is_const(b, false) {
+            return a;
+        }
+        if self.is_const(a, true) {
+            return !b;
+        }
+        if self.is_const(b, true) {
+            return !a;
+        }
+        if a == b {
+            return self.constant(false);
+        }
+        if a == !b {
+            return self.constant(true);
+        }
+        // Canonicalize: sort operands and strip polarity into the
+        // output (a ⊕ b = ¬(¬a ⊕ b) etc.), keying on positive lits.
+        let flip = a.is_negated() ^ b.is_negated();
+        let (pa, pb) = (Lit::positive(a.var()), Lit::positive(b.var()));
+        let (x, y) = if pa.code() <= pb.code() {
+            (pa, pb)
+        } else {
+            (pb, pa)
+        };
+        let key = GateKey::Xor(x.code() as u32, y.code() as u32);
+        let base = match self.memo.get(&key) {
+            Some(&hit) => hit,
+            None => {
+                let out = self.new_var();
+                self.add_clause(&[!out, x, y]);
+                self.add_clause(&[!out, !x, !y]);
+                self.add_clause(&[out, !x, y]);
+                self.add_clause(&[out, x, !y]);
+                self.memo.insert(key, out);
+                out
+            }
+        };
+        if flip {
+            !base
+        } else {
+            base
+        }
+    }
+
+    /// `sel ? b : a` — the tape's `Mux` semantics
+    /// (`(sel ∧ b) ∨ (¬sel ∧ a)`).
+    pub fn mux(&mut self, sel: Lit, a: Lit, b: Lit) -> Lit {
+        if self.is_const(sel, true) {
+            return b;
+        }
+        if self.is_const(sel, false) {
+            return a;
+        }
+        if a == b {
+            return a;
+        }
+        if a == !b {
+            return self.xor(sel, a);
+        }
+        if self.is_const(b, true) {
+            return self.or(sel, a);
+        }
+        if self.is_const(b, false) {
+            return self.and(!sel, a);
+        }
+        if self.is_const(a, true) {
+            return self.or(!sel, b);
+        }
+        if self.is_const(a, false) {
+            return self.and(sel, b);
+        }
+        let key = GateKey::Mux(sel.code() as u32, a.code() as u32, b.code() as u32);
+        if let Some(&hit) = self.memo.get(&key) {
+            return hit;
+        }
+        let out = self.new_var();
+        self.add_clause(&[!sel, !b, out]);
+        self.add_clause(&[!sel, b, !out]);
+        self.add_clause(&[sel, !a, out]);
+        self.add_clause(&[sel, a, !out]);
+        // Redundant but propagation-strengthening: when a and b agree,
+        // out agrees regardless of sel.
+        self.add_clause(&[!a, !b, out]);
+        self.add_clause(&[a, b, !out]);
+        self.memo.insert(key, out);
+        out
+    }
+
+    /// Disjunction of arbitrarily many literals as a balanced tree
+    /// (constant for the empty list).
+    pub fn or_many(&mut self, lits: &[Lit]) -> Lit {
+        match lits {
+            [] => self.constant(false),
+            [l] => *l,
+            _ => {
+                let (lo, hi) = lits.split_at(lits.len() / 2);
+                let a = self.or_many(lo);
+                let b = self.or_many(hi);
+                self.or(a, b)
+            }
+        }
+    }
+
+    /// Conjunction of arbitrarily many literals as a balanced tree.
+    pub fn and_many(&mut self, lits: &[Lit]) -> Lit {
+        match lits {
+            [] => self.constant(true),
+            [l] => *l,
+            _ => {
+                let (lo, hi) = lits.split_at(lits.len() / 2);
+                let a = self.and_many(lo);
+                let b = self.and_many(hi);
+                self.and(a, b)
+            }
+        }
+    }
+
+    /// A literal true iff the little-endian bit vector `bits` is
+    /// strictly below the constant `bound` (ripple comparator over the
+    /// memoized helpers).
+    pub fn less_than_const(&mut self, bits: &[Lit], bound: u64) -> Lit {
+        // If the bound has set bits above the vector's width, every
+        // representable value is below it.
+        if bits.len() < 64 && bound >> bits.len() != 0 {
+            return self.constant(true);
+        }
+        // lt_k: bits[..k] < bound[..k]. Walking LSB→MSB:
+        // lt_{k+1} = bound_k ? (¬bits_k ∨ lt_k) : (¬bits_k ∧ lt_k).
+        let mut lt = self.constant(false);
+        for (k, &b) in bits.iter().enumerate() {
+            lt = if k < 64 && (bound >> k) & 1 == 1 {
+                self.or(!b, lt)
+            } else {
+                self.and(!b, lt)
+            };
+        }
+        lt
+    }
+
+    // ---- solving --------------------------------------------------
+
+    /// Runs a fresh solver over the clauses, with an optional conflict
+    /// budget. Returns the result plus that run's search statistics.
+    pub fn solve_budgeted(&self, max_conflicts: Option<u64>) -> (SatResult, SolverStats) {
+        let mut solver = Solver::new();
+        for _ in 0..self.n_vars {
+            solver.new_var();
+        }
+        for clause in self.clauses() {
+            clause.iter().for_each(|l| {
+                debug_assert!((l.var() as usize) < self.n_vars as usize);
+            });
+            solver.add_clause(clause);
+        }
+        let result = match max_conflicts {
+            Some(budget) => solver.solve_budgeted(budget),
+            None => solver.solve(),
+        };
+        (result, solver.stats())
+    }
+
+    /// [`Cnf::solve_budgeted`] without a budget.
+    pub fn solve(&self) -> (SatResult, SolverStats) {
+        self.solve_budgeted(None)
+    }
+}
+
+/// Evaluates a literal under a model produced by the solver.
+pub fn lit_value(model: &[bool], lit: Lit) -> bool {
+    model[lit.var() as usize] ^ lit.is_negated()
+}
+
+/// Packs little-endian literal values under a model into a word.
+pub fn read_word(model: &[bool], bits: &[Lit]) -> u64 {
+    bits.iter()
+        .enumerate()
+        .take(64)
+        .filter(|&(_, &l)| lit_value(model, l))
+        .fold(0u64, |acc, (i, _)| acc | (1u64 << i))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_is_shared_and_pinned() {
+        let mut cnf = Cnf::new();
+        let t = cnf.constant(true);
+        let f = cnf.constant(false);
+        assert_eq!(t, !f);
+        assert_eq!(cnf.num_vars(), 1);
+        let (res, _) = cnf.solve();
+        let m = res.model().expect("pinned constant is satisfiable");
+        assert!(lit_value(m, t));
+        assert!(!lit_value(m, f));
+    }
+
+    #[test]
+    fn and_gate_truth_table() {
+        for (av, bv) in [(false, false), (false, true), (true, false), (true, true)] {
+            let mut cnf = Cnf::new();
+            let a = cnf.new_var();
+            let b = cnf.new_var();
+            let y = cnf.and(a, b);
+            cnf.assert_lit(if av { a } else { !a });
+            cnf.assert_lit(if bv { b } else { !b });
+            let (res, _) = cnf.solve();
+            let m = res.model().expect("fully-assigned gate is sat");
+            assert_eq!(lit_value(m, y), av && bv, "{av} & {bv}");
+        }
+    }
+
+    #[test]
+    fn xor_and_mux_truth_tables() {
+        for bits in 0..8u32 {
+            let (sv, av, bv) = (bits & 1 == 1, bits & 2 == 2, bits & 4 == 4);
+            let mut cnf = Cnf::new();
+            let s = cnf.new_var();
+            let a = cnf.new_var();
+            let b = cnf.new_var();
+            let x = cnf.xor(a, b);
+            let m_out = cnf.mux(s, a, b);
+            for (lit, v) in [(s, sv), (a, av), (b, bv)] {
+                cnf.assert_lit(if v { lit } else { !lit });
+            }
+            let (res, _) = cnf.solve();
+            let m = res.model().expect("sat");
+            assert_eq!(lit_value(m, x), av ^ bv);
+            assert_eq!(lit_value(m, m_out), if sv { bv } else { av });
+        }
+    }
+
+    #[test]
+    fn structural_hashing_deduplicates() {
+        let mut cnf = Cnf::new();
+        let a = cnf.new_var();
+        let b = cnf.new_var();
+        let y1 = cnf.and(a, b);
+        let y2 = cnf.and(b, a); // commuted
+        assert_eq!(y1, y2);
+        let o1 = cnf.or(a, b);
+        let o2 = cnf.or(b, a);
+        assert_eq!(o1, o2);
+        let x1 = cnf.xor(a, !b);
+        let x2 = cnf.xor(!a, b); // same function
+        assert_eq!(x1, x2);
+        let x3 = cnf.xor(a, b);
+        assert_eq!(x1, !x3);
+    }
+
+    #[test]
+    fn folding_shortcuts() {
+        let mut cnf = Cnf::new();
+        let a = cnf.new_var();
+        let t = cnf.constant(true);
+        let f = cnf.constant(false);
+        assert_eq!(cnf.and(a, t), a);
+        assert_eq!(cnf.and(a, f), f);
+        assert_eq!(cnf.and(a, a), a);
+        assert_eq!(cnf.and(a, !a), f);
+        assert_eq!(cnf.or(a, f), a);
+        assert_eq!(cnf.or(a, t), t);
+        assert_eq!(cnf.xor(a, f), a);
+        assert_eq!(cnf.xor(a, t), !a);
+        assert_eq!(cnf.mux(t, a, !a), !a);
+        assert_eq!(cnf.mux(f, a, !a), a);
+        let s = cnf.new_var();
+        assert_eq!(cnf.mux(s, a, a), a);
+    }
+
+    #[test]
+    fn less_than_const_is_exact() {
+        for bound in 0..=16u64 {
+            let mut cnf = Cnf::new();
+            let bits: Vec<Lit> = (0..4).map(|_| cnf.new_var()).collect();
+            let lt = cnf.less_than_const(&bits, bound);
+            for x in 0..16u64 {
+                let mut q = cnf.clone();
+                for (i, &b) in bits.iter().enumerate() {
+                    q.assert_lit(if (x >> i) & 1 == 1 { b } else { !b });
+                }
+                let (res, _) = q.solve();
+                let m = res.model().expect("sat");
+                assert_eq!(lit_value(m, lt), x < bound, "x={x} bound={bound}");
+            }
+        }
+    }
+
+    #[test]
+    fn or_many_and_many_cover_empty_and_wide() {
+        let mut cnf = Cnf::new();
+        let vars: Vec<Lit> = (0..7).map(|_| cnf.new_var()).collect();
+        let any = cnf.or_many(&vars);
+        let all = cnf.and_many(&vars);
+        let none = cnf.or_many(&[]);
+        assert!(cnf.is_const(none, false));
+        let mut q = cnf.clone();
+        for &v in &vars {
+            q.assert_lit(!v);
+        }
+        let (res, _) = q.solve();
+        let m = res.model().expect("sat");
+        assert!(!lit_value(m, any));
+        assert!(!lit_value(m, all));
+        let mut q = cnf.clone();
+        for &v in &vars {
+            q.assert_lit(v);
+        }
+        let (res, _) = q.solve();
+        let m = res.model().expect("sat");
+        assert!(lit_value(m, any));
+        assert!(lit_value(m, all));
+    }
+
+    #[test]
+    fn read_word_packs_little_endian() {
+        let mut cnf = Cnf::new();
+        let bits: Vec<Lit> = (0..5).map(|_| cnf.new_var()).collect();
+        for (i, &b) in bits.iter().enumerate() {
+            cnf.assert_lit(if 0b10110 >> i & 1 == 1 { b } else { !b });
+        }
+        let (res, _) = cnf.solve();
+        let m = res.model().expect("sat");
+        assert_eq!(read_word(m, &bits), 0b10110);
+    }
+}

@@ -1,0 +1,35 @@
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+//! SAT-based proof engine for the hwperm workspace.
+//!
+//! Three layers, bottom up:
+//!
+//! - [`Solver`] — a self-contained CDCL SAT solver (two-watched-literal
+//!   propagation, first-UIP clause learning with backjumping,
+//!   VSIDS-style activity, phase saving, Luby restarts, conflict
+//!   budgets). No external dependencies, `forbid(unsafe_code)`.
+//! - [`Cnf`] — a formula builder with memoized Tseitin gate helpers
+//!   (`and`/`or`/`xor`/`mux`, constant folding, structural hashing) so
+//!   circuit encodings stay compact and miters of near-identical
+//!   circuits collapse their shared halves.
+//! - [`encode_combinational`] / [`encode_unrolled`] — lowering of the
+//!   compiled simulation tape ([`hwperm_logic::SimProgram`]) to CNF:
+//!   one linear walk over the levelized opcode stream for
+//!   combinational queries, or a `k + 1`-frame unroll over the DFF
+//!   slot pairs for bounded model checking of the pipelined families.
+//!
+//! The proof *obligations* (miters, table checks, one-hot cones) live
+//! in `hwperm-verify` and `hwperm-lint`; this crate only knows how to
+//! encode and solve. Why exhaustive simulation isn't enough: sweeps
+//! and BDDs both cap out on input width, while the CDCL search is
+//! driven by the circuit's structure — the same shift from brute force
+//! to algorithmic structure the comparative-sorting literature makes.
+
+mod cnf;
+mod encode;
+mod solver;
+
+pub use cnf::{lit_value, read_word, Cnf};
+pub use encode::{encode_combinational, encode_combinational_with, encode_unrolled, FrameLits};
+pub use solver::{Lit, SatResult, Solver, SolverStats, Var};

@@ -1,0 +1,811 @@
+//! A conflict-driven clause-learning (CDCL) SAT solver in safe Rust.
+//!
+//! The design is the classic MiniSat architecture, sized for the CNF
+//! instances this workspace produces (Tseitin lowerings of permutation
+//! circuits plus table/miter constraints — hundreds of thousands of
+//! clauses, input spaces of at most a few hundred thousand points):
+//!
+//! - **Two-watched-literal propagation** with blocker literals, over a
+//!   flat literal arena (no per-clause allocation).
+//! - **First-UIP clause learning** with non-chronological backjumping.
+//! - **VSIDS-style variable activity** (exponential decay, indexed
+//!   max-heap) with **phase saving** for decision polarity.
+//! - **Luby-sequence restarts**.
+//! - **Conflict budgets**: a capped [`Solver::solve_budgeted`] run
+//!   returns [`SatResult::Unknown`] instead of looping forever, which
+//!   is what lets the lint engine escalate-then-skip explicitly rather
+//!   than hang.
+//!
+//! Learned clauses are kept for the lifetime of the solver (no clause
+//! database reduction): the bounded instances here exhaust their input
+//! spaces long before memory pressure matters, and keeping every
+//! learned clause makes runs deterministic.
+
+use std::fmt;
+
+/// A propositional variable, densely numbered from 0.
+pub type Var = u32;
+
+/// A literal: a variable with a polarity, packed as `var << 1 | neg`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Lit(u32);
+
+impl Lit {
+    /// The positive literal of `var`.
+    #[inline]
+    pub fn positive(var: Var) -> Lit {
+        Lit(var << 1)
+    }
+
+    /// The negative literal of `var`.
+    #[inline]
+    pub fn negative(var: Var) -> Lit {
+        Lit((var << 1) | 1)
+    }
+
+    /// A literal of `var` with the given polarity (`negated == true`
+    /// for `¬var`).
+    #[inline]
+    pub fn new(var: Var, negated: bool) -> Lit {
+        Lit((var << 1) | negated as u32)
+    }
+
+    /// The underlying variable.
+    #[inline]
+    pub fn var(self) -> Var {
+        self.0 >> 1
+    }
+
+    /// `true` iff this is the negative literal.
+    #[inline]
+    pub fn is_negated(self) -> bool {
+        self.0 & 1 == 1
+    }
+
+    /// Dense code (`var << 1 | neg`), usable as an array index.
+    #[inline]
+    pub fn code(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::ops::Not for Lit {
+    type Output = Lit;
+    #[inline]
+    fn not(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+}
+
+impl fmt::Debug for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_negated() {
+            write!(f, "!x{}", self.var())
+        } else {
+            write!(f, "x{}", self.var())
+        }
+    }
+}
+
+/// Outcome of a solver run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SatResult {
+    /// Satisfiable; the model assigns every variable (index = `Var`).
+    Sat(Vec<bool>),
+    /// Proven unsatisfiable.
+    Unsat,
+    /// The conflict budget ran out before a verdict.
+    Unknown,
+}
+
+impl SatResult {
+    /// The model, if the result is `Sat`.
+    pub fn model(&self) -> Option<&[bool]> {
+        match self {
+            SatResult::Sat(m) => Some(m),
+            _ => None,
+        }
+    }
+}
+
+/// Search statistics, cumulative over the solver's lifetime.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SolverStats {
+    /// Conflicts encountered.
+    pub conflicts: u64,
+    /// Decisions taken.
+    pub decisions: u64,
+    /// Literals propagated.
+    pub propagations: u64,
+    /// Clauses learned.
+    pub learned: u64,
+    /// Restarts performed.
+    pub restarts: u64,
+}
+
+/// Ternary assignment value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Value {
+    Undef,
+    True,
+    False,
+}
+
+impl Value {
+    #[inline]
+    fn from_bool(b: bool) -> Value {
+        if b {
+            Value::True
+        } else {
+            Value::False
+        }
+    }
+}
+
+/// Clause header into the flat literal arena.
+#[derive(Debug, Clone, Copy)]
+struct Clause {
+    start: u32,
+    len: u32,
+}
+
+/// Watcher entry: the clause plus a blocker literal whose truth lets
+/// propagation skip the clause without touching the arena.
+#[derive(Debug, Clone, Copy)]
+struct Watch {
+    clause: u32,
+    blocker: Lit,
+}
+
+const NO_REASON: u32 = u32::MAX;
+const RESTART_BASE: u64 = 128;
+
+/// The CDCL solver. Add variables and clauses, then call
+/// [`Solver::solve`] or [`Solver::solve_budgeted`]. Clauses must all be
+/// added before solving (the solver is not incremental).
+#[derive(Debug, Default)]
+pub struct Solver {
+    // Clause storage.
+    arena: Vec<Lit>,
+    clauses: Vec<Clause>,
+    watches: Vec<Vec<Watch>>, // indexed by Lit::code
+    // Assignment state.
+    assigns: Vec<Value>,
+    level: Vec<u32>,
+    reason: Vec<u32>, // clause index, NO_REASON for decisions/units
+    trail: Vec<Lit>,
+    trail_lim: Vec<usize>,
+    qhead: usize,
+    // Branching state.
+    activity: Vec<f64>,
+    var_inc: f64,
+    heap: Vec<Var>,
+    heap_pos: Vec<i32>, // -1 when not in heap
+    polarity: Vec<bool>,
+    // Scratch.
+    seen: Vec<bool>,
+    // Status.
+    unsat: bool,
+    stats: SolverStats,
+}
+
+impl Solver {
+    /// An empty solver with no variables or clauses.
+    pub fn new() -> Solver {
+        Solver {
+            var_inc: 1.0,
+            ..Solver::default()
+        }
+    }
+
+    /// Allocates a fresh variable and returns it.
+    pub fn new_var(&mut self) -> Var {
+        let v = self.assigns.len() as Var;
+        self.assigns.push(Value::Undef);
+        self.level.push(0);
+        self.reason.push(NO_REASON);
+        self.activity.push(0.0);
+        self.polarity.push(false);
+        self.seen.push(false);
+        self.heap_pos.push(-1);
+        self.watches.push(Vec::new());
+        self.watches.push(Vec::new());
+        self.heap_insert(v);
+        v
+    }
+
+    /// Number of variables allocated so far.
+    pub fn num_vars(&self) -> usize {
+        self.assigns.len()
+    }
+
+    /// Number of problem clauses added (not counting learned clauses).
+    pub fn num_clauses(&self) -> usize {
+        self.clauses.len() - self.stats.learned as usize
+    }
+
+    /// Search statistics so far.
+    pub fn stats(&self) -> SolverStats {
+        self.stats
+    }
+
+    /// Adds a clause (a disjunction of literals). Duplicate literals
+    /// are removed; tautologies are dropped; the empty clause marks the
+    /// instance unsatisfiable.
+    ///
+    /// # Panics
+    /// Panics if a literal references an unallocated variable.
+    pub fn add_clause(&mut self, lits: &[Lit]) {
+        debug_assert!(self.trail_lim.is_empty(), "clauses must precede solving");
+        if self.unsat {
+            return;
+        }
+        // Normalize: sort, dedupe, drop tautologies and false constants
+        // (level-0 falsified literals), skip satisfied clauses.
+        let mut c: Vec<Lit> = Vec::with_capacity(lits.len());
+        for &l in lits {
+            assert!(
+                (l.var() as usize) < self.assigns.len(),
+                "literal {l:?} references an unallocated variable"
+            );
+            match self.lit_value(l) {
+                Value::True => return, // already satisfied at level 0
+                Value::False => continue,
+                Value::Undef => c.push(l),
+            }
+        }
+        c.sort_unstable();
+        c.dedup();
+        if c.windows(2).any(|w| w[0] == !w[1]) {
+            return; // tautology
+        }
+        match c.len() {
+            0 => self.unsat = true,
+            1 => {
+                // Level-0 unit: enqueue now; contradiction with a prior
+                // unit surfaces as an immediate conflict in solve().
+                if self.lit_value(c[0]) == Value::False {
+                    self.unsat = true;
+                } else if self.lit_value(c[0]) == Value::Undef {
+                    self.enqueue(c[0], NO_REASON);
+                }
+            }
+            _ => {
+                self.attach(&c);
+            }
+        }
+    }
+
+    /// Stores a (pre-normalized, length ≥ 2) clause and watches its
+    /// first two literals. Returns the clause index.
+    fn attach(&mut self, c: &[Lit]) -> u32 {
+        let idx = self.clauses.len() as u32;
+        let start = self.arena.len() as u32;
+        self.arena.extend_from_slice(c);
+        self.clauses.push(Clause {
+            start,
+            len: c.len() as u32,
+        });
+        self.watches[(!c[0]).code()].push(Watch {
+            clause: idx,
+            blocker: c[1],
+        });
+        self.watches[(!c[1]).code()].push(Watch {
+            clause: idx,
+            blocker: c[0],
+        });
+        idx
+    }
+
+    #[inline]
+    fn lit_value(&self, l: Lit) -> Value {
+        match self.assigns[l.var() as usize] {
+            Value::Undef => Value::Undef,
+            Value::True => {
+                if l.is_negated() {
+                    Value::False
+                } else {
+                    Value::True
+                }
+            }
+            Value::False => {
+                if l.is_negated() {
+                    Value::True
+                } else {
+                    Value::False
+                }
+            }
+        }
+    }
+
+    #[inline]
+    fn decision_level(&self) -> u32 {
+        self.trail_lim.len() as u32
+    }
+
+    #[inline]
+    fn enqueue(&mut self, l: Lit, reason: u32) {
+        let v = l.var() as usize;
+        debug_assert_eq!(self.assigns[v], Value::Undef);
+        self.assigns[v] = Value::from_bool(!l.is_negated());
+        self.level[v] = self.decision_level();
+        self.reason[v] = reason;
+        self.trail.push(l);
+    }
+
+    /// Unit propagation. Returns the conflicting clause index, if any.
+    fn propagate(&mut self) -> Option<u32> {
+        let mut conflict = None;
+        while self.qhead < self.trail.len() {
+            let p = self.trail[self.qhead];
+            self.qhead += 1;
+            self.stats.propagations += 1;
+            // Visit clauses watching ¬p (now false). The list is taken
+            // out so the arena and other watch lists stay borrowable.
+            let mut ws = std::mem::take(&mut self.watches[p.code()]);
+            let mut kept = 0usize;
+            let mut i = 0usize;
+            'watches: while i < ws.len() {
+                let w = ws[i];
+                i += 1;
+                if self.lit_value(w.blocker) == Value::True {
+                    ws[kept] = w;
+                    kept += 1;
+                    continue;
+                }
+                let cl = self.clauses[w.clause as usize];
+                let (start, len) = (cl.start as usize, cl.len as usize);
+                // Ensure the false watched literal sits at slot 1.
+                if self.arena[start] == !p {
+                    self.arena.swap(start, start + 1);
+                }
+                let first = self.arena[start];
+                if first != w.blocker && self.lit_value(first) == Value::True {
+                    ws[kept] = Watch {
+                        clause: w.clause,
+                        blocker: first,
+                    };
+                    kept += 1;
+                    continue;
+                }
+                // Look for a non-false literal to watch instead.
+                for k in 2..len {
+                    let l = self.arena[start + k];
+                    if self.lit_value(l) != Value::False {
+                        self.arena.swap(start + 1, start + k);
+                        self.watches[(!l).code()].push(Watch {
+                            clause: w.clause,
+                            blocker: first,
+                        });
+                        continue 'watches;
+                    }
+                }
+                // Clause is unit or conflicting under the trail.
+                ws[kept] = Watch {
+                    clause: w.clause,
+                    blocker: first,
+                };
+                kept += 1;
+                if self.lit_value(first) == Value::False {
+                    // Conflict: keep the remaining watchers, stop.
+                    while i < ws.len() {
+                        ws[kept] = ws[i];
+                        kept += 1;
+                        i += 1;
+                    }
+                    self.qhead = self.trail.len();
+                    conflict = Some(w.clause);
+                } else {
+                    self.enqueue(first, w.clause);
+                }
+            }
+            ws.truncate(kept);
+            self.watches[p.code()] = ws;
+            if conflict.is_some() {
+                break;
+            }
+        }
+        conflict
+    }
+
+    /// First-UIP conflict analysis. Returns the learned clause (with
+    /// the asserting literal at slot 0 and a highest-level literal at
+    /// slot 1) and the backjump level.
+    fn analyze(&mut self, mut confl: u32) -> (Vec<Lit>, u32) {
+        let mut learnt: Vec<Lit> = vec![Lit::positive(0)]; // slot 0 patched below
+        let mut path = 0u32;
+        let mut index = self.trail.len();
+        let mut p: Option<Lit> = None;
+        loop {
+            let cl = self.clauses[confl as usize];
+            let (start, len) = (cl.start as usize, cl.len as usize);
+            // For the conflict clause consider every literal; for a
+            // reason clause skip slot 0 (the propagated literal).
+            let skip = usize::from(p.is_some());
+            for k in skip..len {
+                let q = self.arena[start + k];
+                let v = q.var() as usize;
+                if !self.seen[v] && self.level[v] > 0 {
+                    self.seen[v] = true;
+                    self.bump(q.var());
+                    if self.level[v] >= self.decision_level() {
+                        path += 1;
+                    } else {
+                        learnt.push(q);
+                    }
+                }
+            }
+            // Walk the trail back to the next marked literal.
+            loop {
+                index -= 1;
+                if self.seen[self.trail[index].var() as usize] {
+                    break;
+                }
+            }
+            let q = self.trail[index];
+            self.seen[q.var() as usize] = false;
+            path -= 1;
+            if path == 0 {
+                learnt[0] = !q;
+                break;
+            }
+            confl = self.reason[q.var() as usize];
+            debug_assert_ne!(confl, NO_REASON);
+            p = Some(q);
+        }
+        for l in &learnt[1..] {
+            self.seen[l.var() as usize] = false;
+        }
+        // Backjump to the second-highest decision level in the clause.
+        let back_level = if learnt.len() == 1 {
+            0
+        } else {
+            let mut max_k = 1;
+            for k in 2..learnt.len() {
+                if self.level[learnt[k].var() as usize] > self.level[learnt[max_k].var() as usize] {
+                    max_k = k;
+                }
+            }
+            learnt.swap(1, max_k);
+            self.level[learnt[1].var() as usize]
+        };
+        (learnt, back_level)
+    }
+
+    /// Undoes the trail down to `target` decision level, saving phases.
+    fn cancel_until(&mut self, target: u32) {
+        if self.decision_level() <= target {
+            return;
+        }
+        let keep = self.trail_lim[target as usize];
+        for k in (keep..self.trail.len()).rev() {
+            let l = self.trail[k];
+            let v = l.var() as usize;
+            self.polarity[v] = !l.is_negated();
+            self.assigns[v] = Value::Undef;
+            self.reason[v] = NO_REASON;
+            self.heap_insert(l.var());
+        }
+        self.trail.truncate(keep);
+        self.trail_lim.truncate(target as usize);
+        self.qhead = keep;
+    }
+
+    /// Solves without a conflict budget (runs to a verdict).
+    pub fn solve(&mut self) -> SatResult {
+        self.solve_budgeted(u64::MAX)
+    }
+
+    /// Solves with a conflict budget; returns
+    /// [`SatResult::Unknown`] once `max_conflicts` conflicts have been
+    /// spent in this call.
+    pub fn solve_budgeted(&mut self, max_conflicts: u64) -> SatResult {
+        if self.unsat {
+            return SatResult::Unsat;
+        }
+        let start_conflicts = self.stats.conflicts;
+        let mut restart_at = self.stats.conflicts + RESTART_BASE * luby(self.stats.restarts + 1);
+        loop {
+            if let Some(confl) = self.propagate() {
+                self.stats.conflicts += 1;
+                if self.decision_level() == 0 {
+                    self.unsat = true;
+                    return SatResult::Unsat;
+                }
+                let (learnt, back_level) = self.analyze(confl);
+                self.cancel_until(back_level);
+                let reason = if learnt.len() == 1 {
+                    NO_REASON
+                } else {
+                    self.stats.learned += 1;
+                    self.attach(&learnt)
+                };
+                self.enqueue(learnt[0], reason);
+                self.decay();
+                if self.stats.conflicts - start_conflicts >= max_conflicts {
+                    self.cancel_until(0);
+                    return SatResult::Unknown;
+                }
+                if self.stats.conflicts >= restart_at {
+                    self.stats.restarts += 1;
+                    restart_at =
+                        self.stats.conflicts + RESTART_BASE * luby(self.stats.restarts + 1);
+                    self.cancel_until(0);
+                }
+            } else {
+                match self.pick_branch_var() {
+                    Some(v) => {
+                        self.stats.decisions += 1;
+                        self.trail_lim.push(self.trail.len());
+                        self.enqueue(Lit::new(v, !self.polarity[v as usize]), NO_REASON);
+                    }
+                    None => {
+                        let model = self
+                            .assigns
+                            .iter()
+                            .map(|&a| a == Value::True)
+                            .collect::<Vec<bool>>();
+                        self.cancel_until(0);
+                        return SatResult::Sat(model);
+                    }
+                }
+            }
+        }
+    }
+
+    // ---- VSIDS machinery ------------------------------------------
+
+    fn bump(&mut self, v: Var) {
+        self.activity[v as usize] += self.var_inc;
+        if self.activity[v as usize] > 1e100 {
+            for a in &mut self.activity {
+                *a *= 1e-100;
+            }
+            self.var_inc *= 1e-100;
+        }
+        if self.heap_pos[v as usize] >= 0 {
+            self.heap_sift_up(self.heap_pos[v as usize] as usize);
+        }
+    }
+
+    fn decay(&mut self) {
+        self.var_inc *= 1.0 / 0.95;
+    }
+
+    fn pick_branch_var(&mut self) -> Option<Var> {
+        while let Some(v) = self.heap_pop() {
+            if self.assigns[v as usize] == Value::Undef {
+                return Some(v);
+            }
+        }
+        None
+    }
+
+    // Indexed binary max-heap keyed on activity.
+
+    fn heap_insert(&mut self, v: Var) {
+        if self.heap_pos[v as usize] >= 0 {
+            return;
+        }
+        self.heap_pos[v as usize] = self.heap.len() as i32;
+        self.heap.push(v);
+        self.heap_sift_up(self.heap.len() - 1);
+    }
+
+    fn heap_pop(&mut self) -> Option<Var> {
+        let top = *self.heap.first()?;
+        self.heap_pos[top as usize] = -1;
+        let last = self.heap.pop().expect("non-empty");
+        if !self.heap.is_empty() {
+            self.heap[0] = last;
+            self.heap_pos[last as usize] = 0;
+            self.heap_sift_down(0);
+        }
+        Some(top)
+    }
+
+    fn heap_sift_up(&mut self, mut i: usize) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if self.activity[self.heap[i] as usize] <= self.activity[self.heap[parent] as usize] {
+                break;
+            }
+            self.heap_swap(i, parent);
+            i = parent;
+        }
+    }
+
+    fn heap_sift_down(&mut self, mut i: usize) {
+        loop {
+            let (l, r) = (2 * i + 1, 2 * i + 2);
+            let mut best = i;
+            if l < self.heap.len()
+                && self.activity[self.heap[l] as usize] > self.activity[self.heap[best] as usize]
+            {
+                best = l;
+            }
+            if r < self.heap.len()
+                && self.activity[self.heap[r] as usize] > self.activity[self.heap[best] as usize]
+            {
+                best = r;
+            }
+            if best == i {
+                break;
+            }
+            self.heap_swap(i, best);
+            i = best;
+        }
+    }
+
+    fn heap_swap(&mut self, i: usize, j: usize) {
+        self.heap.swap(i, j);
+        self.heap_pos[self.heap[i] as usize] = i as i32;
+        self.heap_pos[self.heap[j] as usize] = j as i32;
+    }
+}
+
+/// The Luby restart sequence: 1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2,
+/// 4, 8, … (`i` is 1-based).
+fn luby(mut i: u64) -> u64 {
+    // Strip complete subsequences until i lands exactly on the last
+    // element of one (which is 2^(k-1)).
+    loop {
+        let mut k = 1u32;
+        while (1u64 << k) - 1 < i {
+            k += 1;
+        }
+        if (1u64 << k) - 1 == i {
+            return 1 << (k - 1);
+        }
+        i -= (1u64 << (k - 1)) - 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lit(i: i32) -> Lit {
+        if i > 0 {
+            Lit::positive(i as u32 - 1)
+        } else {
+            Lit::negative((-i) as u32 - 1)
+        }
+    }
+
+    fn solver_with(nvars: usize, clauses: &[&[i32]]) -> Solver {
+        let mut s = Solver::new();
+        for _ in 0..nvars {
+            s.new_var();
+        }
+        for c in clauses {
+            let lits: Vec<Lit> = c.iter().map(|&i| lit(i)).collect();
+            s.add_clause(&lits);
+        }
+        s
+    }
+
+    #[test]
+    fn luby_prefix() {
+        let want = [1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8];
+        for (i, &w) in want.iter().enumerate() {
+            assert_eq!(luby(i as u64 + 1), w, "luby({})", i + 1);
+        }
+    }
+
+    #[test]
+    fn empty_instance_is_sat() {
+        assert!(matches!(Solver::new().solve(), SatResult::Sat(m) if m.is_empty()));
+    }
+
+    #[test]
+    fn unit_clauses_propagate() {
+        let mut s = solver_with(2, &[&[1], &[-1, 2]]);
+        match s.solve() {
+            SatResult::Sat(m) => assert!(m[0] && m[1]),
+            other => panic!("expected SAT, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn contradictory_units_are_unsat() {
+        let mut s = solver_with(1, &[&[1], &[-1]]);
+        assert_eq!(s.solve(), SatResult::Unsat);
+    }
+
+    #[test]
+    fn simple_conflict_forces_assignment() {
+        // (a ∨ b)(a ∨ ¬b) forces a.
+        let mut s = solver_with(2, &[&[1, 2], &[1, -2]]);
+        match s.solve() {
+            SatResult::Sat(m) => assert!(m[0]),
+            other => panic!("expected SAT, got {other:?}"),
+        }
+    }
+
+    /// Encodes pigeonhole(pigeons, holes) — p[i][j]: pigeon i sits in
+    /// hole j; each pigeon somewhere, no two pigeons share a hole —
+    /// returning the variable grid.
+    fn encode_pigeonhole(s: &mut Solver, pigeons: usize, holes: usize) -> Vec<Vec<u32>> {
+        let mut v = vec![vec![0u32; holes]; pigeons];
+        for row in v.iter_mut() {
+            for cell in row.iter_mut() {
+                *cell = s.new_var();
+            }
+        }
+        for row in &v {
+            let c: Vec<Lit> = row.iter().map(|&x| Lit::positive(x)).collect();
+            s.add_clause(&c);
+        }
+        for j in 0..holes {
+            for (i1, row1) in v.iter().enumerate() {
+                for row2 in &v[i1 + 1..] {
+                    s.add_clause(&[Lit::negative(row1[j]), Lit::negative(row2[j])]);
+                }
+            }
+        }
+        v
+    }
+
+    #[test]
+    fn pigeonhole_4_into_3_is_unsat() {
+        // Classic small UNSAT instance that genuinely exercises
+        // learning and backjumping.
+        let mut s = Solver::new();
+        encode_pigeonhole(&mut s, 4, 3);
+        assert_eq!(s.solve(), SatResult::Unsat);
+        assert!(s.stats().conflicts > 0, "search actually happened");
+    }
+
+    #[test]
+    fn pigeonhole_3_into_3_model_is_a_matching() {
+        let (pigeons, holes) = (3, 3);
+        let mut s = Solver::new();
+        let v = encode_pigeonhole(&mut s, pigeons, holes);
+        let SatResult::Sat(m) = s.solve() else {
+            panic!("3 pigeons fit in 3 holes");
+        };
+        for j in 0..holes {
+            let occupants = (0..pigeons).filter(|&i| m[v[i][j] as usize]).count();
+            assert!(occupants <= 1, "hole {j} double-booked");
+        }
+        for row in &v {
+            assert!(row.iter().any(|&x| m[x as usize]), "homeless pigeon");
+        }
+    }
+
+    #[test]
+    fn budget_zero_returns_unknown_on_hard_instance() {
+        // Pigeonhole 6-into-5 needs many conflicts; a tiny budget must
+        // give up with Unknown rather than a wrong verdict.
+        let mut s = Solver::new();
+        encode_pigeonhole(&mut s, 6, 5);
+        assert_eq!(s.solve_budgeted(1), SatResult::Unknown);
+        // And with the budget lifted the same solver finishes the job.
+        assert_eq!(s.solve(), SatResult::Unsat);
+    }
+
+    #[test]
+    fn tautologies_and_duplicates_are_harmless() {
+        let mut s = solver_with(2, &[&[1, -1], &[2, 2, 2]]);
+        match s.solve() {
+            SatResult::Sat(m) => assert!(m[1]),
+            other => panic!("expected SAT, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn xor_chain_parity_is_respected() {
+        // x1 ⊕ x2 = 1, x2 ⊕ x3 = 1, x1 ⊕ x3 = 1 is UNSAT (odd cycle).
+        let xor_clauses: &[&[i32]] = &[&[1, 2], &[-1, -2], &[2, 3], &[-2, -3], &[1, 3], &[-1, -3]];
+        let mut s = solver_with(3, xor_clauses);
+        assert_eq!(s.solve(), SatResult::Unsat);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut s = solver_with(2, &[&[1, 2], &[1, -2], &[-1, 2]]);
+        let _ = s.solve();
+        assert!(s.stats().decisions + s.stats().propagations > 0);
+    }
+}

@@ -51,6 +51,7 @@
 
 mod campaign;
 mod exhaustive;
+mod miter;
 mod onehot;
 mod oracle;
 mod parallel;
@@ -64,8 +65,18 @@ pub use exhaustive::{
     exhaustive_check_scalar_with, find_one_hot_violation_batched, BatchedExpectation,
     ExhaustiveMismatch,
 };
-pub use onehot::{check_one_hot_bank, OneHotReport, OneHotStatus, DEFAULT_NODE_BUDGET};
-pub use oracle::{expected_permutation_words, expected_permutation_words_parallel};
+pub use miter::{
+    prove_against_table, prove_against_table_budgeted, prove_equivalent, prove_equivalent_budgeted,
+    prove_inverse_identity, prove_pipelined_equivalent, ProofStats, ProveOutcome,
+};
+pub use onehot::{
+    check_one_hot_bank, check_one_hot_bank_escalated, check_one_hot_bank_sat, OneHotReport,
+    OneHotStatus, DEFAULT_NODE_BUDGET, DEFAULT_SAT_CONFLICT_BUDGET,
+};
+pub use oracle::{
+    expected_combination_words, expected_permutation_words, expected_permutation_words_parallel,
+    expected_variation_words,
+};
 pub use parallel::{
     exhaustive_check_parallel, exhaustive_check_parallel_repeat, exhaustive_check_parallel_with,
     find_one_hot_violation_parallel,

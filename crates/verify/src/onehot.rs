@@ -9,7 +9,7 @@
 //! proofs, since holding over all register states implies holding over
 //! the reachable ones).
 //!
-//! Two tiers:
+//! Three tiers:
 //!
 //! 1. **Structural**: the bank matches the thermometer decomposition
 //!    the generator emits (`bank[0] = ¬t₀`, `bank[d] = t_{d-1} ∧ ¬t_d`,
@@ -18,12 +18,25 @@
 //!    small per-pair BDD query instead of one query over the full bank.
 //! 2. **Full BDD**: build the exactly-one predicate over the bank's
 //!    cone and test it for tautology.
+//! 3. **SAT escalation**: when the BDD blows its node budget, the cone
+//!    is Tseitin-encoded ([`hwperm_sat::Cnf`]) and a CDCL search looks
+//!    for an exactly-one violation — UNSAT is a proof
+//!    ([`OneHotStatus::ProvedSat`]). SAT cost tracks circuit structure,
+//!    not BDD width, so wide-support cones (the sorting network's
+//!    priority banks) that diverge as BDDs still close as proofs.
 //!
-//! Both tiers respect a node budget; blowing it yields an explicit
-//! [`OneHotStatus::BudgetExceeded`] rather than an unbounded compile.
+//! Every tier respects a budget; exhausting all of them yields an
+//! explicit [`OneHotStatus::Skipped`] rather than an unbounded
+//! compile — callers can always distinguish *proved* from *gave up*.
+//!
+//! [`check_one_hot_bank_sat`] additionally accepts an input-range
+//! constraint (`port < bound`), which proves *range don't-care safety*:
+//! a bank refutable only by out-of-range inputs (e.g. converter indices
+//! `≥ n!`) is safe in any system that respects the range contract.
 
 use hwperm_bdd::{Manager, NodeId};
 use hwperm_logic::{Gate, NetId, Netlist};
+use hwperm_sat::{lit_value, Cnf, Lit, SatResult};
 
 /// Default cap on live BDD nodes for a one-hot query. Comparator and
 /// adder cones are linear-sized in LSB-first variable order; the
@@ -31,6 +44,12 @@ use hwperm_logic::{Gate, NetId, Netlist};
 /// support spans every data input) peak near 2^21 nodes, so this
 /// leaves headroom while still bounding adversarial inputs.
 pub const DEFAULT_NODE_BUDGET: usize = 1 << 22;
+
+/// Default cap on CDCL conflicts for one SAT escalation query. The
+/// real generator banks close in well under a thousand conflicts; a
+/// million bounds adversarial cones to fractions of a second while
+/// leaving three orders of magnitude of headroom.
+pub const DEFAULT_SAT_CONFLICT_BUDGET: u64 = 1 << 20;
 
 /// Outcome of [`check_one_hot_bank`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -40,6 +59,10 @@ pub enum OneHotStatus {
     ProvedStructural,
     /// Proven one-hot by a full exactly-one BDD query over the cone.
     ProvedBdd,
+    /// Proven one-hot by an UNSAT result over the Tseitin-encoded cone
+    /// (the SAT escalation tier, or a direct [`check_one_hot_bank_sat`]
+    /// query).
+    ProvedSat,
     /// Not one-hot: some assignment of the cone's free nets drives a
     /// number of bank lines different from one.
     Refuted {
@@ -47,10 +70,20 @@ pub enum OneHotStatus {
         /// the cone's free nets (unlisted nets may take any value).
         assignment: Vec<(usize, bool)>,
     },
-    /// The BDD grew past the node budget before a verdict was reached.
+    /// The BDD grew past the node budget before a verdict was reached
+    /// (no SAT escalation was attempted).
     BudgetExceeded {
         /// Live node count when the query was abandoned.
         nodes: usize,
+    },
+    /// Every attempted tier exhausted its budget: the property is
+    /// unknown and the check was explicitly skipped.
+    Skipped {
+        /// Live BDD node count when that tier was abandoned (`0` if the
+        /// BDD tier was never attempted, e.g. a direct SAT query).
+        bdd_nodes: usize,
+        /// The conflict budget the SAT search exhausted.
+        sat_conflicts: u64,
     },
     /// The cone is not a well-formed combinational region (dangling or
     /// forward references), so no query was attempted.
@@ -73,7 +106,7 @@ impl OneHotReport {
     pub fn proved(&self) -> bool {
         matches!(
             self.status,
-            OneHotStatus::ProvedStructural | OneHotStatus::ProvedBdd
+            OneHotStatus::ProvedStructural | OneHotStatus::ProvedBdd | OneHotStatus::ProvedSat
         )
     }
 }
@@ -320,6 +353,171 @@ pub fn check_one_hot_bank(netlist: &Netlist, bank: &[NetId], node_budget: usize)
     report(OneHotStatus::Refuted { assignment })
 }
 
+/// Tseitin-encodes the cone into `cnf`, returning a literal per net
+/// (free nets become fresh variables, constants fold into the pinned
+/// constant, `Not` is a free polarity flip).
+fn encode_cone_cnf(netlist: &Netlist, cone: &Cone, cnf: &mut Cnf) -> Vec<Lit> {
+    let gates = netlist.gates();
+    let mut lit_of: Vec<Lit> = vec![Lit::positive(0); gates.len()];
+    for &i in &cone.free {
+        lit_of[i] = cnf.new_var();
+    }
+    for &i in &cone.nets {
+        lit_of[i] = match gates[i] {
+            Gate::Input | Gate::Dff { .. } => lit_of[i],
+            Gate::Const(v) => cnf.constant(v),
+            Gate::Not(a) => !lit_of[a.index()],
+            Gate::And(a, b) => cnf.and(lit_of[a.index()], lit_of[b.index()]),
+            Gate::Or(a, b) => cnf.or(lit_of[a.index()], lit_of[b.index()]),
+            Gate::Xor(a, b) => cnf.xor(lit_of[a.index()], lit_of[b.index()]),
+            Gate::Mux { sel, a, b } => {
+                cnf.mux(lit_of[sel.index()], lit_of[a.index()], lit_of[b.index()])
+            }
+        };
+    }
+    lit_of
+}
+
+/// A literal true iff `lines` is *not* exactly one-hot: either no line
+/// is hot, or some pair is simultaneously hot. Pairwise encoding —
+/// select banks are at most `n ≤ 9` lines wide, and the structural
+/// hash dedups repeated pair terms.
+fn exactly_one_violation(cnf: &mut Cnf, lines: &[Lit]) -> Lit {
+    let negated: Vec<Lit> = lines.iter().map(|&l| !l).collect();
+    let none_hot = cnf.and_many(&negated);
+    let mut pairs = Vec::new();
+    for i in 0..lines.len() {
+        for j in i + 1..lines.len() {
+            pairs.push(cnf.and(lines[i], lines[j]));
+        }
+    }
+    let two_hot = cnf.or_many(&pairs);
+    cnf.or(none_hot, two_hot)
+}
+
+/// Attempts to decide one-hotness of `bank` by SAT search over the
+/// Tseitin-encoded cone, spending at most `max_conflicts` CDCL
+/// conflicts (`None` = unbounded).
+///
+/// `range` optionally constrains the query to in-range inputs: given
+/// `(port_nets, bound)`, only assignments where the little-endian word
+/// over `port_nets` is strictly below `bound` are considered. A
+/// refutation then carries an in-range witness; a proof means any
+/// violation requires an out-of-range input — the *range don't-care
+/// safety* property (converter index ports only carry values below
+/// `n!` by contract, so violations confined to `≥ n!` are unreachable).
+/// Port bits outside the bank's cone are treated as free variables,
+/// which is exact for `Input`-gate port bits (the only well-formed
+/// kind).
+///
+/// Verdicts: [`OneHotStatus::ProvedSat`], [`OneHotStatus::Refuted`]
+/// (witness over the cone's free nets plus any off-cone range bits), or
+/// [`OneHotStatus::Skipped`] with `bdd_nodes: 0` when the conflict
+/// budget runs out.
+pub fn check_one_hot_bank_sat(
+    netlist: &Netlist,
+    bank: &[NetId],
+    range: Option<(&[NetId], u64)>,
+    max_conflicts: Option<u64>,
+) -> OneHotReport {
+    let cone = match collect_cone(netlist, bank) {
+        Ok(c) => c,
+        Err(e) => {
+            return OneHotReport {
+                status: OneHotStatus::ConeInvalid(e),
+                cone_inputs: 0,
+                cone_gates: 0,
+            }
+        }
+    };
+    let cone_inputs = cone.free.len();
+    let cone_gates = cone
+        .nets
+        .iter()
+        .filter(|&&i| netlist.gates()[i].is_combinational())
+        .count();
+    let report = |status| OneHotReport {
+        status,
+        cone_inputs,
+        cone_gates,
+    };
+
+    let mut cnf = Cnf::new();
+    let lit_of = encode_cone_cnf(netlist, &cone, &mut cnf);
+    // The witness maps net indices to model literals: every cone free
+    // net, plus fresh variables for range-port bits the cone ignores.
+    let mut witness: Vec<(usize, Lit)> = cone.free.iter().map(|&i| (i, lit_of[i])).collect();
+    if let Some((port_nets, bound)) = range {
+        let mut bits = Vec::with_capacity(port_nets.len());
+        for net in port_nets {
+            let i = net.index();
+            if i >= netlist.gates().len() {
+                return report(OneHotStatus::ConeInvalid(format!(
+                    "range port references out-of-range net {i}"
+                )));
+            }
+            let lit = if cone.nets.binary_search(&i).is_ok() {
+                lit_of[i]
+            } else {
+                let fresh = cnf.new_var();
+                witness.push((i, fresh));
+                fresh
+            };
+            bits.push(lit);
+        }
+        let in_range = cnf.less_than_const(&bits, bound);
+        cnf.assert_lit(in_range);
+    }
+    let bank_lits: Vec<Lit> = bank.iter().map(|n| lit_of[n.index()]).collect();
+    let violation = exactly_one_violation(&mut cnf, &bank_lits);
+    cnf.assert_lit(violation);
+
+    match cnf.solve_budgeted(max_conflicts) {
+        (SatResult::Unsat, _) => report(OneHotStatus::ProvedSat),
+        (SatResult::Sat(model), _) => {
+            let assignment = witness
+                .into_iter()
+                .map(|(net, lit)| (net, lit_value(&model, lit)))
+                .collect();
+            report(OneHotStatus::Refuted { assignment })
+        }
+        (SatResult::Unknown, _) => report(OneHotStatus::Skipped {
+            bdd_nodes: 0,
+            sat_conflicts: max_conflicts.unwrap_or(u64::MAX),
+        }),
+    }
+}
+
+/// [`check_one_hot_bank`] with SAT escalation: runs the structural and
+/// BDD tiers first, and when (only when) the BDD node budget is
+/// exhausted, re-attacks the cone with a bounded CDCL search. The
+/// result is never a bare [`OneHotStatus::BudgetExceeded`]: either some
+/// tier reached a verdict, or every budget ran out and the status is an
+/// explicit [`OneHotStatus::Skipped`] carrying both exhausted budgets.
+pub fn check_one_hot_bank_escalated(
+    netlist: &Netlist,
+    bank: &[NetId],
+    node_budget: usize,
+    sat_conflict_budget: u64,
+) -> OneHotReport {
+    let bdd = check_one_hot_bank(netlist, bank, node_budget);
+    let OneHotStatus::BudgetExceeded { nodes } = bdd.status else {
+        return bdd;
+    };
+    let sat = check_one_hot_bank_sat(netlist, bank, None, Some(sat_conflict_budget));
+    match sat.status {
+        OneHotStatus::Skipped { .. } => OneHotReport {
+            status: OneHotStatus::Skipped {
+                bdd_nodes: nodes,
+                sat_conflicts: sat_conflict_budget,
+            },
+            cone_inputs: sat.cone_inputs,
+            cone_gates: sat.cone_gates,
+        },
+        _ => sat,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -430,6 +628,140 @@ mod tests {
             check_one_hot_bank(&nl, &lines, 4).status,
             OneHotStatus::BudgetExceeded { .. }
         ));
+    }
+
+    /// An 8-line decoder fed through an adder: always one-hot, but the
+    /// cone is wide enough that a 4-node BDD budget is hopeless.
+    fn adder_decoder() -> (Netlist, Vec<NetId>) {
+        let mut b = Builder::new();
+        let x = b.input_bus("x", 8);
+        let y = b.input_bus("y", 8);
+        let (s, _) = b.add(&x, &y);
+        let lines = b.decoder(&s[..3], 8);
+        b.output_bus("hot", &lines);
+        let nl = b.finish();
+        let lines = nl.output_port("hot").unwrap().nets.clone();
+        (nl, lines)
+    }
+
+    #[test]
+    fn sat_escalation_proves_past_bdd_budget() {
+        let (nl, lines) = adder_decoder();
+        let r = check_one_hot_bank_escalated(&nl, &lines, 4, DEFAULT_SAT_CONFLICT_BUDGET);
+        assert_eq!(r.status, OneHotStatus::ProvedSat);
+        assert!(r.proved());
+        // The low three sum bits see x[0..3] and y[0..3].
+        assert_eq!(r.cone_inputs, 6);
+    }
+
+    #[test]
+    fn sat_escalation_refutes_broken_bank_past_bdd_budget() {
+        // Drop the last decoder line: sum ≡ 7 (mod 8) hits zero lines.
+        let (nl, lines) = adder_decoder();
+        let r = check_one_hot_bank_escalated(&nl, &lines[..7], 4, DEFAULT_SAT_CONFLICT_BUDGET);
+        assert!(
+            matches!(r.status, OneHotStatus::Refuted { .. }),
+            "{:?}",
+            r.status
+        );
+    }
+
+    #[test]
+    fn escalation_with_all_budgets_exhausted_is_explicitly_skipped() {
+        let (nl, lines) = adder_decoder();
+        let r = check_one_hot_bank_escalated(&nl, &lines, 4, 0);
+        match r.status {
+            OneHotStatus::Skipped {
+                bdd_nodes,
+                sat_conflicts,
+            } => {
+                assert!(bdd_nodes > 4);
+                assert_eq!(sat_conflicts, 0);
+            }
+            other => panic!("expected Skipped, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sat_direct_query_matches_bdd_verdicts() {
+        let mut b = Builder::new();
+        let sel = b.input_bus("sel", 2);
+        let lines = b.decoder(&sel, 4);
+        b.output_bus("hot", &lines);
+        let nl = b.finish();
+        let lines = nl.output_port("hot").unwrap().nets.clone();
+        let r = check_one_hot_bank_sat(&nl, &lines, None, None);
+        assert_eq!(r.status, OneHotStatus::ProvedSat);
+        // Truncated: the SAT witness must agree with the BDD one.
+        let r = check_one_hot_bank_sat(&nl, &lines[..3], None, None);
+        match r.status {
+            OneHotStatus::Refuted { assignment } => {
+                assert!(assignment.iter().all(|&(_, v)| v));
+            }
+            other => panic!("expected refutation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn range_constraint_proves_dont_care_safety() {
+        // 3 of 4 decoder lines: only sel == 3 violates, so the bank is
+        // safe under the range contract sel < 3 and unsafe under
+        // sel < 4.
+        let mut b = Builder::new();
+        let sel = b.input_bus("sel", 2);
+        let lines = b.decoder(&sel, 3);
+        b.output_bus("hot", &lines);
+        let nl = b.finish();
+        let lines = nl.output_port("hot").unwrap().nets.clone();
+        let port = nl.input_port("sel").unwrap().nets.clone();
+        let safe = check_one_hot_bank_sat(&nl, &lines, Some((&port, 3)), None);
+        assert_eq!(safe.status, OneHotStatus::ProvedSat);
+        let wide = check_one_hot_bank_sat(&nl, &lines, Some((&port, 4)), None);
+        match wide.status {
+            OneHotStatus::Refuted { assignment } => {
+                // The only in-range witness is sel == 3.
+                for net in &port {
+                    assert_eq!(
+                        assignment.iter().find(|&&(n, _)| n == net.index()),
+                        Some(&(net.index(), true))
+                    );
+                }
+            }
+            other => panic!("expected refutation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn range_port_bits_outside_the_cone_still_constrain() {
+        // Bank [s0, s0, ¬s0] violates exactly-one iff s0 = 1 (two
+        // hot); its cone never sees s1, but the range constraint
+        // sel < 2 must still pin s1 = 0 in the witness.
+        let mut b = Builder::new();
+        let sel = b.input_bus("sel", 2);
+        let inv = b.not(sel[0]);
+        let bank = vec![sel[0], sel[0], inv];
+        b.output_bus("hot", &bank);
+        let nl = b.finish();
+        let bank = nl.output_port("hot").unwrap().nets.clone();
+        let port = nl.input_port("sel").unwrap().nets.clone();
+        let r = check_one_hot_bank_sat(&nl, &bank, Some((&port, 2)), None);
+        match r.status {
+            OneHotStatus::Refuted { assignment } => {
+                let value_of = |net: NetId| {
+                    assignment
+                        .iter()
+                        .find(|&&(n, _)| n == net.index())
+                        .map(|&(_, v)| v)
+                };
+                assert_eq!(value_of(port[0]), Some(true));
+                assert_eq!(value_of(port[1]), Some(false));
+            }
+            other => panic!("expected refutation, got {other:?}"),
+        }
+        // sel < 1 forces s0 = 0, which excludes the only violation:
+        // range don't-care safety through an off-cone port bit.
+        let r = check_one_hot_bank_sat(&nl, &bank, Some((&port, 1)), None);
+        assert_eq!(r.status, OneHotStatus::ProvedSat);
     }
 
     #[test]
