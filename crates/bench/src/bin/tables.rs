@@ -16,11 +16,12 @@
 //! matrix CI stores as `BENCH_oracle.json`, `faultbench-json` for
 //! the stuck-at campaign matrix CI stores as `BENCH_faults.json`, and
 //! `provebench-json` for the SAT proof-obligation matrix CI stores as
-//! `BENCH_prove.json`).
+//! `BENCH_prove.json`, and `servebench-json` for the wire-protocol
+//! throughput matrix CI stores as `BENCH_serve.json`).
 
 use hwperm_bench::{
-    baselines, extensions, faultbench, figures, oraclebench, provebench, resources, simbench,
-    tables, threadbench,
+    baselines, extensions, faultbench, figures, oraclebench, provebench, resources, servebench,
+    simbench, tables, threadbench,
 };
 
 fn usage() -> ! {
@@ -28,7 +29,7 @@ fn usage() -> ! {
         "usage: tables <experiment>\n  experiments: table1 table2 table3 table4 fig1 fig3 bias \
          fig4 fig4-netlist derangements naive sorter parallel verify cascade rank variations prove \
          simbench simbench-json threadbench threadbench-json oraclebench oraclebench-json \
-         faultbench faultbench-json provebench provebench-json all"
+         faultbench faultbench-json provebench provebench-json servebench servebench-json all"
     );
     std::process::exit(2);
 }
@@ -65,6 +66,8 @@ fn main() {
         "faultbench-json" => print!("{}", faultbench::fault_campaign_json()),
         "provebench" => print!("{}", provebench::prove_throughput_text()),
         "provebench-json" => print!("{}", provebench::prove_throughput_json()),
+        "servebench" => print!("{}", servebench::serve_throughput_text()),
+        "servebench-json" => print!("{}", servebench::serve_throughput_json()),
         _ => usage(),
     };
     if arg == "all" {
@@ -90,6 +93,7 @@ fn main() {
             "oraclebench",
             "faultbench",
             "provebench",
+            "servebench",
             "prove",
         ] {
             println!("==================================================================");

@@ -14,6 +14,7 @@ pub mod figures;
 pub mod oraclebench;
 pub mod provebench;
 pub mod resources;
+pub mod servebench;
 pub mod simbench;
 pub mod tables;
 pub mod threadbench;

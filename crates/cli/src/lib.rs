@@ -100,6 +100,20 @@ usage: hwperm <command> [args]
                                   same lowest-index first mismatch as
                                   the sequential sweep)
   verilog <circuit> <n>          emit synthesizable structural Verilog
+  serve <addr> [--workers N] [--chunk N]
+                                 permutation-as-a-service: long-running
+                                 socket server (addr: host:port, port 0
+                                 for ephemeral, or a filesystem path
+                                 for a Unix socket) speaking
+                                 length-prefixed JSON + binary frames;
+                                 requests: unrank | rank | block |
+                                 random-stream | verify | stats |
+                                 shutdown, multiplexed over a sharded
+                                 worker pool (--workers, default 4);
+                                 --chunk sets the default packed words
+                                 per binary frame (default 8192);
+                                 prints \"listening on <addr>\" once
+                                 ready, runs until a shutdown request
   help                           this text
 ";
 
@@ -616,6 +630,73 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                 other => return Err(err(format!("unknown circuit {other:?}"))),
             };
             Ok(hwperm_logic::to_verilog(&netlist, &name))
+        }
+        "serve" => {
+            const SERVE_USAGE: &str = "usage: hwperm serve <addr> [--workers N] [--chunk N]";
+            let mut workers = 4usize;
+            let mut chunk = hwperm_serve::DEFAULT_CHUNK;
+            let mut positional: Vec<&String> = Vec::new();
+            let mut it = rest.iter();
+            while let Some(arg) = it.next() {
+                match arg.as_str() {
+                    "--workers" => {
+                        let v = it
+                            .next()
+                            .ok_or_else(|| err("--workers needs a thread count"))?;
+                        workers = parse_usize(v, "worker count")?;
+                        if !(1..=64).contains(&workers) {
+                            return Err(err("--workers must be 1..=64"));
+                        }
+                    }
+                    "--chunk" => {
+                        let v = it.next().ok_or_else(|| err("--chunk needs a word count"))?;
+                        chunk = parse_usize(v, "chunk size")?;
+                        if !(1..=hwperm_serve::CHUNK_CAP).contains(&chunk) {
+                            return Err(err(format!(
+                                "--chunk must be 1..={}",
+                                hwperm_serve::CHUNK_CAP
+                            )));
+                        }
+                    }
+                    _ => positional.push(arg),
+                }
+            }
+            let [addr] = positional[..] else {
+                return Err(err(SERVE_USAGE));
+            };
+            let listener = if addr.contains('/') {
+                #[cfg(unix)]
+                {
+                    hwperm_serve::Listener::bind_unix(addr.as_str())
+                        .map_err(|e| err(format!("cannot bind {addr}: {e}")))?
+                }
+                #[cfg(not(unix))]
+                return Err(err("Unix-socket paths need a Unix platform"));
+            } else {
+                hwperm_serve::Listener::bind_tcp(addr.as_str())
+                    .map_err(|e| err(format!("cannot bind {addr}: {e}")))?
+            };
+            let endpoint = listener
+                .endpoint()
+                .map_err(|e| err(format!("cannot resolve endpoint: {e}")))?;
+            // Announce readiness on stdout *before* blocking in the
+            // accept loop: with port 0 this line is how callers (and
+            // the e2e test) learn the actual ephemeral port.
+            {
+                use std::io::Write as _;
+                println!("listening on {endpoint}");
+                let _ = std::io::stdout().flush();
+            }
+            let summary = hwperm_serve::serve(
+                listener,
+                hwperm_serve::ServeOptions {
+                    workers,
+                    default_chunk: chunk,
+                    fixed_micros: None,
+                },
+            )
+            .map_err(|e| err(format!("serve failed: {e}")))?;
+            Ok(format!("{summary}\n"))
         }
         "faults" => {
             const FAULTS_USAGE: &str = "usage: hwperm faults <n> [--family F] [--jobs N] [--json]";
@@ -1289,21 +1370,59 @@ mod tests {
 
     #[test]
     fn json_envelope_schema_is_shared_across_subcommands() {
-        // Satellite 2: every JSON-emitting subcommand wraps its results
-        // in the same envelope so downstream tooling can parse one
-        // schema. Keys must appear in the same order for all three.
+        // Every JSON-emitting subcommand wraps its results in the same
+        // envelope so downstream tooling can parse one schema. Keys
+        // must appear in the same order for all of them — including
+        // the envelopes the serve wire protocol returns.
         let lint = call(&["lint", "converter", "4", "--json"]).unwrap();
         let faults = call(&["faults", "4", "--json"]).unwrap();
         let prove = call(&["prove", "4", "--json"]).unwrap();
-        for (cmd, out) in [("lint", &lint), ("faults", &faults), ("prove", &prove)] {
+        let serve = {
+            let listener = hwperm_serve::Listener::bind_tcp("127.0.0.1:0").unwrap();
+            let server =
+                hwperm_serve::spawn(listener, hwperm_serve::ServeOptions::default()).unwrap();
+            let mut client = hwperm_serve::Client::connect(server.endpoint()).unwrap();
+            let response = client
+                .request("{\"id\":1,\"cmd\":\"unrank\",\"n\":4,\"index\":11}")
+                .unwrap();
+            server.stop().unwrap();
+            String::from_utf8(response.envelope).unwrap()
+        };
+        for (cmd, out) in [
+            ("lint", &lint),
+            ("faults", &faults),
+            ("prove", &prove),
+            ("unrank", &serve),
+        ] {
             let prefix = format!(
                 "{{\"tool\":\"hwperm\",\"version\":\"{}\",\"command\":\"{cmd}\",\
                  \"status\":\"ok\",\"exit\":0,\"errors\":0,\"results\":[",
                 env!("CARGO_PKG_VERSION")
             );
             assert!(out.starts_with(&prefix), "{cmd}: {out}");
+        }
+        // The CLI envelopes end at the results array; serve appends its
+        // per-request metrics trailer after the shared prefix.
+        for (cmd, out) in [("lint", &lint), ("faults", &faults), ("prove", &prove)] {
             assert!(out.trim_end().ends_with("]}"), "{cmd}: {out}");
         }
+        assert!(
+            serve.contains("],\"metrics\":{\"id\":1,"),
+            "serve envelope missing metrics trailer: {serve}"
+        );
+    }
+
+    #[test]
+    fn serve_rejects_bad_usage() {
+        assert!(call(&["serve"]).is_err());
+        assert!(call(&["serve", "a", "b"]).is_err());
+        assert!(call(&["serve", "127.0.0.1:0", "--workers", "0"]).is_err());
+        assert!(call(&["serve", "127.0.0.1:0", "--workers", "65"]).is_err());
+        assert!(call(&["serve", "127.0.0.1:0", "--workers"]).is_err());
+        assert!(call(&["serve", "127.0.0.1:0", "--chunk", "0"]).is_err());
+        assert!(call(&["serve", "127.0.0.1:0", "--chunk", "70000"]).is_err());
+        // An unbindable address fails fast instead of serving.
+        assert!(call(&["serve", "256.0.0.1:9"]).is_err());
     }
 
     #[test]

@@ -147,6 +147,20 @@ pub trait RandomPermSource {
     fn next_packed_u64(&mut self) -> u64 {
         self.next_permutation().pack_u64()
     }
+
+    /// Fills `out` with consecutive packed draws — exactly
+    /// `out.len()` calls' worth of [`RandomPermSource::next_packed_u64`]
+    /// randomness, so chunked and one-at-a-time consumption of a source
+    /// see the same sequence. Bulk consumers (the serve data plane)
+    /// call this once per outbound chunk.
+    ///
+    /// # Panics
+    /// Panics if `n > 16` (the packed word would not fit a `u64`).
+    fn fill_packed_u64(&mut self, out: &mut [u64]) {
+        for slot in out {
+            *slot = self.next_packed_u64();
+        }
+    }
 }
 
 /// Software Knuth shuffle over an unbiased host RNG.
@@ -360,5 +374,22 @@ mod tests {
         };
         assert_eq!(seq(9), seq(9));
         assert_ne!(seq(9), seq(10));
+    }
+
+    #[test]
+    fn fill_packed_u64_matches_one_at_a_time_draws() {
+        // Chunked consumption must be invisible: filling 100 slots in
+        // uneven chunks yields the same sequence as 100 single draws.
+        let mut single = SoftwareRandomSource::new(7, 42);
+        let expected: Vec<u64> = (0..100).map(|_| single.next_packed_u64()).collect();
+        let mut chunked = SoftwareRandomSource::new(7, 42);
+        let mut got = vec![0u64; 100];
+        let mut base = 0usize;
+        for size in [1usize, 13, 32, 54] {
+            chunked.fill_packed_u64(&mut got[base..base + size]);
+            base += size;
+        }
+        assert_eq!(base, 100);
+        assert_eq!(got, expected);
     }
 }

@@ -118,6 +118,20 @@ impl BlockDecoder {
         self.decode_words_into(range, &mut out);
         out
     }
+
+    /// Appends the packed words for every index in `range` to `out` as
+    /// little-endian bytes, 8 bytes per word (not cleared, so chunks
+    /// concatenate). This is the wire-serialization fast path: the
+    /// serve data plane ships packed blocks as LE `u64` frames, and
+    /// serializing during the successor walk avoids a second pass over
+    /// an intermediate `Vec<u64>`.
+    ///
+    /// # Panics
+    /// Panics if `range.end > n!`.
+    pub fn decode_le_bytes_into(&mut self, range: Range<u64>, out: &mut Vec<u8>) {
+        out.reserve(range.end.saturating_sub(range.start) as usize * 8);
+        self.for_each_word(range, |_, word| out.extend_from_slice(&word.to_le_bytes()));
+    }
 }
 
 #[cfg(test)]
@@ -170,6 +184,22 @@ mod tests {
         let mut decoder = BlockDecoder::new(7);
         assert_eq!(decoder.decode_words(100..164), naive_words(7, 100..164));
         assert_eq!(decoder.decode_words(5039..5040), naive_words(7, 5039..5040));
+    }
+
+    #[test]
+    fn le_bytes_are_the_words_serialized() {
+        let mut decoder = BlockDecoder::new(6);
+        let mut bytes = vec![0xAAu8; 3]; // pre-existing prefix survives
+        decoder.decode_le_bytes_into(17..100, &mut bytes);
+        assert_eq!(bytes[..3], [0xAA; 3]);
+        let expected: Vec<u8> = naive_words(6, 17..100)
+            .iter()
+            .flat_map(|w| w.to_le_bytes())
+            .collect();
+        assert_eq!(bytes[3..], expected);
+        // Empty range appends nothing.
+        decoder.decode_le_bytes_into(5..5, &mut bytes);
+        assert_eq!(bytes.len(), 3 + expected.len());
     }
 
     #[test]

@@ -1,0 +1,182 @@
+//! A blocking client for the serve protocol.
+//!
+//! Two usage levels:
+//!
+//! - [`Client::request`] — one request, collect its binary chunks,
+//!   return when the envelope arrives. What the CLI examples and most
+//!   tests use.
+//! - [`Client::send_json`] + [`Client::read_message`] — raw pipelining:
+//!   push several requests, then demultiplex the interleaved responses
+//!   yourself by request id ([`BlockChunk::id`] on chunks,
+//!   [`envelope_id`] on envelopes). What the soak test and `servebench`
+//!   use.
+
+use crate::frame::{read_frame, write_frame, FrameError, KIND_BLOCK, KIND_JSON};
+use crate::json::Json;
+use crate::protocol::{decode_chunk, BlockChunk};
+use crate::server::{Endpoint, Stream};
+use std::fmt;
+use std::io::{self, BufReader, BufWriter, Write};
+
+/// Everything that can go wrong on the client side of a request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClientError {
+    /// Transport-level failure while sending.
+    Io(String),
+    /// Framing failure while receiving.
+    Frame(FrameError),
+    /// The frames arrived but violated the protocol (bad chunk header,
+    /// connection closed before the envelope, ...).
+    Protocol(String),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "client I/O error: {e}"),
+            ClientError::Frame(e) => write!(f, "client framing error: {e}"),
+            ClientError::Protocol(e) => write!(f, "protocol error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<FrameError> for ClientError {
+    fn from(e: FrameError) -> Self {
+        ClientError::Frame(e)
+    }
+}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e.to_string())
+    }
+}
+
+/// One inbound frame, decoded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Message {
+    /// A response envelope, as raw bytes (kept raw so transcript tests
+    /// can compare byte-for-byte; parse on demand with [`Json`]).
+    Envelope(Vec<u8>),
+    /// A binary packed-permutation chunk.
+    Chunk(BlockChunk),
+}
+
+/// A collected response: every chunk of the request plus its envelope.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// The raw envelope bytes.
+    pub envelope: Vec<u8>,
+    /// The request's binary chunks, in arrival order.
+    pub chunks: Vec<BlockChunk>,
+}
+
+impl Response {
+    /// Parses the envelope.
+    pub fn json(&self) -> Result<Json, ClientError> {
+        Json::parse(&self.envelope).map_err(|e| ClientError::Protocol(e.to_string()))
+    }
+
+    /// Whether the envelope reports `"status":"ok"`.
+    pub fn is_ok(&self) -> bool {
+        matches!(
+            self.json().ok().and_then(|j| match j.get("status") {
+                Some(Json::Str(s)) => Some(s == "ok"),
+                _ => None,
+            }),
+            Some(true)
+        )
+    }
+
+    /// All chunk words reassembled in `base` order — the shard-count-
+    /// independent view of a `block` or `random-stream` payload.
+    pub fn words(&self) -> Vec<u64> {
+        let mut chunks: Vec<&BlockChunk> = self.chunks.iter().collect();
+        chunks.sort_by_key(|c| c.base);
+        chunks
+            .iter()
+            .flat_map(|c| c.words.iter().copied())
+            .collect()
+    }
+}
+
+/// The request id an envelope's metrics trailer echoes.
+pub fn envelope_id(envelope: &[u8]) -> Option<u64> {
+    Json::parse(envelope)
+        .ok()?
+        .get("metrics")?
+        .get("id")?
+        .as_u64()
+}
+
+/// A blocking protocol client over one connection.
+pub struct Client {
+    reader: BufReader<Stream>,
+    writer: BufWriter<Stream>,
+}
+
+impl Client {
+    /// Connects to a server.
+    pub fn connect(endpoint: &Endpoint) -> io::Result<Client> {
+        let stream = Stream::connect(endpoint)?;
+        let write_half = stream.try_clone()?;
+        Ok(Client {
+            reader: BufReader::new(stream),
+            writer: BufWriter::new(write_half),
+        })
+    }
+
+    /// Sends one JSON request frame (flushes immediately).
+    pub fn send_json(&mut self, body: &str) -> io::Result<()> {
+        write_frame(&mut self.writer, KIND_JSON, body.as_bytes())?;
+        self.writer.flush()
+    }
+
+    /// Sends one raw frame of arbitrary kind — the fuzz tests' hatch
+    /// for hostile traffic.
+    pub fn send_raw(&mut self, bytes: &[u8]) -> io::Result<()> {
+        self.writer.write_all(bytes)?;
+        self.writer.flush()
+    }
+
+    /// Reads one frame; `Ok(None)` when the server closed cleanly.
+    pub fn read_message(&mut self) -> Result<Option<Message>, ClientError> {
+        match read_frame(&mut self.reader)? {
+            None => Ok(None),
+            Some((KIND_BLOCK, payload)) => Ok(Some(Message::Chunk(
+                decode_chunk(&payload).map_err(ClientError::Protocol)?,
+            ))),
+            Some((_, payload)) => Ok(Some(Message::Envelope(payload))),
+        }
+    }
+
+    /// Sends `body` and collects the full response: binary chunks
+    /// until the envelope arrives. Only valid when this request is the
+    /// sole one in flight (chunks of other ids are a protocol error);
+    /// pipeline manually via [`Client::send_json`] /
+    /// [`Client::read_message`] otherwise.
+    pub fn request(&mut self, body: &str) -> Result<Response, ClientError> {
+        self.send_json(body)?;
+        let mut chunks = Vec::new();
+        loop {
+            match self.read_message()? {
+                None => {
+                    return Err(ClientError::Protocol(
+                        "connection closed before the envelope arrived".into(),
+                    ))
+                }
+                Some(Message::Chunk(chunk)) => chunks.push(chunk),
+                Some(Message::Envelope(envelope)) => return Ok(Response { envelope, chunks }),
+            }
+        }
+    }
+
+    /// Half-closes the write side, telling the server this client is
+    /// done submitting (its reader sees a clean EOF).
+    pub fn finish_writes(&mut self) -> io::Result<()> {
+        self.writer.flush()?;
+        self.writer.get_ref().shutdown(std::net::Shutdown::Write)
+    }
+}

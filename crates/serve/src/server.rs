@@ -1,0 +1,877 @@
+//! The server: listeners, the sharded worker pool, per-connection
+//! reader/writer threads, and the request handlers.
+//!
+//! ## Threading model
+//!
+//! One *accept* thread (the caller of [`serve`]) plus:
+//!
+//! - a **worker pool** of [`ServeOptions::workers`] threads draining a
+//!   shared job queue — every parsed request becomes one job, and a
+//!   `block` request fans further shard jobs into the same pool;
+//! - per connection, one **reader** thread (frame decode → job
+//!   submission) and one **writer** thread draining a *bounded*
+//!   channel of pre-encoded frames. The bound is the backpressure: a
+//!   slow client blocks the worker producing its chunks, not the whole
+//!   server, and never more than [`WRITE_QUEUE_DEPTH`] frames of its
+//!   output are buffered.
+//!
+//! ## Block sharding
+//!
+//! A `block` request over `[start, end)` is split with
+//! [`hwperm_verify::shard_ranges`] — the same contiguous balanced
+//! split as `hwperm_core::ParallelPlan` — into at most
+//! [`ServeOptions::workers`] sub-ranges. Each shard pays one true
+//! unrank and then walks lexicographic successors
+//! ([`BlockDecoder`]), emitting binary chunk frames as it goes. The
+//! parsing worker runs shard 0 *inline* (so a one-worker pool cannot
+//! deadlock waiting for itself) and the last shard to finish emits the
+//! envelope. Chunk frames of one request may therefore interleave
+//! arbitrarily with other traffic; their `base` fields are the
+//! reassembly key.
+//!
+//! ## Shutdown
+//!
+//! A `shutdown` request answers its envelope, then: sets the stop
+//! flag, half-closes (read side) every registered connection so
+//! readers stop minting jobs, and self-connects to wake the accept
+//! loop. [`serve`] then drains the pool, joins the connection
+//! threads (writers flush their queues first), and returns the
+//! aggregate [`ServeSummary`].
+
+use crate::client::Client;
+use crate::frame::{encode_frame, read_frame, KIND_BLOCK, KIND_JSON};
+use crate::protocol::{
+    encode_chunk, envelope, error_result, parse_request, Request, CHUNK_FLAG_LAST, DEFAULT_CHUNK,
+};
+use hwperm_circuits::{converter_netlist, ConverterOptions};
+use hwperm_core::{FaultPolicy, GuardedPermSource, RandomPermSource, SoftwareRandomSource};
+use hwperm_factoradic::{rank_u64, BlockDecoder, Unranker};
+use hwperm_logic::SimProgram;
+use hwperm_perm::Permutation;
+use hwperm_verify::{
+    exhaustive_check_parallel_with, expected_permutation_words, shard_ranges, BatchedExpectation,
+};
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+#[cfg(unix)]
+use std::os::unix::net::{UnixListener, UnixStream};
+#[cfg(unix)]
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{sync_channel, SyncSender};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::Instant;
+
+/// Bound on the per-connection writer queue, in frames. With the
+/// default chunk size this caps buffered output near 2 MiB per
+/// connection; a worker producing faster than the client reads blocks
+/// here instead of growing the heap.
+pub const WRITE_QUEUE_DEPTH: usize = 32;
+
+/// Per-draw spot-check cadence of the `random-stream` guard (every
+/// k-th draw is ranked back; see `hwperm_core::GuardedPermSource`).
+pub const STREAM_SPOT_CHECK_EVERY: u64 = 64;
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Worker-pool threads executing requests and block shards.
+    pub workers: usize,
+    /// Chunk size (packed words per binary frame) when a request omits
+    /// `"chunk"`.
+    pub default_chunk: usize,
+    /// When set, every envelope reports this latency instead of the
+    /// measured one. Golden-transcript tests pin `Some(0)` so response
+    /// bytes are reproducible; production leaves it `None`.
+    pub fixed_micros: Option<u64>,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            workers: 4,
+            default_chunk: DEFAULT_CHUNK,
+            fixed_micros: None,
+        }
+    }
+}
+
+/// Where a server is reachable — what a [`Client`] connects to.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Endpoint {
+    /// A TCP socket address.
+    Tcp(SocketAddr),
+    /// A Unix-domain socket path.
+    #[cfg(unix)]
+    Unix(PathBuf),
+}
+
+impl fmt::Display for Endpoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Endpoint::Tcp(addr) => write!(f, "{addr}"),
+            #[cfg(unix)]
+            Endpoint::Unix(path) => write!(f, "{}", path.display()),
+        }
+    }
+}
+
+/// A bound-but-not-yet-serving listener. Binding is separate from
+/// [`serve`] so the caller can learn the actual endpoint (ephemeral
+/// TCP ports!) before the accept loop starts.
+pub enum Listener {
+    /// TCP listener.
+    Tcp(TcpListener),
+    /// Unix-domain listener plus its path (needed for the shutdown
+    /// self-connect and the unlink at exit).
+    #[cfg(unix)]
+    Unix(UnixListener, PathBuf),
+}
+
+impl Listener {
+    /// Binds a TCP listener; `addr` may use port 0 for an ephemeral
+    /// port (read it back via [`Listener::endpoint`]).
+    pub fn bind_tcp(addr: impl ToSocketAddrs) -> io::Result<Listener> {
+        Ok(Listener::Tcp(TcpListener::bind(addr)?))
+    }
+
+    /// Binds a Unix-domain listener at `path`.
+    #[cfg(unix)]
+    pub fn bind_unix(path: impl Into<PathBuf>) -> io::Result<Listener> {
+        let path = path.into();
+        Ok(Listener::Unix(UnixListener::bind(&path)?, path))
+    }
+
+    /// The endpoint clients should connect to.
+    pub fn endpoint(&self) -> io::Result<Endpoint> {
+        match self {
+            Listener::Tcp(l) => Ok(Endpoint::Tcp(l.local_addr()?)),
+            #[cfg(unix)]
+            Listener::Unix(_, path) => Ok(Endpoint::Unix(path.clone())),
+        }
+    }
+
+    fn accept(&self) -> io::Result<Stream> {
+        match self {
+            Listener::Tcp(l) => {
+                let (s, _) = l.accept()?;
+                Ok(Stream::Tcp(s))
+            }
+            #[cfg(unix)]
+            Listener::Unix(l, _) => {
+                let (s, _) = l.accept()?;
+                Ok(Stream::Unix(s))
+            }
+        }
+    }
+}
+
+/// A connected socket of either family.
+#[derive(Debug)]
+pub(crate) enum Stream {
+    Tcp(TcpStream),
+    #[cfg(unix)]
+    Unix(UnixStream),
+}
+
+impl Stream {
+    pub(crate) fn connect(endpoint: &Endpoint) -> io::Result<Stream> {
+        match endpoint {
+            Endpoint::Tcp(addr) => Ok(Stream::Tcp(TcpStream::connect(addr)?)),
+            #[cfg(unix)]
+            Endpoint::Unix(path) => Ok(Stream::Unix(UnixStream::connect(path)?)),
+        }
+    }
+
+    pub(crate) fn try_clone(&self) -> io::Result<Stream> {
+        match self {
+            Stream::Tcp(s) => Ok(Stream::Tcp(s.try_clone()?)),
+            #[cfg(unix)]
+            Stream::Unix(s) => Ok(Stream::Unix(s.try_clone()?)),
+        }
+    }
+
+    pub(crate) fn shutdown(&self, how: std::net::Shutdown) -> io::Result<()> {
+        match self {
+            Stream::Tcp(s) => s.shutdown(how),
+            #[cfg(unix)]
+            Stream::Unix(s) => s.shutdown(how),
+        }
+    }
+}
+
+impl Read for Stream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            Stream::Tcp(s) => s.read(buf),
+            #[cfg(unix)]
+            Stream::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Stream {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            Stream::Tcp(s) => s.write(buf),
+            #[cfg(unix)]
+            Stream::Unix(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            Stream::Tcp(s) => s.flush(),
+            #[cfg(unix)]
+            Stream::Unix(s) => s.flush(),
+        }
+    }
+}
+
+/// Command slots of the `stats` per-command counters, in render order.
+/// Slot 7 ("error") also absorbs unparseable commands.
+const COMMANDS: [&str; 8] = [
+    "unrank",
+    "rank",
+    "block",
+    "random-stream",
+    "verify",
+    "stats",
+    "shutdown",
+    "error",
+];
+
+fn command_slot(cmd: &str) -> usize {
+    COMMANDS.iter().position(|c| *c == cmd).unwrap_or(7)
+}
+
+/// Server-wide counters. All relaxed: the values are monotone tallies,
+/// never used to synchronize.
+#[derive(Default)]
+struct Stats {
+    connections: AtomicU64,
+    requests: AtomicU64,
+    errors: AtomicU64,
+    bytes_in: AtomicU64,
+    bytes_out: AtomicU64,
+    chunks: AtomicU64,
+    micros: AtomicU64,
+    commands: [AtomicU64; 8],
+}
+
+impl Stats {
+    /// The `stats` result object. `bytes_out` counts frames at
+    /// *enqueue* time (when the worker hands them to the writer), so
+    /// the snapshot is deterministic on a single-worker server — it
+    /// does not race the writer thread's progress.
+    fn render(&self) -> String {
+        let commands = COMMANDS
+            .iter()
+            .zip(&self.commands)
+            .map(|(name, count)| format!("\"{name}\":{}", count.load(Ordering::Relaxed)))
+            .collect::<Vec<_>>()
+            .join(",");
+        format!(
+            "{{\"type\":\"stats\",\"connections\":{},\"requests\":{},\"errors\":{},\
+             \"bytes_in\":{},\"bytes_out\":{},\"chunks\":{},\"micros\":{},\
+             \"commands\":{{{commands}}}}}",
+            self.connections.load(Ordering::Relaxed),
+            self.requests.load(Ordering::Relaxed),
+            self.errors.load(Ordering::Relaxed),
+            self.bytes_in.load(Ordering::Relaxed),
+            self.bytes_out.load(Ordering::Relaxed),
+            self.chunks.load(Ordering::Relaxed),
+            self.micros.load(Ordering::Relaxed),
+        )
+    }
+}
+
+/// What [`serve`] returns after a graceful shutdown.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeSummary {
+    /// Connections accepted (including the shutdown self-connect).
+    pub connections: u64,
+    /// Frames received that got a response.
+    pub requests: u64,
+    /// Error envelopes sent.
+    pub errors: u64,
+    /// Bytes received (frames, including prefixes).
+    pub bytes_in: u64,
+    /// Bytes enqueued for sending (frames, including prefixes).
+    pub bytes_out: u64,
+}
+
+impl fmt::Display for ServeSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "served {} request(s) ({} error(s)) over {} connection(s), {} B in / {} B out",
+            self.requests, self.errors, self.connections, self.bytes_in, self.bytes_out
+        )
+    }
+}
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// The worker pool's shared half: a queue plus the stop latch. Workers
+/// drain the queue fully before honoring stop, so jobs enqueued during
+/// shutdown (e.g. trailing block shards) still run.
+#[derive(Default)]
+struct PoolShared {
+    queue: Mutex<PoolQueue>,
+    cond: Condvar,
+}
+
+#[derive(Default)]
+struct PoolQueue {
+    jobs: VecDeque<Job>,
+    stop: bool,
+}
+
+fn spawn_pool_workers(pool: &Arc<PoolShared>, workers: usize) -> Vec<JoinHandle<()>> {
+    (0..workers)
+        .map(|_| {
+            let pool = Arc::clone(pool);
+            thread::spawn(move || loop {
+                let job = {
+                    let mut q = pool.queue.lock().expect("pool lock");
+                    loop {
+                        if let Some(job) = q.jobs.pop_front() {
+                            break job;
+                        }
+                        if q.stop {
+                            return;
+                        }
+                        q = pool.cond.wait(q).expect("pool lock");
+                    }
+                };
+                job();
+            })
+        })
+        .collect()
+}
+
+fn pool_submit(pool: &Arc<PoolShared>, job: Job) {
+    pool.queue.lock().expect("pool lock").jobs.push_back(job);
+    pool.cond.notify_one();
+}
+
+fn pool_join(pool: &Arc<PoolShared>, workers: Vec<JoinHandle<()>>) {
+    pool.queue.lock().expect("pool lock").stop = true;
+    pool.cond.notify_all();
+    for worker in workers {
+        let _ = worker.join();
+    }
+}
+
+/// Everything the `verify` handler needs for one `n`, built once and
+/// cached: the compiled simulation tape (shared across worker threads
+/// by `Arc`, exactly like the CLI's sharded sweep) and the
+/// pre-transposed expectation table.
+struct VerifyEntry {
+    program: Arc<SimProgram>,
+    table: BatchedExpectation,
+    total: u64,
+}
+
+/// State shared by every thread of one server.
+struct Shared {
+    options: ServeOptions,
+    stats: Stats,
+    stop: AtomicBool,
+    endpoint: Endpoint,
+    /// Read-side clones of live connections, half-closed at shutdown.
+    conns: Mutex<Vec<Stream>>,
+    pool: Arc<PoolShared>,
+    verify_cache: Mutex<HashMap<usize, Arc<VerifyEntry>>>,
+}
+
+impl Shared {
+    fn verify_entry(&self, n: usize) -> Arc<VerifyEntry> {
+        let mut cache = self.verify_cache.lock().expect("verify cache lock");
+        Arc::clone(cache.entry(n).or_insert_with(|| {
+            let netlist = converter_netlist(n, ConverterOptions::default());
+            let in_bits = netlist.input_port("index").expect("index port").nets.len();
+            let out_bits = netlist.output_port("perm").expect("perm port").nets.len();
+            let expected = expected_permutation_words(n);
+            Arc::new(VerifyEntry {
+                table: BatchedExpectation::new(in_bits, out_bits, &expected),
+                total: expected.len() as u64,
+                program: SimProgram::compile_shared(netlist),
+            })
+        }))
+    }
+
+    fn trigger_stop(self: &Arc<Self>) {
+        if self.stop.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Half-close every reader so no new requests are minted; the
+        // write sides stay open for the responses still draining.
+        for conn in self.conns.lock().expect("conns lock").iter() {
+            let _ = conn.shutdown(std::net::Shutdown::Read);
+        }
+        // Wake the accept loop so `serve` can move on to the joins.
+        let _ = Stream::connect(&self.endpoint);
+    }
+}
+
+/// Per-request context: where responses go and what the envelope's
+/// metrics trailer reports.
+struct ReqCtx {
+    sender: SyncSender<Vec<u8>>,
+    shared: Arc<Shared>,
+    start: Instant,
+    bytes_in: u64,
+}
+
+impl ReqCtx {
+    fn micros(&self) -> u64 {
+        self.shared
+            .options
+            .fixed_micros
+            .unwrap_or_else(|| self.start.elapsed().as_micros() as u64)
+    }
+
+    /// Builds and enqueues the envelope; counts latency, errors and
+    /// outbound bytes. Send failures mean the connection died — the
+    /// work is simply dropped.
+    fn respond(&self, command: &str, ok: bool, results: &str, id: u64) {
+        let micros = self.micros();
+        let stats = &self.shared.stats;
+        stats.micros.fetch_add(micros, Ordering::Relaxed);
+        if !ok {
+            stats.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        let wire = encode_frame(
+            KIND_JSON,
+            &envelope(command, ok, results, id, micros, self.bytes_in),
+        );
+        stats
+            .bytes_out
+            .fetch_add(wire.len() as u64, Ordering::Relaxed);
+        let _ = self.sender.send(wire);
+    }
+
+    fn send_chunk(&self, payload: &[u8]) {
+        let wire = encode_frame(KIND_BLOCK, payload);
+        let stats = &self.shared.stats;
+        stats
+            .bytes_out
+            .fetch_add(wire.len() as u64, Ordering::Relaxed);
+        stats.chunks.fetch_add(1, Ordering::Relaxed);
+        let _ = self.sender.send(wire);
+    }
+}
+
+fn render_perm(perm: &[u32]) -> String {
+    let body = perm
+        .iter()
+        .map(u32::to_string)
+        .collect::<Vec<_>>()
+        .join(",");
+    format!("[{body}]")
+}
+
+/// One `block` request in flight: the context every shard shares plus
+/// the countdown that decides who emits the envelope.
+struct BlockState {
+    ctx: ReqCtx,
+    id: u64,
+    n: usize,
+    start: u64,
+    end: u64,
+    chunk: usize,
+    chunks_total: u64,
+    seq: AtomicU64,
+    remaining: AtomicUsize,
+}
+
+fn run_block_shard(state: &Arc<BlockState>, range: std::ops::Range<u64>) {
+    let mut decoder = BlockDecoder::new(state.n);
+    let mut bytes = Vec::with_capacity(state.chunk * 8);
+    let mut base = range.start;
+    while base < range.end {
+        let top = (base + state.chunk as u64).min(range.end);
+        bytes.clear();
+        decoder.decode_le_bytes_into(base..top, &mut bytes);
+        let seq = state.seq.fetch_add(1, Ordering::Relaxed);
+        let flags = if top == state.end { CHUNK_FLAG_LAST } else { 0 };
+        state
+            .ctx
+            .send_chunk(&encode_chunk(state.id, seq, base, flags, &bytes));
+        base = top;
+    }
+    // The LAST finishing shard (which saw remaining == 1) answers.
+    if state.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+        finish_block(state);
+    }
+}
+
+fn finish_block(state: &Arc<BlockState>) {
+    let results = format!(
+        "{{\"type\":\"block\",\"n\":{},\"start\":{},\"end\":{},\"chunk\":{},\
+         \"chunks\":{},\"words\":{}}}",
+        state.n,
+        state.start,
+        state.end,
+        state.chunk,
+        state.chunks_total,
+        state.end - state.start,
+    );
+    state.ctx.respond("block", true, &results, state.id);
+}
+
+/// Parses and executes one request. Runs on a pool worker.
+fn handle_request(ctx: ReqCtx, payload: Vec<u8>) {
+    let stats = &ctx.shared.stats;
+    let (id, request) = match parse_request(&payload, ctx.shared.options.default_chunk) {
+        Ok(parsed) => parsed,
+        Err(e) => {
+            stats.commands[command_slot(&e.command)].fetch_add(1, Ordering::Relaxed);
+            ctx.respond(&e.command, false, &error_result(&e.message), e.id);
+            return;
+        }
+    };
+    stats.commands[command_slot(request.command())].fetch_add(1, Ordering::Relaxed);
+    match request {
+        Request::Unrank { n, index } => {
+            let perm = Unranker::new(n).unrank(index);
+            let results = format!(
+                "{{\"type\":\"unrank\",\"n\":{n},\"index\":{index},\"perm\":{},\"packed\":{}}}",
+                render_perm(perm.as_slice()),
+                perm.pack_u64(),
+            );
+            ctx.respond("unrank", true, &results, id);
+        }
+        Request::Rank { perm } => match Permutation::try_from_vec(perm) {
+            Ok(perm) => {
+                let results = format!(
+                    "{{\"type\":\"rank\",\"n\":{},\"perm\":{},\"index\":{}}}",
+                    perm.n(),
+                    render_perm(perm.as_slice()),
+                    rank_u64(&perm),
+                );
+                ctx.respond("rank", true, &results, id);
+            }
+            Err(e) => ctx.respond(
+                "rank",
+                false,
+                &error_result(&format!("perm is not a permutation: {e}")),
+                id,
+            ),
+        },
+        Request::Block {
+            n,
+            start,
+            end,
+            chunk,
+        } => {
+            let count = end - start;
+            // At most one shard per pool worker, and never more shards
+            // than chunks (a shard below one chunk just wastes a true
+            // unrank).
+            let shard_count = (ctx.shared.options.workers as u64)
+                .min(count.div_ceil(chunk as u64))
+                .max(1) as usize;
+            let shards: Vec<std::ops::Range<u64>> = shard_ranges(count as usize, shard_count)
+                .into_iter()
+                .filter(|r| !r.is_empty())
+                .map(|r| start + r.start as u64..start + r.end as u64)
+                .collect();
+            let chunks_total = shards
+                .iter()
+                .map(|r| (r.end - r.start).div_ceil(chunk as u64))
+                .sum();
+            let state = Arc::new(BlockState {
+                ctx,
+                id,
+                n,
+                start,
+                end,
+                chunk,
+                chunks_total,
+                seq: AtomicU64::new(0),
+                remaining: AtomicUsize::new(shards.len().max(1)),
+            });
+            let Some((first, rest)) = shards.split_first() else {
+                // Empty range: no chunks, envelope only.
+                finish_block(&state);
+                return;
+            };
+            for shard in rest {
+                let state = Arc::clone(&state);
+                let shard = shard.clone();
+                pool_submit(
+                    &Arc::clone(&state.ctx.shared.pool),
+                    Box::new(move || run_block_shard(&state, shard)),
+                );
+            }
+            // Shard 0 runs inline on this worker: a one-worker pool
+            // must not park the only thread waiting for a queue only
+            // it can drain.
+            run_block_shard(&state, first.clone());
+        }
+        Request::RandomStream {
+            n,
+            count,
+            seed,
+            chunk,
+        } => {
+            let mut source = GuardedPermSource::with_options(
+                SoftwareRandomSource::new(n, seed),
+                FaultPolicy::Fallback,
+                STREAM_SPOT_CHECK_EVERY,
+                seed.wrapping_add(0x9E37_79B9_7F4A_7C15),
+            );
+            let mut words = vec![0u64; chunk.min(count.max(1) as usize)];
+            let mut bytes = Vec::with_capacity(words.len() * 8);
+            let mut drawn = 0u64;
+            let mut seq = 0u64;
+            while drawn < count {
+                let take = ((count - drawn) as usize).min(chunk);
+                source.fill_packed_u64(&mut words[..take]);
+                bytes.clear();
+                for word in &words[..take] {
+                    bytes.extend_from_slice(&word.to_le_bytes());
+                }
+                let flags = if drawn + take as u64 == count {
+                    CHUNK_FLAG_LAST
+                } else {
+                    0
+                };
+                ctx.send_chunk(&encode_chunk(id, seq, drawn, flags, &bytes));
+                seq += 1;
+                drawn += take as u64;
+            }
+            let guard = source.stats();
+            let results = format!(
+                "{{\"type\":\"random-stream\",\"n\":{n},\"count\":{count},\"seed\":{seed},\
+                 \"chunk\":{chunk},\"chunks\":{seq},\"words\":{count},\
+                 \"guard\":{{\"detected\":{},\"retried\":{},\"fell_back\":{}}}}}",
+                guard.detected, guard.retried, guard.fell_back,
+            );
+            ctx.respond("random-stream", true, &results, id);
+        }
+        Request::Verify { n, jobs } => {
+            let entry = ctx.shared.verify_entry(n);
+            match exhaustive_check_parallel_with(
+                &entry.program,
+                "index",
+                "perm",
+                &entry.table,
+                jobs,
+            ) {
+                Ok(()) => {
+                    let results = format!(
+                        "{{\"type\":\"verify\",\"n\":{n},\"workers\":{jobs},\"total\":{},\
+                         \"verdict\":\"ok\"}}",
+                        entry.total,
+                    );
+                    ctx.respond("verify", true, &results, id);
+                }
+                Err(m) => {
+                    let results = format!(
+                        "{{\"type\":\"verify\",\"n\":{n},\"workers\":{jobs},\"total\":{},\
+                         \"verdict\":\"mismatch\",\"index\":{},\"port\":\"{}\",\
+                         \"got\":{},\"want\":{}}}",
+                        entry.total,
+                        m.index,
+                        crate::json::escape(&m.port),
+                        m.got,
+                        m.want,
+                    );
+                    ctx.respond("verify", false, &results, id);
+                }
+            }
+        }
+        Request::Stats => {
+            let results = ctx.shared.stats.render();
+            ctx.respond("stats", true, &results, id);
+        }
+        Request::Shutdown => {
+            ctx.respond(
+                "shutdown",
+                true,
+                "{\"type\":\"shutdown\",\"stopping\":true}",
+                id,
+            );
+            ctx.shared.trigger_stop();
+        }
+    }
+}
+
+/// Reader loop of one connection; owns the writer thread.
+fn handle_connection(shared: Arc<Shared>, mut read_half: Stream) {
+    shared.stats.connections.fetch_add(1, Ordering::Relaxed);
+    let Ok(mut write_half) = read_half.try_clone() else {
+        return;
+    };
+    if let Ok(registered) = read_half.try_clone() {
+        shared.conns.lock().expect("conns lock").push(registered);
+        // A shutdown that raced this registration may have missed us;
+        // re-check so the reader can't outlive the stop decision.
+        if shared.stop.load(Ordering::SeqCst) {
+            let _ = read_half.shutdown(std::net::Shutdown::Read);
+        }
+    }
+    let (sender, receiver) = sync_channel::<Vec<u8>>(WRITE_QUEUE_DEPTH);
+    let writer = thread::spawn(move || {
+        while let Ok(frame) = receiver.recv() {
+            if write_half.write_all(&frame).is_err() {
+                // Dropping the receiver un-blocks any workers still
+                // producing for this dead connection.
+                break;
+            }
+        }
+        let _ = write_half.shutdown(std::net::Shutdown::Write);
+    });
+    loop {
+        match read_frame(&mut read_half) {
+            Ok(None) => break,
+            Ok(Some((kind, payload))) => {
+                let bytes_in = payload.len() as u64 + 5;
+                shared.stats.bytes_in.fetch_add(bytes_in, Ordering::Relaxed);
+                shared.stats.requests.fetch_add(1, Ordering::Relaxed);
+                let ctx = ReqCtx {
+                    sender: sender.clone(),
+                    shared: Arc::clone(&shared),
+                    start: Instant::now(),
+                    bytes_in,
+                };
+                if kind == KIND_BLOCK {
+                    shared.stats.commands[command_slot("error")].fetch_add(1, Ordering::Relaxed);
+                    ctx.respond(
+                        "error",
+                        false,
+                        &error_result("binary frames flow server to client only"),
+                        0,
+                    );
+                    continue;
+                }
+                pool_submit(&shared.pool, Box::new(move || handle_request(ctx, payload)));
+            }
+            Err(e) => {
+                // Framing is broken: answer once, then close — there
+                // is no resynchronization point in a length-prefixed
+                // stream.
+                shared.stats.requests.fetch_add(1, Ordering::Relaxed);
+                shared.stats.commands[command_slot("error")].fetch_add(1, Ordering::Relaxed);
+                let ctx = ReqCtx {
+                    sender: sender.clone(),
+                    shared: Arc::clone(&shared),
+                    start: Instant::now(),
+                    bytes_in: 0,
+                };
+                ctx.respond("error", false, &error_result(&e.to_string()), 0);
+                break;
+            }
+        }
+    }
+    // Writer exits once every sender is gone — ours now, the in-flight
+    // jobs' when they finish — so joining it waits for the responses
+    // this connection is still owed.
+    drop(sender);
+    let _ = writer.join();
+}
+
+/// Runs the server until a `shutdown` request arrives; returns the
+/// aggregate counters. Binding happened earlier ([`Listener`]), so the
+/// caller already knows the endpoint.
+pub fn serve(listener: Listener, options: ServeOptions) -> io::Result<ServeSummary> {
+    assert!(options.workers >= 1, "need at least one worker");
+    assert!(options.default_chunk >= 1, "need a positive default chunk");
+    let endpoint = listener.endpoint()?;
+    let pool = Arc::new(PoolShared::default());
+    let shared = Arc::new(Shared {
+        options,
+        stats: Stats::default(),
+        stop: AtomicBool::new(false),
+        endpoint,
+        conns: Mutex::new(Vec::new()),
+        pool: Arc::clone(&pool),
+        verify_cache: Mutex::new(HashMap::new()),
+    });
+    let workers = spawn_pool_workers(&pool, shared.options.workers);
+    let mut connections = Vec::new();
+    loop {
+        let stream = match listener.accept() {
+            Ok(stream) => stream,
+            Err(_) if shared.stop.load(Ordering::SeqCst) => break,
+            Err(_) => continue,
+        };
+        if shared.stop.load(Ordering::SeqCst) {
+            break; // the shutdown self-connect
+        }
+        let shared = Arc::clone(&shared);
+        connections.push(thread::spawn(move || handle_connection(shared, stream)));
+    }
+    // Readers were half-closed by trigger_stop, so the job queue only
+    // shrinks from here; drain it, then wait for the writers to flush.
+    pool_join(&pool, workers);
+    for conn in connections {
+        let _ = conn.join();
+    }
+    #[cfg(unix)]
+    if let Endpoint::Unix(path) = &shared.endpoint {
+        let _ = std::fs::remove_file(path);
+    }
+    let stats = &shared.stats;
+    Ok(ServeSummary {
+        connections: stats.connections.load(Ordering::Relaxed),
+        requests: stats.requests.load(Ordering::Relaxed),
+        errors: stats.errors.load(Ordering::Relaxed),
+        bytes_in: stats.bytes_in.load(Ordering::Relaxed),
+        bytes_out: stats.bytes_out.load(Ordering::Relaxed),
+    })
+}
+
+/// A server running on a background thread — the in-process harness
+/// the tests and `servebench` drive.
+pub struct ServerHandle {
+    endpoint: Endpoint,
+    thread: Option<JoinHandle<io::Result<ServeSummary>>>,
+}
+
+/// Spawns [`serve`] on a background thread.
+pub fn spawn(listener: Listener, options: ServeOptions) -> io::Result<ServerHandle> {
+    let endpoint = listener.endpoint()?;
+    let thread = thread::spawn(move || serve(listener, options));
+    Ok(ServerHandle {
+        endpoint,
+        thread: Some(thread),
+    })
+}
+
+impl ServerHandle {
+    /// Where clients reach this server.
+    pub fn endpoint(&self) -> &Endpoint {
+        &self.endpoint
+    }
+
+    /// Sends a `shutdown` request and joins the server thread.
+    pub fn stop(mut self) -> io::Result<ServeSummary> {
+        let mut client = Client::connect(&self.endpoint)?;
+        client
+            .request("{\"cmd\":\"shutdown\"}")
+            .map_err(|e| io::Error::other(e.to_string()))?;
+        self.join_inner()
+    }
+
+    /// Joins the server thread (some client must have requested
+    /// shutdown, or this blocks forever).
+    pub fn join(mut self) -> io::Result<ServeSummary> {
+        self.join_inner()
+    }
+
+    fn join_inner(&mut self) -> io::Result<ServeSummary> {
+        self.thread
+            .take()
+            .expect("server joined twice")
+            .join()
+            .map_err(|_| io::Error::other("server thread panicked"))?
+    }
+}

@@ -1,0 +1,293 @@
+//! Golden wire transcripts: the exact bytes a `workers = 1`,
+//! `fixed_micros = 0` server puts on the wire for every request type,
+//! including error envelopes and the stats snapshot.
+//!
+//! The framing, the chunk headers and the envelopes are re-derived
+//! here by hand (no calls into the crate's encoders), so any change to
+//! the wire format — prefix endianness, kind bytes, envelope key
+//! order, chunk header layout — fails this file. Requests run in
+//! lock-step (send one, read its full response, send the next), which
+//! also makes the stats counters exact.
+
+use hwperm_core::{FaultPolicy, GuardedPermSource, RandomPermSource, SoftwareRandomSource};
+use hwperm_serve::{spawn, Endpoint, Listener, ServeOptions, STREAM_SPOT_CHECK_EVERY};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+/// A JSON frame, framed by hand: `[u32 BE length][0x00][body]`.
+fn json_frame(body: &str) -> Vec<u8> {
+    let mut out = ((body.len() + 1) as u32).to_be_bytes().to_vec();
+    out.push(0x00);
+    out.extend_from_slice(body.as_bytes());
+    out
+}
+
+/// A binary chunk frame, framed by hand: `[u32 BE length][0x01]` then
+/// five LE u64 header words (id, seq, base, count, flags) and the LE
+/// u64 payload words.
+fn chunk_frame(id: u64, seq: u64, base: u64, flags: u64, words: &[u64]) -> Vec<u8> {
+    let mut payload = Vec::new();
+    for v in [id, seq, base, words.len() as u64, flags] {
+        payload.extend_from_slice(&v.to_le_bytes());
+    }
+    for w in words {
+        payload.extend_from_slice(&w.to_le_bytes());
+    }
+    let mut out = ((payload.len() + 1) as u32).to_be_bytes().to_vec();
+    out.push(0x01);
+    out.extend_from_slice(&payload);
+    out
+}
+
+/// An envelope frame, written out as the full pinned literal (only the
+/// crate version and the computed metrics vary).
+fn envelope_frame(command: &str, ok: bool, results: &str, id: u64, bytes_in: usize) -> Vec<u8> {
+    let (status, exit, errors) = if ok { ("ok", 0, 0) } else { ("error", 2, 1) };
+    json_frame(&format!(
+        "{{\"tool\":\"hwperm\",\"version\":\"{}\",\"command\":\"{command}\",\
+         \"status\":\"{status}\",\"exit\":{exit},\"errors\":{errors},\
+         \"results\":[{results}],\"metrics\":{{\"id\":{id},\"micros\":0,\
+         \"bytes_in\":{bytes_in}}}}}\n",
+        env!("CARGO_PKG_VERSION"),
+    ))
+}
+
+/// Packed words of all six 3-element permutations in lexicographic
+/// order, 2 bits per element, position 0 most significant — Table I
+/// dressed for the wire.
+const N3_WORDS: [u64; 6] = [0b000110, 0b001001, 0b010010, 0b011000, 0b100001, 0b100100];
+
+/// The golden exchange: every request type on one connection. Returns
+/// `(sent, expected)` pairs; the stats step's expectations are derived
+/// from the byte totals of the steps before it.
+fn transcript() -> Vec<(Vec<u8>, Vec<u8>)> {
+    // The random-stream words come from the library (the server's
+    // contract is exactly "what GuardedPermSource yields for this
+    // seed"); everything else is written out by hand.
+    let mut source = GuardedPermSource::with_options(
+        SoftwareRandomSource::new(4, 7),
+        FaultPolicy::Fallback,
+        STREAM_SPOT_CHECK_EVERY,
+        7u64.wrapping_add(0x9E37_79B9_7F4A_7C15),
+    );
+    let mut stream_words = vec![0u64; 3];
+    source.fill_packed_u64(&mut stream_words);
+
+    let mut steps: Vec<(Vec<u8>, Vec<u8>)> = Vec::new();
+
+    let req = r#"{"id":1,"cmd":"unrank","n":4,"index":11}"#;
+    steps.push((
+        json_frame(req),
+        envelope_frame(
+            "unrank",
+            true,
+            r#"{"type":"unrank","n":4,"index":11,"perm":[1,3,2,0],"packed":120}"#,
+            1,
+            req.len() + 5,
+        ),
+    ));
+
+    let req = r#"{"id":2,"cmd":"rank","perm":[1,3,2,0]}"#;
+    steps.push((
+        json_frame(req),
+        envelope_frame(
+            "rank",
+            true,
+            r#"{"type":"rank","n":4,"perm":[1,3,2,0],"index":11}"#,
+            2,
+            req.len() + 5,
+        ),
+    ));
+
+    let req = r#"{"id":3,"cmd":"block","n":3,"start":0,"end":6,"chunk":4}"#;
+    let mut resp = chunk_frame(3, 0, 0, 0, &N3_WORDS[..4]);
+    resp.extend_from_slice(&chunk_frame(3, 1, 4, 1, &N3_WORDS[4..]));
+    resp.extend_from_slice(&envelope_frame(
+        "block",
+        true,
+        r#"{"type":"block","n":3,"start":0,"end":6,"chunk":4,"chunks":2,"words":6}"#,
+        3,
+        req.len() + 5,
+    ));
+    steps.push((json_frame(req), resp));
+
+    let req = r#"{"id":4,"cmd":"verify","n":3,"jobs":1}"#;
+    steps.push((
+        json_frame(req),
+        envelope_frame(
+            "verify",
+            true,
+            r#"{"type":"verify","n":3,"workers":1,"total":6,"verdict":"ok"}"#,
+            4,
+            req.len() + 5,
+        ),
+    ));
+
+    let req = r#"{"id":5,"cmd":"nope"}"#;
+    steps.push((
+        json_frame(req),
+        envelope_frame(
+            "error",
+            false,
+            "{\"error\":\"unknown cmd \\\"nope\\\" (commands: unrank | rank | block | \
+             random-stream | verify | stats | shutdown)\"}",
+            5,
+            req.len() + 5,
+        ),
+    ));
+
+    let req = r#"{"id":6,"cmd":"unrank","n":4,"index":99}"#;
+    steps.push((
+        json_frame(req),
+        envelope_frame(
+            "unrank",
+            false,
+            r#"{"error":"index must be below 4!"}"#,
+            6,
+            req.len() + 5,
+        ),
+    ));
+
+    let req = r#"{"id":7,"cmd":"random-stream","n":4,"count":3,"seed":7,"chunk":8}"#;
+    let mut resp = chunk_frame(7, 0, 0, 1, &stream_words);
+    resp.extend_from_slice(&envelope_frame(
+        "random-stream",
+        true,
+        "{\"type\":\"random-stream\",\"n\":4,\"count\":3,\"seed\":7,\"chunk\":8,\
+         \"chunks\":1,\"words\":3,\"guard\":{\"detected\":0,\"retried\":0,\"fell_back\":0}}",
+        7,
+        req.len() + 5,
+    ));
+    steps.push((json_frame(req), resp));
+
+    // A binary frame sent client → server is a protocol violation the
+    // server answers (id 0) without closing the connection.
+    let raw = chunk_frame(0, 0, 0, 0, &[]);
+    let bytes_in = raw.len(); // payload + 5 == the whole frame
+    steps.push((
+        raw,
+        envelope_frame(
+            "error",
+            false,
+            r#"{"error":"binary frames flow server to client only"}"#,
+            0,
+            bytes_in,
+        ),
+    ));
+
+    // Stats: every counter derivable from the steps above.
+    let req = r#"{"id":9,"cmd":"stats"}"#;
+    let bytes_in_total: usize =
+        steps.iter().map(|(sent, _)| sent.len()).sum::<usize>() + req.len() + 5;
+    let bytes_out_total: usize = steps.iter().map(|(_, resp)| resp.len()).sum();
+    let results = format!(
+        "{{\"type\":\"stats\",\"connections\":1,\"requests\":9,\"errors\":3,\
+         \"bytes_in\":{bytes_in_total},\"bytes_out\":{bytes_out_total},\"chunks\":3,\
+         \"micros\":0,\"commands\":{{\"unrank\":2,\"rank\":1,\"block\":1,\
+         \"random-stream\":1,\"verify\":1,\"stats\":1,\"shutdown\":0,\"error\":2}}}}"
+    );
+    steps.push((
+        json_frame(req),
+        envelope_frame("stats", true, &results, 9, req.len() + 5),
+    ));
+
+    let req = r#"{"id":10,"cmd":"shutdown"}"#;
+    steps.push((
+        json_frame(req),
+        envelope_frame(
+            "shutdown",
+            true,
+            r#"{"type":"shutdown","stopping":true}"#,
+            10,
+            req.len() + 5,
+        ),
+    ));
+
+    steps
+}
+
+fn golden_options() -> ServeOptions {
+    ServeOptions {
+        workers: 1,
+        fixed_micros: Some(0),
+        ..ServeOptions::default()
+    }
+}
+
+/// Runs the transcript against a live server in lock-step and returns
+/// every byte the server sent.
+fn run_transcript(stream: &mut (impl Read + Write)) -> Vec<u8> {
+    let mut received = Vec::new();
+    for (i, (sent, expected)) in transcript().into_iter().enumerate() {
+        stream.write_all(&sent).expect("send");
+        let mut got = vec![0u8; expected.len()];
+        stream.read_exact(&mut got).expect("response bytes");
+        assert_eq!(
+            got,
+            expected,
+            "step {i}: wire bytes diverge\n got: {}\nwant: {}",
+            String::from_utf8_lossy(&got),
+            String::from_utf8_lossy(&expected),
+        );
+        received.extend_from_slice(&got);
+    }
+    // After the shutdown envelope the server closes cleanly.
+    let mut rest = Vec::new();
+    stream.read_to_end(&mut rest).expect("clean close");
+    assert!(
+        rest.is_empty(),
+        "unexpected trailing bytes: {}",
+        String::from_utf8_lossy(&rest)
+    );
+    received
+}
+
+#[test]
+fn every_request_type_matches_its_pinned_wire_bytes() {
+    let listener = Listener::bind_tcp("127.0.0.1:0").expect("bind");
+    let server = spawn(listener, golden_options()).expect("spawn");
+    let Endpoint::Tcp(addr) = *server.endpoint() else {
+        panic!("tcp endpoint expected");
+    };
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    run_transcript(&mut stream);
+    let summary = server.join().expect("summary");
+    assert_eq!(
+        summary.connections, 1,
+        "the shutdown wake-up connect is not served"
+    );
+    assert_eq!(summary.requests, 10);
+    assert_eq!(summary.errors, 3);
+}
+
+#[test]
+fn transcripts_are_byte_identical_across_runs() {
+    let mut runs = Vec::new();
+    for _ in 0..2 {
+        let listener = Listener::bind_tcp("127.0.0.1:0").expect("bind");
+        let server = spawn(listener, golden_options()).expect("spawn");
+        let Endpoint::Tcp(addr) = *server.endpoint() else {
+            panic!("tcp endpoint expected");
+        };
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        runs.push(run_transcript(&mut stream));
+        server.join().expect("summary");
+    }
+    assert_eq!(runs[0], runs[1]);
+}
+
+/// The transcript is transport-independent: a Unix-socket server
+/// produces the same bytes as the TCP one.
+#[cfg(unix)]
+#[test]
+fn unix_socket_transcript_matches_tcp() {
+    let path =
+        std::env::temp_dir().join(format!("hwperm-serve-golden-{}.sock", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    let listener = Listener::bind_unix(&path).expect("bind unix");
+    let server = spawn(listener, golden_options()).expect("spawn");
+    let mut stream = std::os::unix::net::UnixStream::connect(&path).expect("connect");
+    run_transcript(&mut stream);
+    server.join().expect("summary");
+    assert!(!path.exists(), "socket file unlinked at shutdown");
+}

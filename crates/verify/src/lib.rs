@@ -79,7 +79,7 @@ pub use oracle::{
 };
 pub use parallel::{
     exhaustive_check_parallel, exhaustive_check_parallel_repeat, exhaustive_check_parallel_with,
-    find_one_hot_violation_parallel,
+    find_one_hot_violation_parallel, shard_ranges,
 };
 
 use hwperm_bdd::{Manager, NodeId};

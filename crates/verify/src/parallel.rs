@@ -40,9 +40,14 @@ use std::sync::Arc;
 /// ranges — the same balanced split as `hwperm_core::ParallelPlan`).
 /// Ranges beyond the item count are empty.
 ///
+/// Public because it is the one sharding idiom every fan-out in the
+/// workspace uses (batched sweeps here, block serving in
+/// `hwperm-serve`), and shard boundaries are part of those components'
+/// determinism contracts.
+///
 /// # Panics
 /// Panics if `workers == 0`.
-pub(crate) fn shard_ranges(items: usize, workers: usize) -> Vec<Range<usize>> {
+pub fn shard_ranges(items: usize, workers: usize) -> Vec<Range<usize>> {
     assert!(workers >= 1, "need at least one worker");
     let per = items / workers;
     let rem = items % workers;

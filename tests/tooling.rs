@@ -112,3 +112,130 @@ fn stream_feeds_a_consumer_that_cross_checks_the_circuit() {
     }
     assert_eq!(count, 20);
 }
+
+/// End-to-end: spawn the real `hwperm serve` binary, round-trip every
+/// request type through a protocol client, shut it down gracefully and
+/// check the exit status plus the printed summary.
+#[test]
+fn serve_cli_round_trips_every_request_type() {
+    use hwperm_serve::{Client, Endpoint};
+    use std::io::{BufRead, BufReader};
+    use std::process::{Command, Stdio};
+
+    // The CLI binary lives next to the test's profile directory
+    // (target/<profile>/hwperm). `cargo test` builds workspace bins
+    // before running integration tests; rebuild defensively if a
+    // filtered invocation skipped it.
+    let exe = std::env::current_exe().expect("test executable path");
+    let bin = exe
+        .parent()
+        .and_then(|deps| deps.parent())
+        .expect("target profile dir")
+        .join(format!("hwperm{}", std::env::consts::EXE_SUFFIX));
+    if !bin.exists() {
+        let status = Command::new(env!("CARGO"))
+            .args(["build", "-p", "hwperm-cli"])
+            .status()
+            .expect("cargo build -p hwperm-cli");
+        assert!(status.success(), "building the CLI binary failed");
+    }
+
+    let mut child = Command::new(&bin)
+        .args(["serve", "127.0.0.1:0", "--workers", "2"])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit())
+        .spawn()
+        .expect("spawn hwperm serve");
+    let mut lines = BufReader::new(child.stdout.take().expect("piped stdout")).lines();
+    let listening = lines
+        .next()
+        .expect("a 'listening on' line before the server blocks")
+        .expect("utf-8 stdout");
+    let addr = listening
+        .strip_prefix("listening on ")
+        .unwrap_or_else(|| panic!("unexpected banner: {listening:?}"))
+        .trim()
+        .to_string();
+    let endpoint = Endpoint::Tcp(addr.parse().expect("socket address"));
+
+    let mut client = Client::connect(&endpoint).expect("connect to spawned server");
+    let text = |resp: &hwperm_serve::Response| String::from_utf8_lossy(&resp.envelope).into_owned();
+
+    let unrank = client
+        .request(r#"{"id":1,"cmd":"unrank","n":4,"index":11}"#)
+        .expect("unrank");
+    assert!(unrank.is_ok(), "{}", text(&unrank));
+    assert!(
+        text(&unrank).contains("\"packed\":120"),
+        "{}",
+        text(&unrank)
+    );
+
+    let rank = client
+        .request(r#"{"id":2,"cmd":"rank","perm":[1,3,2,0]}"#)
+        .expect("rank");
+    assert!(rank.is_ok(), "{}", text(&rank));
+    assert!(text(&rank).contains("\"index\":11"), "{}", text(&rank));
+
+    let block = client
+        .request(r#"{"id":3,"cmd":"block","n":3,"start":0,"end":6,"chunk":4}"#)
+        .expect("block");
+    assert!(block.is_ok(), "{}", text(&block));
+    assert_eq!(block.words(), vec![6, 9, 18, 24, 33, 36]);
+
+    let stream = client
+        .request(r#"{"id":4,"cmd":"random-stream","n":4,"count":5,"seed":9}"#)
+        .expect("random-stream");
+    assert!(stream.is_ok(), "{}", text(&stream));
+    assert_eq!(stream.words().len(), 5);
+
+    let verify = client
+        .request(r#"{"id":5,"cmd":"verify","n":3}"#)
+        .expect("verify");
+    assert!(verify.is_ok(), "{}", text(&verify));
+    assert!(
+        text(&verify).contains("\"verdict\":\"ok\""),
+        "{}",
+        text(&verify)
+    );
+
+    let bad = client
+        .request(r#"{"id":6,"cmd":"frobnicate"}"#)
+        .expect("error envelope");
+    assert!(!bad.is_ok(), "unknown cmd must fail: {}", text(&bad));
+
+    let stats = client.request(r#"{"id":7,"cmd":"stats"}"#).expect("stats");
+    assert!(stats.is_ok(), "{}", text(&stats));
+    assert!(
+        text(&stats).contains("\"requests\":7"),
+        "lock-step requests should count exactly 7: {}",
+        text(&stats)
+    );
+
+    let shutdown = client
+        .request(r#"{"id":8,"cmd":"shutdown"}"#)
+        .expect("shutdown");
+    assert!(shutdown.is_ok(), "{}", text(&shutdown));
+    assert!(
+        text(&shutdown).contains("\"stopping\":true"),
+        "{}",
+        text(&shutdown)
+    );
+    assert_eq!(
+        client.read_message().expect("clean close"),
+        None,
+        "server closes the connection after shutdown"
+    );
+
+    let status = child.wait().expect("server process exits");
+    assert!(
+        status.success(),
+        "serve must exit 0 after graceful shutdown"
+    );
+    let rest: Vec<String> = lines.map(|l| l.expect("utf-8 stdout")).collect();
+    assert!(
+        rest.iter()
+            .any(|l| l.contains("served 8 request(s) (1 error(s)) over 1 connection(s)")),
+        "summary line missing from {rest:?}"
+    );
+}
