@@ -16,20 +16,23 @@
 //! matrix CI stores as `BENCH_oracle.json`, `faultbench-json` for
 //! the stuck-at campaign matrix CI stores as `BENCH_faults.json`, and
 //! `provebench-json` for the SAT proof-obligation matrix CI stores as
-//! `BENCH_prove.json`, and `servebench-json` for the wire-protocol
-//! throughput matrix CI stores as `BENCH_serve.json`).
+//! `BENCH_prove.json`, `servebench-json` for the wire-protocol
+//! throughput matrix CI stores as `BENCH_serve.json`, and
+//! `widebench-json` for the lane-width × workers × fusion matrix CI
+//! stores as `BENCH_wide.json`).
 
 use hwperm_bench::{
     baselines, extensions, faultbench, figures, oraclebench, provebench, resources, servebench,
-    simbench, tables, threadbench,
+    simbench, tables, threadbench, widebench,
 };
 
 fn usage() -> ! {
     eprintln!(
         "usage: tables <experiment>\n  experiments: table1 table2 table3 table4 fig1 fig3 bias \
          fig4 fig4-netlist derangements naive sorter parallel verify cascade rank variations prove \
-         simbench simbench-json threadbench threadbench-json oraclebench oraclebench-json \
-         faultbench faultbench-json provebench provebench-json servebench servebench-json all"
+         simbench simbench-json threadbench threadbench-json widebench widebench-json \
+         oraclebench oraclebench-json faultbench faultbench-json provebench provebench-json \
+         servebench servebench-json all"
     );
     std::process::exit(2);
 }
@@ -60,6 +63,8 @@ fn main() {
         "simbench-json" => print!("{}", simbench::sim_throughput_json()),
         "threadbench" => print!("{}", threadbench::thread_scaling_text()),
         "threadbench-json" => print!("{}", threadbench::thread_scaling_json()),
+        "widebench" => print!("{}", widebench::wide_word_text()),
+        "widebench-json" => print!("{}", widebench::wide_word_json()),
         "oraclebench" => print!("{}", oraclebench::oracle_throughput_text()),
         "oraclebench-json" => print!("{}", oraclebench::oracle_throughput_json()),
         "faultbench" => print!("{}", faultbench::fault_campaign_text()),
@@ -90,6 +95,7 @@ fn main() {
             "variations",
             "simbench",
             "threadbench",
+            "widebench",
             "oraclebench",
             "faultbench",
             "provebench",

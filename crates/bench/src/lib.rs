@@ -18,6 +18,7 @@ pub mod servebench;
 pub mod simbench;
 pub mod tables;
 pub mod threadbench;
+pub mod widebench;
 
 /// Formats a `f64` with thousands separators for rate reporting.
 pub(crate) fn with_commas(v: u64) -> String {

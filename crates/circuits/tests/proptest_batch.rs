@@ -1,8 +1,10 @@
 //! Differential property tests between the scalar `Simulator` and the
-//! 64-lane `BatchSimulator`: lane `l` of a batched run must be
-//! indistinguishable from a scalar run fed lane `l`'s input vector (or
-//! input *sequence*, for the registered families). Covers every family
-//! the lint driver knows, combinational and sequential alike.
+//! word-level `BatchSim<W>` at every compiled width: lane `l` of a
+//! batched run must be indistinguishable from a scalar run fed lane
+//! `l`'s input vector (or input *sequence*, for the registered
+//! families) — whether the word carries 64 (`u64`), 256 (`W256`) or
+//! 512 (`W512`) lanes. Covers every family the lint driver knows,
+//! combinational and sequential alike.
 
 use hwperm_bignum::Ubig;
 use hwperm_circuits::{
@@ -10,7 +12,7 @@ use hwperm_circuits::{
     IndexToVariationConverter, PermToIndexConverter, RandomIndexGenerator, ShuffleOptions,
     SortingNetwork,
 };
-use hwperm_logic::{BatchSimulator, Netlist, Simulator, LANES};
+use hwperm_logic::{BatchSim, Netlist, SimWord, Simulator, W256, W512};
 use proptest::prelude::*;
 
 /// Every circuit family `hwperm lint all` covers, mirrored here so the
@@ -89,30 +91,31 @@ fn rand_value(rng: &mut u64, width: usize) -> Ubig {
 
 /// One cycle's worth of input data: for each input port, one value per
 /// lane.
-fn random_cycle(netlist: &Netlist, rng: &mut u64) -> Vec<(String, Vec<Ubig>)> {
+fn random_cycle(netlist: &Netlist, lanes: usize, rng: &mut u64) -> Vec<(String, Vec<Ubig>)> {
     netlist
         .input_ports()
         .iter()
         .map(|p| {
             let width = p.nets.len();
-            let lanes: Vec<Ubig> = (0..LANES).map(|_| rand_value(rng, width)).collect();
-            (p.name.clone(), lanes)
+            let values: Vec<Ubig> = (0..lanes).map(|_| rand_value(rng, width)).collect();
+            (p.name.clone(), values)
         })
         .collect()
 }
 
-/// Combinational check: one batched `eval` against 64 scalar `eval`s.
-fn assert_eval_lane_equivalent(family: &str, netlist: &Netlist, seed: u64) {
+/// Combinational check: one batched `eval` at width `W` against
+/// `W::LANES` scalar `eval`s.
+fn assert_eval_lane_equivalent<W: SimWord>(family: &str, netlist: &Netlist, seed: u64) {
     let mut rng = seed | 1;
-    let cycle = random_cycle(netlist, &mut rng);
-    let mut batch = BatchSimulator::new(netlist.clone());
+    let cycle = random_cycle(netlist, W::LANES, &mut rng);
+    let mut batch = BatchSim::<W>::new(netlist.clone());
     for (name, lanes) in &cycle {
         batch.set_input_lanes(name, lanes);
     }
     batch.eval();
 
     let mut scalar = Simulator::new(netlist.clone());
-    for lane in 0..LANES {
+    for lane in 0..W::LANES {
         for (name, lanes) in &cycle {
             scalar.set_input(name, &lanes[lane]);
         }
@@ -121,23 +124,30 @@ fn assert_eval_lane_equivalent(family: &str, netlist: &Netlist, seed: u64) {
             assert_eq!(
                 batch.read_output_lane(&port.name, lane),
                 scalar.read_output(&port.name),
-                "{family}: output {:?} diverges in lane {lane}",
-                port.name
+                "{family}: output {:?} diverges in lane {lane} of {}",
+                port.name,
+                W::LANES
             );
         }
     }
 }
 
-/// Sequential check: a multi-cycle `step` schedule, batched once, then
-/// replayed lane by lane on a scalar simulator reset between lanes.
-/// Every cycle's post-step outputs must agree in every lane.
-fn assert_step_lane_equivalent(family: &str, netlist: &Netlist, cycles: usize, seed: u64) {
+/// Sequential check: a multi-cycle `step` schedule, batched once at
+/// width `W`, then replayed lane by lane on a scalar simulator reset
+/// between lanes. Every cycle's post-step outputs must agree in every
+/// lane.
+fn assert_step_lane_equivalent<W: SimWord>(
+    family: &str,
+    netlist: &Netlist,
+    cycles: usize,
+    seed: u64,
+) {
     let mut rng = seed | 1;
     let schedule: Vec<Vec<(String, Vec<Ubig>)>> = (0..cycles)
-        .map(|_| random_cycle(netlist, &mut rng))
+        .map(|_| random_cycle(netlist, W::LANES, &mut rng))
         .collect();
 
-    let mut batch = BatchSimulator::new(netlist.clone());
+    let mut batch = BatchSim::<W>::new(netlist.clone());
     // [cycle][port][lane] snapshots of every output after each step.
     let mut snapshots: Vec<Vec<Vec<Ubig>>> = Vec::with_capacity(cycles);
     for cycle in &schedule {
@@ -151,7 +161,7 @@ fn assert_step_lane_equivalent(family: &str, netlist: &Netlist, cycles: usize, s
                 .output_ports()
                 .iter()
                 .map(|p| {
-                    (0..LANES)
+                    (0..W::LANES)
                         .map(|l| batch.read_output_lane(&p.name, l))
                         .collect()
                 })
@@ -160,7 +170,7 @@ fn assert_step_lane_equivalent(family: &str, netlist: &Netlist, cycles: usize, s
     }
 
     let mut scalar = Simulator::new(netlist.clone());
-    for lane in 0..LANES {
+    for lane in 0..W::LANES {
         scalar.reset();
         for (c, cycle) in schedule.iter().enumerate() {
             for (name, lanes) in cycle {
@@ -172,10 +182,41 @@ fn assert_step_lane_equivalent(family: &str, netlist: &Netlist, cycles: usize, s
                 assert_eq!(
                     snapshots[c][pi][lane],
                     scalar.read_output(&port.name),
-                    "{family}: output {:?} diverges in lane {lane} at cycle {c}",
-                    port.name
+                    "{family}: output {:?} diverges in lane {lane} of {} at cycle {c}",
+                    port.name,
+                    W::LANES
                 );
             }
+        }
+    }
+}
+
+/// Cross-width check: the first 64 lanes of a wide batched run, fed
+/// the exact inputs of a `u64` run, must read back bit-identical
+/// outputs — the wide words are transposition-compatible with the
+/// narrow one, not merely scalar-equivalent.
+fn assert_wide_matches_u64<W: SimWord>(family: &str, netlist: &Netlist, seed: u64) {
+    let mut rng = seed | 1;
+    let cycle = random_cycle(netlist, 64, &mut rng);
+    let mut narrow = BatchSim::<u64>::new(netlist.clone());
+    let mut wide = BatchSim::<W>::new(netlist.clone());
+    for (name, lanes) in &cycle {
+        narrow.set_input_lanes(name, lanes);
+        wide.set_input_lanes(name, lanes);
+    }
+    narrow.step();
+    narrow.eval();
+    wide.step();
+    wide.eval();
+    for port in netlist.output_ports() {
+        for lane in 0..64 {
+            assert_eq!(
+                wide.read_output_lane(&port.name, lane),
+                narrow.read_output_lane(&port.name, lane),
+                "{family}: output {:?} diverges between u64 and {}-lane words in lane {lane}",
+                port.name,
+                W::LANES
+            );
         }
     }
 }
@@ -192,10 +233,34 @@ proptest! {
         for family in FAMILIES {
             let netlist = family_netlist(family, n);
             if netlist.register_count() == 0 {
-                assert_eval_lane_equivalent(family, &netlist, seed);
+                assert_eval_lane_equivalent::<u64>(family, &netlist, seed);
             } else {
-                assert_step_lane_equivalent(family, &netlist, 4, seed);
+                assert_step_lane_equivalent::<u64>(family, &netlist, 4, seed);
             }
+        }
+    }
+
+    /// The same nine-family property at the wide widths: every one of
+    /// the 256 / 512 lanes must match its scalar replay (comb and
+    /// multi-cycle step alike), and the first 64 lanes must be
+    /// bit-identical to a `u64` run fed the same inputs. Fewer cases
+    /// than the narrow sweep — each one replays up to 512 scalar
+    /// simulations per family.
+    #[test]
+    fn all_families_lane_equivalent_wide(n in 3usize..=4, seed in any::<u64>()) {
+        for family in FAMILIES {
+            let netlist = family_netlist(family, n);
+            if netlist.register_count() == 0 {
+                assert_eval_lane_equivalent::<W256>(family, &netlist, seed);
+                assert_eval_lane_equivalent::<W512>(family, &netlist, seed);
+            } else {
+                // n + 3 cycles: deeper than the pipelined families'
+                // DFF depth at these sizes, so latching is exercised.
+                assert_step_lane_equivalent::<W256>(family, &netlist, n + 3, seed);
+                assert_step_lane_equivalent::<W512>(family, &netlist, n + 3, seed);
+            }
+            assert_wide_matches_u64::<W256>(family, &netlist, seed);
+            assert_wide_matches_u64::<W512>(family, &netlist, seed);
         }
     }
 
@@ -215,6 +280,6 @@ proptest! {
         prop_assert!(netlist.register_count() > 0);
         // n + 3 cycles: strictly more than the pipeline depth, so every
         // lane's first vector has flushed all the way through.
-        assert_step_lane_equivalent("converter-pipelined", &netlist, n + 3, seed);
+        assert_step_lane_equivalent::<u64>("converter-pipelined", &netlist, n + 3, seed);
     }
 }

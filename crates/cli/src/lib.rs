@@ -17,7 +17,7 @@ use hwperm_factoradic::{
     rank, rank_combination, rank_variation, unrank, unrank_combination, unrank_variation,
     IndexedPermutations,
 };
-use hwperm_logic::ResourceReport;
+use hwperm_logic::{ResourceReport, SimProgram, W256, W512};
 use hwperm_perm::Permutation;
 use hwperm_rng::BiasReport;
 use std::fmt;
@@ -65,7 +65,9 @@ usage: hwperm <command> [args]
                                   one-hot proofs escalate from BDD to
                                   SAT, and index-port families carry the
                                   range contract index < total for the
-                                  range-dont-care pass)
+                                  range-dont-care pass; --json rows
+                                  include the fused tape's op counts,
+                                  levels, and fusion savings)
   prove <n> [--family F] [--jobs N] [--json]
                                  SAT proof obligations over the compiled
                                  tape: converter table conformance vs
@@ -84,21 +86,28 @@ usage: hwperm <command> [args]
                                  format)
   bias <m> <k>                   pigeonhole bias of an m-bit LFSR over [0,k)
   sort <key> <key> ...           sort through the selection network
-  faults <n> [--family F] [--jobs N] [--json]
+  faults <n> [--family F] [--jobs N] [--width W] [--json]
                                  single-stuck-at fault campaign against
                                  the exhaustive oracle (family:
                                  converter | rank | combination |
                                  variation | sort | all; default
-                                 converter); reports detected / silent /
-                                 masked verdicts, coverage percentages,
-                                 and every silent fault's witness
-  verify <n> [--batch] [--jobs N]  netlist vs software cross-check
-                                 (--batch: 64-lane word-level gate
-                                  sweep of the converter netlist;
-                                  --jobs N: shard the batched sweep
-                                  over N worker threads — reports the
-                                  same lowest-index first mismatch as
-                                  the sequential sweep)
+                                 converter); --width W retires W faults
+                                 per tape walk (64 | 256 | 512, default
+                                 512 — verdicts are byte-identical at
+                                 every width); reports detected /
+                                 silent / masked verdicts, coverage
+                                 percentages, and every silent fault's
+                                 witness
+  verify <n> [--batch] [--jobs N] [--width W]
+                                 netlist vs software cross-check
+                                 (--batch: word-level gate sweep of the
+                                  fused converter tape, one index per
+                                  lane; --width W lanes per pass (64 |
+                                  256 | 512, default 512); --jobs N:
+                                  shard the batched sweep over N worker
+                                  threads — reports the same
+                                  lowest-index first mismatch as the
+                                  sequential sweep)
   verilog <circuit> <n>          emit synthesizable structural Verilog
   serve <addr> [--workers N] [--chunk N]
                                  permutation-as-a-service: long-running
@@ -331,6 +340,47 @@ fn parse_usize(s: &str, what: &str) -> Result<usize, CliError> {
     s.parse().map_err(|_| err(format!("invalid {what}: {s:?}")))
 }
 
+/// Parses a `--width` value into a lane count. Only the three compiled
+/// word widths exist — 64 (`u64`), 256 ([`W256`]), 512 ([`W512`]) —
+/// anything else is a user error (exit 2).
+fn parse_width(s: &str) -> Result<usize, CliError> {
+    match s {
+        "64" => Ok(64),
+        "256" => Ok(256),
+        "512" => Ok(512),
+        other => Err(err(format!(
+            "invalid --width {other:?} (widths: 64 | 256 | 512)"
+        ))),
+    }
+}
+
+/// The default `--width`: the widest compiled word. The wide words
+/// autovectorize, so more lanes per tape walk is the fastest choice on
+/// every target; `--width 64` remains for baselining.
+const DEFAULT_WIDTH: usize = 512;
+
+/// Renders [`TapeStats`](hwperm_logic::TapeStats) for a fused compile
+/// of `netlist` as a JSON object — the `"tape"` field of each
+/// `lint --json` result row.
+fn tape_stats_json(netlist: hwperm_logic::Netlist) -> String {
+    let stats = SimProgram::compile_fused(netlist).stats();
+    let op_counts = stats
+        .op_counts
+        .iter()
+        .map(|(name, count)| format!("\"{name}\":{count}"))
+        .collect::<Vec<_>>()
+        .join(",");
+    format!(
+        "{{\"ops\":{},\"unfused_ops\":{},\"fused_away\":{},\
+         \"levels\":{},\"blocks\":{},\"op_counts\":{{{op_counts}}}}}",
+        stats.ops,
+        stats.unfused_ops,
+        stats.fused_away(),
+        stats.levels,
+        stats.blocks,
+    )
+}
+
 fn parse_ubig(s: &str, what: &str) -> Result<Ubig, CliError> {
     Ubig::from_decimal(s).map_err(|e| err(format!("invalid {what} {s:?}: {e}")))
 }
@@ -531,7 +581,8 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                         out.push(',');
                     }
                     out.push_str(&format!(
-                        "{{\"circuit\":\"{family}\",\"n\":{n},\"report\":{}}}",
+                        "{{\"circuit\":\"{family}\",\"n\":{n},\"tape\":{},\"report\":{}}}",
+                        tape_stats_json(netlist),
                         report.to_json()
                     ));
                 } else {
@@ -699,9 +750,11 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             Ok(format!("{summary}\n"))
         }
         "faults" => {
-            const FAULTS_USAGE: &str = "usage: hwperm faults <n> [--family F] [--jobs N] [--json]";
+            const FAULTS_USAGE: &str =
+                "usage: hwperm faults <n> [--family F] [--jobs N] [--width W] [--json]";
             let mut json = false;
             let mut jobs = 1usize;
+            let mut width = DEFAULT_WIDTH;
             let mut family: Option<&String> = None;
             let mut positional: Vec<&String> = Vec::new();
             let mut it = rest.iter();
@@ -717,6 +770,10 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                             return Err(err("--jobs needs at least one worker"));
                         }
                         jobs = v;
+                    }
+                    "--width" => {
+                        let v = it.next().ok_or_else(|| err("--width needs a lane count"))?;
+                        width = parse_width(v)?;
                     }
                     "--family" => {
                         family = Some(
@@ -750,21 +807,28 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                 // The converter checks against the independent
                 // block-decoded oracle plus the packed-permutation
                 // validity guard; the other families self-golden
-                // against their fault-free sweep.
+                // against their fault-free sweep. The campaign retires
+                // `width` faults per tape walk; verdicts are
+                // byte-identical at every width.
+                let run =
+                    |expected: &[u64], valid: Option<&(dyn Fn(u64) -> bool + Sync)>| match width {
+                        64 => hwperm_verify::stuck_at_campaign_wide::<u64>(
+                            &netlist, input, output, expected, valid, jobs,
+                        ),
+                        256 => hwperm_verify::stuck_at_campaign_wide::<W256>(
+                            &netlist, input, output, expected, valid, jobs,
+                        ),
+                        _ => hwperm_verify::stuck_at_campaign_wide::<W512>(
+                            &netlist, input, output, expected, valid, jobs,
+                        ),
+                    };
                 let report = if *fam == "converter" {
                     let expected = hwperm_verify::expected_permutation_words(n);
                     let valid = move |word: u64| hwperm_perm::packed_is_permutation_u64(n, word);
-                    hwperm_verify::stuck_at_campaign(
-                        &netlist,
-                        input,
-                        output,
-                        &expected,
-                        Some(&valid),
-                        jobs,
-                    )
+                    run(&expected, Some(&valid))
                 } else {
                     let golden = hwperm_verify::golden_output_words(&netlist, input, output);
-                    hwperm_verify::stuck_at_campaign(&netlist, input, output, &golden, None, jobs)
+                    run(&golden, None)
                 };
                 let silent: Vec<(String, u64)> = report
                     .silent_faults()
@@ -788,6 +852,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                         .join(",");
                     out.push_str(&format!(
                         "{{\"circuit\":\"{fam}\",\"n\":{n},\"workers\":{jobs},\
+                         \"width\":{width},\
                          \"faults\":{},\"detected\":{},\"silent\":{},\"masked\":{},\
                          \"coverage_percent\":{:.2},\"guard_coverage_percent\":{:.2},\
                          \"silent_faults\":[{silent_json}]}}",
@@ -994,9 +1059,10 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             Ok(out)
         }
         "verify" => {
-            const VERIFY_USAGE: &str = "usage: hwperm verify <n> [--batch] [--jobs N]";
+            const VERIFY_USAGE: &str = "usage: hwperm verify <n> [--batch] [--jobs N] [--width W]";
             let batch = rest.iter().any(|a| a == "--batch");
             let mut jobs: Option<usize> = None;
+            let mut width: Option<usize> = None;
             let mut positional: Vec<&String> = Vec::new();
             let mut it = rest.iter();
             while let Some(arg) = it.next() {
@@ -1012,6 +1078,10 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                         }
                         jobs = Some(v);
                     }
+                    "--width" => {
+                        let v = it.next().ok_or_else(|| err("--width needs a lane count"))?;
+                        width = Some(parse_width(v)?);
+                    }
                     _ => positional.push(arg),
                 }
             }
@@ -1020,25 +1090,44 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                     "--jobs requires --batch (the sharded sweep is word-level)",
                 ));
             }
+            if width.is_some() && !batch {
+                return Err(err(
+                    "--width requires --batch (the lane width is word-level)",
+                ));
+            }
+            let width = width.unwrap_or(DEFAULT_WIDTH);
             let n = parse_usize(positional.first().ok_or_else(|| err(VERIFY_USAGE))?, "n")?;
             if !(2..=8).contains(&n) {
                 return Err(err("verify sweeps exhaustively; n must be 2..=8"));
             }
             let total: u64 = (1..=n as u64).product();
             if batch {
-                // Word-level sweep of the gate netlist itself: 64 indices
-                // settle per netlist walk, every output bit compared
-                // against the software unranker. With --jobs, the index
-                // space is sharded into contiguous per-worker blocks over
-                // one shared compiled tape; the first-mismatch report is
-                // identical to the sequential sweep's.
+                // Word-level sweep of the gate netlist itself: one index
+                // per lane settles per netlist walk of the fused tape,
+                // every output bit compared against the software
+                // unranker. With --jobs, the index space is sharded into
+                // contiguous per-worker blocks over one shared compiled
+                // tape; the first-mismatch report is identical to the
+                // sequential sweep's at every width.
                 let netlist = converter_netlist(n, ConverterOptions::default());
                 let expected = hwperm_verify::expected_permutation_words(n);
-                match jobs {
-                    Some(workers) => hwperm_verify::exhaustive_check_parallel(
+                match (jobs, width) {
+                    (Some(workers), 64) => hwperm_verify::exhaustive_check_parallel(
                         &netlist, "index", "perm", &expected, workers,
                     ),
-                    None => hwperm_verify::exhaustive_check_batched(
+                    (Some(workers), 256) => hwperm_verify::exhaustive_check_parallel_wide::<W256>(
+                        &netlist, "index", "perm", &expected, workers,
+                    ),
+                    (Some(workers), _) => hwperm_verify::exhaustive_check_parallel_wide::<W512>(
+                        &netlist, "index", "perm", &expected, workers,
+                    ),
+                    (None, 64) => hwperm_verify::exhaustive_check_batched(
+                        &netlist, "index", "perm", &expected,
+                    ),
+                    (None, 256) => hwperm_verify::exhaustive_check_batched_wide::<W256>(
+                        &netlist, "index", "perm", &expected,
+                    ),
+                    (None, _) => hwperm_verify::exhaustive_check_batched_wide::<W512>(
                         &netlist, "index", "perm", &expected,
                     ),
                 }
@@ -1057,8 +1146,8 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             Permutation::try_from_slice(p.as_slice())
                 .map_err(|e| err(format!("shuffle output invalid: {e}")))?;
             let mode = match jobs {
-                Some(workers) => format!(" (batched, 64 lanes/pass, {workers} workers)"),
-                None if batch => " (batched, 64 lanes/pass)".to_string(),
+                Some(workers) => format!(" (batched, {width} lanes/pass, {workers} workers)"),
+                None if batch => format!(" (batched, {width} lanes/pass)"),
                 None => String::new(),
             };
             Ok(format!(
@@ -1190,11 +1279,30 @@ mod tests {
     fn verify_batch_passes() {
         let out = call(&["verify", "4", "--batch"]).unwrap();
         assert!(out.contains("OK: all 24 conversions"));
-        assert!(out.contains("batched, 64 lanes/pass"));
+        // The default width is the widest compiled word.
+        assert!(out.contains("batched, 512 lanes/pass"));
         // Flag order must not matter, and the range check still bites.
         assert!(call(&["verify", "--batch", "5"]).unwrap().contains("OK"));
         assert!(call(&["verify", "--batch", "20"]).is_err());
         assert!(call(&["verify", "--batch"]).is_err());
+    }
+
+    #[test]
+    fn verify_width_selects_the_lane_count() {
+        for width in ["64", "256", "512"] {
+            let out = call(&["verify", "4", "--batch", "--width", width]).unwrap();
+            assert!(out.contains("OK: all 24 conversions"), "{out}");
+            assert!(
+                out.contains(&format!("batched, {width} lanes/pass")),
+                "width = {width}: {out}"
+            );
+            let sharded =
+                call(&["verify", "5", "--batch", "--width", width, "--jobs", "3"]).unwrap();
+            assert!(
+                sharded.contains(&format!("batched, {width} lanes/pass, 3 workers")),
+                "width = {width}: {sharded}"
+            );
+        }
     }
 
     #[test]
@@ -1220,6 +1328,16 @@ mod tests {
         assert!(call(&["verify", "5", "--batch", "--jobs"]).is_err());
         assert!(call(&["verify", "5", "--batch", "--jobs", "0"]).is_err());
         assert!(call(&["verify", "5", "--batch", "--jobs", "many"]).is_err());
+    }
+
+    #[test]
+    fn verify_width_rejects_bad_usage() {
+        // --width without --batch, a missing/unsupported/garbage width.
+        assert!(call(&["verify", "5", "--width", "512"]).is_err());
+        assert!(call(&["verify", "5", "--batch", "--width"]).is_err());
+        assert!(call(&["verify", "5", "--batch", "--width", "128"]).is_err());
+        assert!(call(&["verify", "5", "--batch", "--width", "0"]).is_err());
+        assert!(call(&["verify", "5", "--batch", "--width", "wide"]).is_err());
     }
 
     #[test]
@@ -1260,8 +1378,28 @@ mod tests {
         assert!(out.contains("\"command\":\"faults\""), "{out}");
         assert!(out.contains("\"status\":\"ok\",\"exit\":0"), "{out}");
         assert!(out.contains("\"circuit\":\"converter\""), "{out}");
+        assert!(out.contains("\"width\":512"), "{out}");
         assert!(out.contains("\"coverage_percent\":"), "{out}");
         assert!(out.contains("\"silent_faults\":[{\"fault\":\""), "{out}");
+    }
+
+    #[test]
+    fn faults_width_is_reported_and_verdicts_are_width_invariant() {
+        // The JSON row records the requested lane width; the text
+        // report carries no width so the verdicts must come back
+        // byte-identical at 64, 256 and 512 lanes per pass.
+        let json = call(&["faults", "3", "--json", "--width", "256"]).unwrap();
+        assert!(json.starts_with("{\"tool\":\"hwperm\""), "{json}");
+        assert!(json.contains("\"status\":\"ok\",\"exit\":0"), "{json}");
+        assert!(json.contains("\"width\":256"), "{json}");
+        let narrow = call(&["faults", "3", "--family", "all", "--width", "64"]).unwrap();
+        for width in ["256", "512"] {
+            assert_eq!(
+                call(&["faults", "3", "--family", "all", "--width", width]).unwrap(),
+                narrow,
+                "width = {width}"
+            );
+        }
     }
 
     #[test]
@@ -1277,6 +1415,10 @@ mod tests {
         assert!(call(&["faults"]).is_err());
         assert!(call(&["faults", "4", "--family", "nonsense"]).is_err());
         assert!(call(&["faults", "4", "--family"]).is_err());
+        assert!(call(&["faults", "4", "--width"]).is_err());
+        assert!(call(&["faults", "4", "--width", "128"]).is_err());
+        assert!(call(&["faults", "4", "--width", "0"]).is_err());
+        assert!(call(&["faults", "4", "--width", "wide"]).is_err());
     }
 
     #[test]
@@ -1312,7 +1454,44 @@ mod tests {
         assert!(out.contains("\"command\":\"lint\""), "{out}");
         assert!(out.contains("\"circuit\":\"rank\""), "{out}");
         assert!(out.contains("\"n\":4"), "{out}");
+        assert!(out.contains("\"tape\":{\"ops\":"), "{out}");
+        assert!(out.contains("\"fused_away\":"), "{out}");
+        assert!(out.contains("\"op_counts\":{\""), "{out}");
         assert!(out.contains("\"diagnostics\""), "{out}");
+    }
+
+    /// Pulls the integer value of `key` out of a lint JSON row.
+    fn json_usize(out: &str, key: &str) -> usize {
+        let key = format!("\"{key}\":");
+        let at = out.find(&key).unwrap_or_else(|| panic!("{key} in {out}"));
+        out[at + key.len()..]
+            .chars()
+            .take_while(|c| c.is_ascii_digit())
+            .collect::<String>()
+            .parse()
+            .unwrap()
+    }
+
+    #[test]
+    fn lint_tape_stats_show_fusion_savings_on_every_converter_family() {
+        // The acceptance bar: opcode fusion must shorten the tape on
+        // every index-to-codeword converter family, and the stats row
+        // must reconcile (ops + fused_away = unfused_ops).
+        for family in [
+            "converter",
+            "converter-pipelined",
+            "combination",
+            "variation",
+        ] {
+            for n in ["4", "5"] {
+                let out = call(&["lint", family, n, "--json"]).unwrap();
+                let ops = json_usize(&out, "ops");
+                let unfused = json_usize(&out, "unfused_ops");
+                let saved = json_usize(&out, "fused_away");
+                assert_eq!(ops + saved, unfused, "{family} n={n}: {out}");
+                assert!(saved > 0, "{family} n={n}: fusion saved nothing: {out}");
+            }
+        }
     }
 
     #[test]

@@ -12,10 +12,12 @@
 //!
 //! - [`FaultSpec`] — stuck-at-0/1 on any gate output, single-event
 //!   upsets on DFF state, and wired-AND bridges between primary inputs;
-//! - [`FaultySim`] / [`FaultBatchSim`] — scalar and 64-lane overlay
+//! - [`FaultySim`] / [`FaultBatchSim`] — scalar and word-level overlay
 //!   executors over a shared `Arc<SimProgram>`; the batched form runs
-//!   **one fault per lane**, so a campaign retires 64 faults per tape
-//!   walk without ever mutating the tape;
+//!   **one fault per lane** at any `SimWord` width
+//!   ([`OverlaySim::batched`]), so a campaign retires 64 (`u64`), 256
+//!   (`W256`) or 512 (`W512`) faults per tape walk without ever
+//!   mutating the tape;
 //! - [`FaultyShuffleSource`] — the Fig. 3 generator with injected
 //!   faults, for end-to-end graceful-degradation experiments.
 

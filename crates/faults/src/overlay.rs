@@ -14,10 +14,12 @@
 //!   settle.
 //!
 //! The executor is generic over [`SimWord`], with per-lane fault masks:
-//! [`FaultySim`] (scalar, every fault on the one lane) and
-//! [`FaultBatchSim`] (64 lanes, **one fault per lane**) share the same
-//! force/flip/bridge machinery, so a campaign sweeps 64 distinct faults
-//! per tape walk.
+//! [`FaultySim`] (scalar, every fault on the one lane) and the batched
+//! overlays built by [`OverlaySim::batched`] (**one fault per lane**,
+//! [`SimWord::LANES`] lanes — 64 for the [`FaultBatchSim`] alias, 256
+//! or 512 for the wide words) share the same force/flip/bridge
+//! machinery, so a campaign sweeps up to `LANES` distinct faults per
+//! tape walk.
 
 use crate::spec::{resolve, FaultSpec, ResolvedFault};
 use hwperm_logic::{NetId, SimProgram, SimWord};
@@ -135,9 +137,100 @@ fn build<W: SimWord>(
 }
 
 impl<W: SimWord> OverlaySim<W> {
+    /// A batched overlay with fault `k` assigned to lane `k` — the
+    /// width-generic constructor behind [`FaultBatchSim::new`]. Lanes
+    /// beyond `faults.len()` are fault-free (useful as a golden lane).
+    ///
+    /// # Panics
+    /// Panics if `faults.len() > W::LANES` or on malformed specs.
+    pub fn batched(program: Arc<SimProgram>, faults: &[FaultSpec]) -> OverlaySim<W> {
+        assert!(
+            faults.len() <= W::LANES,
+            "{} faults exceed the {}-lane batch width",
+            faults.len(),
+            W::LANES
+        );
+        build(
+            program,
+            faults.iter().enumerate().map(|(k, &f)| (f, W::lane_one(k))),
+        )
+    }
+
     /// The shared tape this overlay executes.
     pub fn program(&self) -> &Arc<SimProgram> {
         &self.program
+    }
+
+    /// Drives every lane of the named input port with the same `value`
+    /// (the campaign pattern: one index across all faults).
+    ///
+    /// # Panics
+    /// Panics if the port does not exist or `value` does not fit it.
+    pub fn set_input_all_lanes_u64(&mut self, name: &str, value: u64) {
+        let program = Arc::clone(&self.program);
+        let slots = program.input_slots(name);
+        assert!(
+            slots.len() >= 64 || value >> slots.len() == 0,
+            "value {value:#x} does not fit input port {name:?} ({} bits)",
+            slots.len()
+        );
+        for (bit, &slot) in slots.iter().enumerate() {
+            self.values[slot as usize] = W::splat((value >> bit) & 1 == 1);
+        }
+    }
+
+    /// Drives the named input port bit-by-bit with prepacked lane
+    /// words, one word per port bit (the `WideExpectation` layout).
+    ///
+    /// # Panics
+    /// Panics if the port does not exist or `words` has the wrong width.
+    pub fn set_input_words(&mut self, name: &str, words: &[W]) {
+        let program = Arc::clone(&self.program);
+        let slots = program.input_slots(name);
+        assert!(
+            words.len() == slots.len(),
+            "{} words do not match input port {name:?} ({} bits)",
+            words.len(),
+            slots.len()
+        );
+        for (&slot, &w) in slots.iter().zip(words) {
+            self.values[slot as usize] = w;
+        }
+    }
+
+    /// Reads the named output port as one lane word per port bit.
+    ///
+    /// # Panics
+    /// Panics if the port does not exist.
+    pub fn read_output_words(&self, name: &str) -> Vec<W> {
+        self.program
+            .output_slots(name)
+            .iter()
+            .map(|&slot| self.values[slot as usize])
+            .collect()
+    }
+
+    /// Extracts one lane of the named output port as a `u64`
+    /// (LSB-first).
+    ///
+    /// # Panics
+    /// Panics if the port does not exist, is wider than 64 bits, or
+    /// `lane >= W::LANES`.
+    pub fn read_output_lane_u64(&self, name: &str, lane: usize) -> u64 {
+        assert!(
+            lane < W::LANES,
+            "lane {lane} out of range for the {}-lane batch",
+            W::LANES
+        );
+        let slots = self.program.output_slots(name);
+        assert!(
+            slots.len() <= 64,
+            "output port {name:?} ({} bits) does not fit a u64",
+            slots.len()
+        );
+        slots.iter().enumerate().fold(0u64, |acc, (bit, &slot)| {
+            acc | ((self.values[slot as usize].lane(lane) as u64) << bit)
+        })
     }
 
     /// Bridge shorts and state-slot forces, applied before the wave.
@@ -241,93 +334,20 @@ impl OverlaySim<bool> {
 }
 
 /// 64-lane fault overlay: lane `k` carries fault `k` alone, so one tape
-/// walk evaluates up to 64 distinct single faults side by side.
+/// walk evaluates up to 64 distinct single faults side by side. The
+/// `u64` instantiation of the width-generic batched overlay — use
+/// `OverlaySim::<W256>::batched` / `OverlaySim::<W512>::batched` for
+/// 256 or 512 faults per walk.
 pub type FaultBatchSim = OverlaySim<u64>;
 
 impl OverlaySim<u64> {
-    /// A batched overlay with fault `k` assigned to lane `k`. Lanes
-    /// beyond `faults.len()` are fault-free (useful as a golden lane).
+    /// A 64-lane batched overlay with fault `k` assigned to lane `k` —
+    /// [`OverlaySim::batched`] at `W = u64`.
     ///
     /// # Panics
     /// Panics if `faults.len() > 64` or on malformed specs.
     pub fn new(program: Arc<SimProgram>, faults: &[FaultSpec]) -> FaultBatchSim {
-        assert!(
-            faults.len() <= 64,
-            "{} faults exceed the 64-lane batch width",
-            faults.len()
-        );
-        build(
-            program,
-            faults.iter().enumerate().map(|(k, &f)| (f, 1u64 << k)),
-        )
-    }
-
-    /// Drives every lane of the named input port with the same `value`
-    /// (the campaign pattern: one index across all faults).
-    ///
-    /// # Panics
-    /// Panics if the port does not exist or `value` does not fit it.
-    pub fn set_input_all_lanes_u64(&mut self, name: &str, value: u64) {
-        let program = Arc::clone(&self.program);
-        let slots = program.input_slots(name);
-        assert!(
-            slots.len() >= 64 || value >> slots.len() == 0,
-            "value {value:#x} does not fit input port {name:?} ({} bits)",
-            slots.len()
-        );
-        for (bit, &slot) in slots.iter().enumerate() {
-            self.values[slot as usize] = u64::splat((value >> bit) & 1 == 1);
-        }
-    }
-
-    /// Drives the named input port bit-by-bit with prepacked lane
-    /// words, one `u64` per port bit (the `BatchedExpectation` layout).
-    ///
-    /// # Panics
-    /// Panics if the port does not exist or `words` has the wrong width.
-    pub fn set_input_words(&mut self, name: &str, words: &[u64]) {
-        let program = Arc::clone(&self.program);
-        let slots = program.input_slots(name);
-        assert!(
-            words.len() == slots.len(),
-            "{} words do not match input port {name:?} ({} bits)",
-            words.len(),
-            slots.len()
-        );
-        for (&slot, &w) in slots.iter().zip(words) {
-            self.values[slot as usize] = w;
-        }
-    }
-
-    /// Reads the named output port as one lane word per port bit.
-    ///
-    /// # Panics
-    /// Panics if the port does not exist.
-    pub fn read_output_words(&self, name: &str) -> Vec<u64> {
-        self.program
-            .output_slots(name)
-            .iter()
-            .map(|&slot| self.values[slot as usize])
-            .collect()
-    }
-
-    /// Extracts one lane of the named output port as a `u64`
-    /// (LSB-first).
-    ///
-    /// # Panics
-    /// Panics if the port does not exist, is wider than 64 bits, or
-    /// `lane >= 64`.
-    pub fn read_output_lane_u64(&self, name: &str, lane: usize) -> u64 {
-        assert!(lane < 64, "lane {lane} out of range for the 64-lane batch");
-        let slots = self.program.output_slots(name);
-        assert!(
-            slots.len() <= 64,
-            "output port {name:?} ({} bits) does not fit a u64",
-            slots.len()
-        );
-        slots.iter().enumerate().fold(0u64, |acc, (bit, &slot)| {
-            acc | (((self.values[slot as usize] >> lane) & 1) << bit)
-        })
+        Self::batched(program, faults)
     }
 }
 
@@ -494,5 +514,60 @@ mod tests {
             })
             .collect();
         let _ = FaultBatchSim::new(program, &faults);
+    }
+
+    #[test]
+    fn wide_batched_lanes_match_scalar_past_lane_64() {
+        use hwperm_logic::W256;
+        // More faults than any u64 batch can hold: the whole stuck-at
+        // universe of an 8-bit adder (2 faults per net), one W256 lane
+        // each, cross-checked against one scalar overlay per fault.
+        let mut b = Builder::new();
+        let x = b.input_bus("x", 8);
+        let y = b.input_bus("y", 8);
+        let (s, c) = b.add(&x, &y);
+        b.output_bus("s", &s);
+        b.output_bus("c", &[c]);
+        let program = SimProgram::compile_shared(b.finish());
+        let nets = program.netlist().len();
+        let faults: Vec<FaultSpec> = (0..nets as u32)
+            .flat_map(|i| {
+                [false, true].map(|value| FaultSpec::StuckAt {
+                    net: NetId::forged(i),
+                    value,
+                })
+            })
+            .collect();
+        assert!(faults.len() > 64, "universe must overflow a u64 batch");
+        let mut batch = OverlaySim::<W256>::batched(Arc::clone(&program), &faults);
+        for (x, y) in [(0u64, 0u64), (137, 66), (255, 255)] {
+            batch.set_input_all_lanes_u64("x", x);
+            batch.set_input_all_lanes_u64("y", y);
+            batch.eval();
+            for (k, fault) in faults.iter().enumerate() {
+                let got =
+                    batch.read_output_lane_u64("s", k) | (batch.read_output_lane_u64("c", k) << 8);
+                let mut scalar = FaultySim::new(Arc::clone(&program), &[*fault]);
+                scalar.set_input_u64("x", x);
+                scalar.set_input_u64("y", y);
+                scalar.eval();
+                let want = scalar.read_output_u64("s") | (scalar.read_output_u64("c") << 8);
+                assert_eq!(got, want, "lane {k} ({fault}), x = {x}, y = {y}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "257 faults exceed the 256-lane batch width")]
+    fn wide_batch_overflow_names_the_wide_width() {
+        use hwperm_logic::W256;
+        let program = adder();
+        let faults: Vec<FaultSpec> = (0..257)
+            .map(|_| FaultSpec::StuckAt {
+                net: NetId::forged(0),
+                value: false,
+            })
+            .collect();
+        let _ = OverlaySim::<W256>::batched(program, &faults);
     }
 }

@@ -1,69 +1,81 @@
-//! 64-lane bit-parallel ("word-level") netlist simulation.
+//! Word-level bit-parallel netlist simulation: 64, 256 or 512 lanes
+//! per pass.
 //!
 //! The scalar [`crate::Simulator`] settles one `bool` per net per input
 //! vector, so an exhaustive differential check pays one full netlist
-//! walk per index. This module packs 64 independent test vectors into a
-//! single `u64` per net — bit lane `l` of every word is one complete
-//! simulation — so the same forward pass evaluates 64 vectors at once.
-//! Gate semantics map directly onto word ops (`Not` → `!`, `And` → `&`,
-//! `Mux` → `(sel & b) | (!sel & a)`), and DFFs latch per-lane: lane `l`
-//! of the register word is the state of lane `l`'s machine, so 64
-//! multi-cycle simulations of the pipelined converter advance in
-//! lockstep under one [`BatchSimulator::step`].
+//! walk per index. This module packs independent test vectors into a
+//! single [`SimWord`] per net — lane `l` of every word is one complete
+//! simulation — so the same forward pass evaluates
+//! [`SimWord::LANES`] vectors at once: 64 for `u64`, 256 for
+//! [`crate::W256`], 512 for [`crate::W512`]. Gate semantics map
+//! directly onto word ops (`Not` → `!`, `And` → `&`, `Mux` →
+//! `(sel & b) | (!sel & a)`), and DFFs latch per-lane: lane `l` of the
+//! register word is the state of lane `l`'s machine, so all multi-cycle
+//! simulations of the pipelined converter advance in lockstep under one
+//! [`BatchSim::step`].
 //!
 //! Since the tape refactor, a forward pass executes the compiled
 //! [`SimProgram`] — the same levelized opcode tape the scalar simulator
-//! runs, instantiated at `u64` instead of `bool` — so batch and scalar
-//! evaluation cannot diverge, and many batch instances (one per worker
-//! thread in `hwperm-verify`'s sharded sweeps) share one compilation
-//! through `Arc<SimProgram>`.
+//! runs, instantiated at the batch word instead of `bool` — so batch
+//! and scalar evaluation cannot diverge, and many batch instances (one
+//! per worker thread in `hwperm-verify`'s sharded sweeps) share one
+//! compilation through `Arc<SimProgram>`.
 //!
-//! The API mirrors the scalar simulator lane-wise:
-//! [`BatchSimulator::set_input_lanes`] / [`BatchSimulator::eval`] /
-//! [`BatchSimulator::step`] / [`BatchSimulator::read_output_lanes`],
-//! plus `u64` fast paths for ports of at most 64 bits, which the
-//! batched exhaustive checks in `hwperm-verify` use to avoid per-index
-//! allocations on the hot path.
+//! [`BatchSimulator`] is the 64-lane `u64` instantiation — the default
+//! throughout the workspace — and [`BatchSim`] is the width-generic
+//! simulator behind it. The API mirrors the scalar simulator lane-wise:
+//! [`BatchSim::set_input_lanes`] / [`BatchSim::eval`] /
+//! [`BatchSim::step`] / [`BatchSim::read_output_lanes`], plus fast
+//! paths for ports of at most 64 bits, which the batched exhaustive
+//! checks in `hwperm-verify` use to avoid per-index allocations on the
+//! hot path.
 
 use crate::netlist::{NetId, Netlist};
-use crate::program::SimProgram;
+use crate::program::{SimProgram, SimWord};
 use crate::sim::assert_input_fits;
 use hwperm_bignum::Ubig;
 use std::sync::Arc;
 
-/// Number of independent simulation lanes per pass: one per bit of the
-/// `u64` word stored for each net.
+/// Number of independent simulation lanes of the default `u64`
+/// [`BatchSimulator`]: one per bit of the word stored for each net.
+/// Width-generic code should use [`SimWord::LANES`] instead.
 pub const LANES: usize = 64;
 
-/// Evaluates a [`Netlist`] on [`LANES`] independent input vectors per
-/// forward pass.
+/// Evaluates a [`Netlist`] on [`SimWord::LANES`] independent input
+/// vectors per forward pass. [`BatchSimulator`] aliases the 64-lane
+/// `u64` instantiation; `BatchSim<W256>` / `BatchSim<W512>` settle 256
+/// / 512 lanes per pass.
 #[derive(Debug, Clone)]
-pub struct BatchSimulator {
+pub struct BatchSim<W: SimWord> {
     program: Arc<SimProgram>,
-    /// Current word of every slot; bit `l` is the slot's value in lane
-    /// `l`.
-    values: Vec<u64>,
+    /// Current word of every slot; lane `l` is the slot's value in
+    /// simulation `l`.
+    values: Vec<W>,
     /// Reusable two-phase latch buffer (one entry per DFF).
-    scratch: Vec<u64>,
+    scratch: Vec<W>,
 }
 
-impl BatchSimulator {
+/// The default 64-lane batch simulator (`BatchSim<u64>`).
+pub type BatchSimulator = BatchSim<u64>;
+
+impl<W: SimWord> BatchSim<W> {
     /// Compiles the netlist and creates a batch simulator with all
     /// inputs at 0 in every lane and DFFs at their reset values
     /// (replicated across lanes). To share one compilation across many
     /// instances (or threads), compile once with
-    /// [`SimProgram::compile_shared`] and use
-    /// [`BatchSimulator::from_program`].
+    /// [`SimProgram::compile_shared`] (or
+    /// [`SimProgram::compile_fused_shared`] for the opcode-fused tape)
+    /// and use [`BatchSim::from_program`].
     pub fn new(netlist: Netlist) -> Self {
         Self::from_program(SimProgram::compile_shared(netlist))
     }
 
     /// A batch simulator over an already-compiled (possibly shared)
-    /// tape. Per-instance cost is one flat `u64` array — this is what
+    /// tape. Per-instance cost is one flat word array — this is what
     /// each worker thread of a sharded exhaustive sweep constructs.
     pub fn from_program(program: Arc<SimProgram>) -> Self {
         let values = program.initial_values();
-        BatchSimulator {
+        BatchSim {
             program,
             values,
             scratch: Vec::new(),
@@ -85,42 +97,43 @@ impl BatchSimulator {
     /// `values.len()` are driven to 0.
     ///
     /// # Panics
-    /// Panics if the port does not exist, more than [`LANES`] values
-    /// are supplied, or any value does not fit the port width. The
-    /// panic messages are identical to the scalar
+    /// Panics if the port does not exist, more than [`SimWord::LANES`]
+    /// values are supplied, or any value does not fit the port width.
+    /// The panic messages are identical to the scalar
     /// [`crate::Simulator::set_input`].
     pub fn set_input_lanes(&mut self, name: &str, values: &[Ubig]) {
         assert!(
-            values.len() <= LANES,
-            "{} lane values exceed the {LANES}-lane batch width",
-            values.len()
+            values.len() <= W::LANES,
+            "{} lane values exceed the {}-lane batch width",
+            values.len(),
+            W::LANES
         );
         let slots = self.program.input_slots(name);
         for value in values {
             assert_input_fits(name, slots.len(), value.bit_len(), || value.to_string());
         }
         for (bit, &slot) in slots.iter().enumerate() {
-            let mut word = 0u64;
+            let mut word = W::zero();
             for (lane, value) in values.iter().enumerate() {
                 if value.bit(bit) {
-                    word |= 1 << lane;
+                    word.set_lane(lane, true);
                 }
             }
             self.values[slot as usize] = word;
         }
     }
 
-    /// `u64` fast path of [`BatchSimulator::set_input_lanes`]: drives
-    /// lane `l` with `values[l]`, avoiding per-lane allocations.
+    /// `u64` fast path of [`BatchSim::set_input_lanes`]: drives lane
+    /// `l` with `values[l]`, avoiding per-lane allocations.
     ///
     /// # Panics
-    /// Same conditions (and messages) as
-    /// [`BatchSimulator::set_input_lanes`].
+    /// Same conditions (and messages) as [`BatchSim::set_input_lanes`].
     pub fn set_input_lanes_u64(&mut self, name: &str, values: &[u64]) {
         assert!(
-            values.len() <= LANES,
-            "{} lane values exceed the {LANES}-lane batch width",
-            values.len()
+            values.len() <= W::LANES,
+            "{} lane values exceed the {}-lane batch width",
+            values.len(),
+            W::LANES
         );
         let slots = self.program.input_slots(name);
         let width = slots.len();
@@ -129,17 +142,19 @@ impl BatchSimulator {
             assert_input_fits(name, width, bits, || value.to_string());
         }
         for (bit, &slot) in slots.iter().enumerate() {
-            let mut word = 0u64;
+            let mut word = W::zero();
             for (lane, &value) in values.iter().enumerate() {
-                word |= ((value >> bit) & 1) << lane;
+                if (value >> bit) & 1 == 1 {
+                    word.set_lane(lane, true);
+                }
             }
             self.values[slot as usize] = word;
         }
     }
 
     /// Drives an input port directly in the word domain: `words[b]` is
-    /// the lane word of port bit `b` (bit `l` of `words[b]` = port bit
-    /// `b` in lane `l`). This is the zero-transposition path for
+    /// the lane word of port bit `b` (lane `l` of `words[b]` = port bit
+    /// `b` in simulation `l`). This is the zero-transposition path for
     /// callers that already hold lane-transposed data — e.g. the
     /// exhaustive sweeps in `hwperm-verify`, whose consecutive-index
     /// batches have precomputable bit patterns.
@@ -147,7 +162,7 @@ impl BatchSimulator {
     /// # Panics
     /// Panics if the port does not exist or `words.len()` differs from
     /// the port width.
-    pub fn set_input_words(&mut self, name: &str, words: &[u64]) {
+    pub fn set_input_words(&mut self, name: &str, words: &[W]) {
         let slots = self.program.input_slots(name);
         assert!(
             words.len() == slots.len(),
@@ -162,11 +177,11 @@ impl BatchSimulator {
 
     /// Reads an output port directly in the word domain: element `b` of
     /// the result is the lane word of port bit `b` — the inverse of
-    /// [`BatchSimulator::set_input_words`].
+    /// [`BatchSim::set_input_words`].
     ///
     /// # Panics
     /// Panics if the port does not exist.
-    pub fn read_output_words(&self, name: &str) -> Vec<u64> {
+    pub fn read_output_words(&self, name: &str) -> Vec<W> {
         self.program
             .output_slots(name)
             .iter()
@@ -178,26 +193,22 @@ impl BatchSimulator {
     /// bits untouched.
     ///
     /// # Panics
-    /// Panics if `lane >= LANES`, the port does not exist, or the value
-    /// does not fit the port width.
+    /// Panics if `lane >= W::LANES`, the port does not exist, or the
+    /// value does not fit the port width.
     pub fn set_input_lane(&mut self, lane: usize, name: &str, value: &Ubig) {
         assert!(
-            lane < LANES,
-            "lane {lane} out of range (batch has {LANES} lanes)"
+            lane < W::LANES,
+            "lane {lane} out of range (batch has {} lanes)",
+            W::LANES
         );
         let slots = self.program.input_slots(name);
         assert_input_fits(name, slots.len(), value.bit_len(), || value.to_string());
         for (bit, &slot) in slots.iter().enumerate() {
-            let mask = 1u64 << lane;
-            if value.bit(bit) {
-                self.values[slot as usize] |= mask;
-            } else {
-                self.values[slot as usize] &= !mask;
-            }
+            self.values[slot as usize].set_lane(lane, value.bit(bit));
         }
     }
 
-    /// Combinational settle: one pass over the compiled tape, all 64
+    /// Combinational settle: one pass over the compiled tape, all
     /// lanes at once. Input slots keep whatever was last driven; DFF
     /// slots present their registered state.
     pub fn eval(&mut self) {
@@ -213,25 +224,26 @@ impl BatchSimulator {
     }
 
     /// Resets all DFFs to their `init` values in every lane (values
-    /// stay stale until the next [`BatchSimulator::eval`]).
+    /// stay stale until the next [`BatchSim::eval`]).
     pub fn reset(&mut self) {
         self.program.reset(&mut self.values);
     }
 
     /// Reads an output port in one lane (LSB-first). Call after
-    /// [`BatchSimulator::eval`] or [`BatchSimulator::step`].
+    /// [`BatchSim::eval`] or [`BatchSim::step`].
     ///
     /// # Panics
-    /// Panics if the port does not exist or `lane >= LANES`.
+    /// Panics if the port does not exist or `lane >= W::LANES`.
     pub fn read_output_lane(&self, name: &str, lane: usize) -> Ubig {
         assert!(
-            lane < LANES,
-            "lane {lane} out of range (batch has {LANES} lanes)"
+            lane < W::LANES,
+            "lane {lane} out of range (batch has {} lanes)",
+            W::LANES
         );
         let slots = self.program.output_slots(name);
         let mut out = Ubig::zero();
         for (i, &slot) in slots.iter().enumerate() {
-            if self.values[slot as usize] >> lane & 1 == 1 {
+            if self.values[slot as usize].lane(lane) {
                 out.set_bit(i, true);
             }
         }
@@ -241,13 +253,26 @@ impl BatchSimulator {
     /// Reads an output port in every lane: element `l` of the result is
     /// lane `l`'s value.
     pub fn read_output_lanes(&self, name: &str) -> Vec<Ubig> {
-        (0..LANES)
+        (0..W::LANES)
             .map(|lane| self.read_output_lane(name, lane))
             .collect()
     }
 
-    /// `u64` fast path of [`BatchSimulator::read_output_lanes`] for
-    /// ports of at most 64 bits: element `l` is lane `l`'s value.
+    /// Reads a single net's current word (lane `l` = simulation `l`),
+    /// for structural probing — e.g. word-parallel exactly-one checks
+    /// over recorded one-hot select banks.
+    ///
+    /// # Panics
+    /// Panics if the tape was compiled with opcode fusion and the net
+    /// was elided (see [`SimProgram::compile_fused`]).
+    pub fn probe(&self, net: NetId) -> W {
+        self.values[self.program.slot(net)]
+    }
+}
+
+impl BatchSimulator {
+    /// `u64` fast path of [`BatchSim::read_output_lanes`] for ports of
+    /// at most 64 bits: element `l` is lane `l`'s value.
     ///
     /// # Panics
     /// Panics if the port does not exist or is wider than 64 bits.
@@ -267,19 +292,12 @@ impl BatchSimulator {
         }
         out
     }
-
-    /// Reads a single net's current word (bit `l` = lane `l`), for
-    /// structural probing — e.g. word-parallel exactly-one checks over
-    /// recorded one-hot select banks.
-    pub fn probe(&self, net: NetId) -> u64 {
-        self.values[self.program.slot(net)]
-    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{Builder, Simulator};
+    use crate::{Builder, Simulator, W256, W512};
 
     #[test]
     fn lanes_are_independent_passthrough() {
@@ -501,6 +519,61 @@ mod tests {
     }
 
     #[test]
+    fn wide_batches_match_u64_lanes_past_lane_64() {
+        // A W256 batch drives 200 distinct adder vectors; every lane
+        // must agree with the scalar simulator, including lanes the
+        // u64 path cannot reach.
+        let mut b = Builder::new();
+        let x = b.input_bus("x", 6);
+        let y = b.input_bus("y", 6);
+        let (s, c) = b.add(&x, &y);
+        b.output_bus("s", &s);
+        b.output_bus("c", &[c]);
+        let nl = b.finish();
+        let xs: Vec<u64> = (0..200).map(|l| (l * 5 + 2) & 0x3F).collect();
+        let ys: Vec<u64> = (0..200).map(|l| (l * 11 + 7) & 0x3F).collect();
+        let mut wide: BatchSim<W256> = BatchSim::new(nl.clone());
+        wide.set_input_lanes_u64("x", &xs);
+        wide.set_input_lanes_u64("y", &ys);
+        wide.eval();
+        let mut scalar = Simulator::new(nl);
+        for lane in 0..200 {
+            scalar.set_input_u64("x", xs[lane]);
+            scalar.set_input_u64("y", ys[lane]);
+            scalar.eval();
+            assert_eq!(
+                wide.read_output_lane("s", lane),
+                scalar.read_output("s"),
+                "lane {lane}"
+            );
+            assert_eq!(wide.read_output_lane("c", lane), scalar.read_output("c"));
+        }
+    }
+
+    #[test]
+    fn wide_dffs_latch_per_lane_past_lane_64() {
+        // 512-lane two-stage pipeline: values injected in lanes 0, 77
+        // and 500 arrive after exactly two steps, independently.
+        let mut b = Builder::new();
+        let x = b.input_bus("x", 6);
+        let r1 = b.register_bus(&x, false);
+        let r2 = b.register_bus(&r1, false);
+        b.output_bus("y", &r2);
+        let mut sim: BatchSim<W512> = BatchSim::new(b.finish());
+        for (lane, v) in [(0usize, 13u64), (77, 42), (500, 63)] {
+            sim.set_input_lane(lane, "x", &Ubig::from(v));
+        }
+        sim.step();
+        sim.set_input_lanes_u64("x", &[0]);
+        sim.step();
+        sim.eval();
+        for (lane, v) in [(0usize, 13u64), (77, 42), (500, 63)] {
+            assert_eq!(sim.read_output_lane("y", lane).to_u64(), Some(v));
+        }
+        assert_eq!(sim.read_output_lane("y", 1).to_u64(), Some(0));
+    }
+
+    #[test]
     #[should_panic(expected = "words do not match input port")]
     fn word_count_must_match_port_width() {
         let mut b = Builder::new();
@@ -534,5 +607,14 @@ mod tests {
         b.input_bus("x", 2);
         let mut sim = BatchSimulator::new(b.finish());
         sim.set_input_lanes_u64("x", &[0u64; 65]);
+    }
+
+    #[test]
+    #[should_panic(expected = "257 lane values exceed the 256-lane batch width")]
+    fn wide_lane_overflow_names_the_wide_width() {
+        let mut b = Builder::new();
+        b.input_bus("x", 2);
+        let mut sim: BatchSim<W256> = BatchSim::new(b.finish());
+        sim.set_input_lanes_u64("x", &[0u64; 257]);
     }
 }

@@ -65,11 +65,11 @@ pub mod tech;
 pub mod vcd;
 pub mod verilog;
 
-pub use batch::{BatchSimulator, LANES};
+pub use batch::{BatchSim, BatchSimulator, LANES};
 pub use blif::to_blif;
 pub use builder::{Builder, Bus};
 pub use netlist::{Gate, NetId, Netlist, Port, StructuralIssue};
-pub use program::{DffSlotPair, SimProgram, SimWord, TapeOp};
+pub use program::{DffSlotPair, SimProgram, SimWord, TapeOp, TapeStats, Wide, W256, W512};
 pub use sim::Simulator;
 pub use tech::{ResourceReport, TimingModel};
 pub use vcd::Tracer;

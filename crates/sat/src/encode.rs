@@ -78,6 +78,23 @@ fn encode_wave(program: &SimProgram, cnf: &mut Cnf, state: Vec<Option<Lit>>) -> 
             TapeOp::Mux { sel, a, b } => {
                 cnf.mux(slots[sel as usize], slots[a as usize], slots[b as usize])
             }
+            // Fused opcodes (tapes from `SimProgram::compile_fused`)
+            // re-expand through the memoized helpers: negations are
+            // free literal flips in CNF, so a fused tape encodes to
+            // the same clause set as its canonical twin.
+            TapeOp::AndNot { a, b } => cnf.and(slots[a as usize], !slots[b as usize]),
+            TapeOp::OrNot { a, b } => cnf.or(slots[a as usize], !slots[b as usize]),
+            TapeOp::Nand { a, b } => !cnf.and(slots[a as usize], slots[b as usize]),
+            TapeOp::Nor { a, b } => !cnf.or(slots[a as usize], slots[b as usize]),
+            TapeOp::Xnor { a, b } => !cnf.xor(slots[a as usize], slots[b as usize]),
+            TapeOp::And3 { a, b, c } => {
+                let ab = cnf.and(slots[a as usize], slots[b as usize]);
+                cnf.and(ab, slots[c as usize])
+            }
+            TapeOp::Or3 { a, b, c } => {
+                let ab = cnf.or(slots[a as usize], slots[b as usize]);
+                cnf.or(ab, slots[c as usize])
+            }
         };
         debug_assert_eq!(slots.len(), comb_base + j);
         slots.push(lit);

@@ -46,10 +46,10 @@ use crate::protocol::{
 use hwperm_circuits::{converter_netlist, ConverterOptions};
 use hwperm_core::{FaultPolicy, GuardedPermSource, RandomPermSource, SoftwareRandomSource};
 use hwperm_factoradic::{rank_u64, BlockDecoder, Unranker};
-use hwperm_logic::SimProgram;
+use hwperm_logic::{SimProgram, W512};
 use hwperm_perm::Permutation;
 use hwperm_verify::{
-    exhaustive_check_parallel_with, expected_permutation_words, shard_ranges, BatchedExpectation,
+    exhaustive_check_parallel_with, expected_permutation_words, shard_ranges, WideExpectation,
 };
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
@@ -370,10 +370,13 @@ fn pool_join(pool: &Arc<PoolShared>, workers: Vec<JoinHandle<()>>) {
 /// Everything the `verify` handler needs for one `n`, built once and
 /// cached: the compiled simulation tape (shared across worker threads
 /// by `Arc`, exactly like the CLI's sharded sweep) and the
-/// pre-transposed expectation table.
+/// pre-transposed expectation table. The cache runs the fastest
+/// configuration — the opcode-fused tape at 512 lanes per pass — which
+/// is wire-transparent: verdicts and witnesses are byte-identical to
+/// the canonical 64-lane sweep at every width.
 struct VerifyEntry {
     program: Arc<SimProgram>,
-    table: BatchedExpectation,
+    table: WideExpectation<W512>,
     total: u64,
 }
 
@@ -398,9 +401,9 @@ impl Shared {
             let out_bits = netlist.output_port("perm").expect("perm port").nets.len();
             let expected = expected_permutation_words(n);
             Arc::new(VerifyEntry {
-                table: BatchedExpectation::new(in_bits, out_bits, &expected),
+                table: WideExpectation::<W512>::new(in_bits, out_bits, &expected),
                 total: expected.len() as u64,
-                program: SimProgram::compile_shared(netlist),
+                program: SimProgram::compile_fused_shared(netlist),
             })
         }))
     }

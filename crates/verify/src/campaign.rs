@@ -3,9 +3,11 @@
 //! A campaign answers the robustness question the exhaustive sweeps
 //! cannot: *if a gate breaks, does the output betray it?* For every
 //! fault in the single-stuck-at universe (each net stuck at 0 and at
-//! 1), the campaign sweeps the whole index space through a
-//! [`FaultBatchSim`] overlay — **64 faults per tape walk**, one per
-//! lane — and classifies the fault against the golden expectation:
+//! 1), the campaign sweeps the whole index space through a batched
+//! fault overlay — **one fault per lane**, so one tape walk retires 64
+//! faults through the [`FaultBatchSim`] alias and 256/512 through the
+//! wide words ([`stuck_at_campaign_wide`]) — and classifies the fault
+//! against the golden expectation:
 //!
 //! - **detected** — the output diverges somewhere, and every divergence
 //!   fails the cheap validity predicate (a runtime guard would always
@@ -24,14 +26,22 @@
 //! index (and, for silent faults, the lowest *validly* diverging
 //! index). Sharding follows the same contiguous ascending
 //! `shard_ranges` split as the exhaustive sweeps; verdicts are
-//! per-fault and independent of batch companions, so the report is
-//! byte-identical for every worker count.
+//! per-fault and independent of batch companions — and independent of
+//! lane *width* — so the report is byte-identical for every worker
+//! count and every `SimWord` width.
+//!
+//! Campaigns always run the canonical (unfused) tape: faults target
+//! arbitrary nets, and opcode fusion elides nets, which would make the
+//! fault universe unresolvable.
 
 use crate::exhaustive::port_width_checked;
 use crate::parallel::shard_ranges;
-use hwperm_faults::{FaultBatchSim, FaultSpec, FaultySim};
-use hwperm_logic::{BatchSimulator, NetId, Netlist, SimProgram, LANES};
+use hwperm_faults::{FaultSpec, FaultySim, OverlaySim};
+use hwperm_logic::{BatchSimulator, NetId, Netlist, SimProgram, SimWord, LANES};
 use std::sync::Arc;
+
+#[cfg(doc)]
+use hwperm_faults::FaultBatchSim;
 
 /// How one fault manifested over the exhaustive index sweep.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -141,18 +151,12 @@ pub fn single_stuck_at_universe(netlist: &Netlist) -> Vec<FaultSpec> {
         .collect()
 }
 
-/// Lane mask covering the first `len` lanes.
-fn lane_mask(len: usize) -> u64 {
-    if len >= 64 {
-        u64::MAX
-    } else {
-        (1u64 << len) - 1
-    }
-}
-
-/// Sweeps one contiguous slice of the fault universe, 64 faults per
-/// chunk, and returns its verdicts in slice order.
-fn campaign_range(
+/// Sweeps one contiguous slice of the fault universe,
+/// [`SimWord::LANES`] faults per chunk, and returns its verdicts in
+/// slice order. Verdicts and witnesses depend only on the per-fault
+/// lane, never on batch companions, so every width produces the same
+/// output.
+fn campaign_range<W: SimWord>(
     program: &Arc<SimProgram>,
     faults: &[FaultSpec],
     input: &str,
@@ -161,47 +165,44 @@ fn campaign_range(
     valid: Option<&(dyn Fn(u64) -> bool + Sync)>,
 ) -> Vec<FaultVerdict> {
     let mut out = Vec::with_capacity(faults.len());
-    for chunk in faults.chunks(LANES) {
-        let mut sim = FaultBatchSim::new(Arc::clone(program), chunk);
-        let mask = lane_mask(chunk.len());
+    for chunk in faults.chunks(W::LANES) {
+        let mut sim = OverlaySim::<W>::batched(Arc::clone(program), chunk);
         let mut first_diverge: Vec<Option<u64>> = vec![None; chunk.len()];
         let mut first_silent: Vec<Option<u64>> = vec![None; chunk.len()];
         // Lanes that might still change their verdict: all of them at
         // first; a lane retires once its strongest classification is
         // settled (divergence seen, and — when a validity predicate is
         // in play — a valid divergence seen).
-        let mut unresolved = mask;
+        let mut unresolved = W::mask_lanes(chunk.len());
         for (index, &want) in expected.iter().enumerate() {
             sim.set_input_all_lanes_u64(input, index as u64);
             sim.eval();
             let got_words = sim.read_output_words(output);
-            let mut diff = 0u64;
+            let mut diff = W::zero();
             for (bit, &got) in got_words.iter().enumerate() {
-                let want_word = if (want >> bit) & 1 == 1 { u64::MAX } else { 0 };
-                diff |= got ^ want_word;
+                diff = diff | (got ^ W::splat((want >> bit) & 1 == 1));
             }
             let mut pending = diff & unresolved;
-            while pending != 0 {
-                let lane = pending.trailing_zeros() as usize;
-                pending &= pending - 1;
+            while let Some(lane) = pending.first_lane() {
+                pending.set_lane(lane, false);
                 if first_diverge[lane].is_none() {
                     first_diverge[lane] = Some(index as u64);
                 }
                 match valid {
-                    None => unresolved &= !(1u64 << lane),
+                    None => unresolved.set_lane(lane, false),
                     Some(valid) => {
                         let got = got_words
                             .iter()
                             .enumerate()
-                            .fold(0u64, |acc, (bit, &w)| acc | (((w >> lane) & 1) << bit));
+                            .fold(0u64, |acc, (bit, &w)| acc | ((w.lane(lane) as u64) << bit));
                         if valid(got) {
                             first_silent[lane] = Some(index as u64);
-                            unresolved &= !(1u64 << lane);
+                            unresolved.set_lane(lane, false);
                         }
                     }
                 }
             }
-            if unresolved == 0 {
+            if !unresolved.any() {
                 break;
             }
         }
@@ -254,6 +255,26 @@ pub fn stuck_at_campaign(
     valid: Option<&(dyn Fn(u64) -> bool + Sync)>,
     workers: usize,
 ) -> CampaignReport {
+    stuck_at_campaign_wide::<u64>(netlist, input, output, expected, valid, workers)
+}
+
+/// Width-generic [`stuck_at_campaign`]: each worker retires
+/// [`SimWord::LANES`] faults per tape walk — 64 at `u64`, 256 at
+/// [`W256`](hwperm_logic::W256), 512 at [`W512`](hwperm_logic::W512).
+/// The report is byte-identical across widths (verdicts and witnesses
+/// are per-lane, never influenced by batch companions) as well as
+/// across worker counts.
+///
+/// # Panics
+/// Same conditions as [`stuck_at_campaign`].
+pub fn stuck_at_campaign_wide<W: SimWord + Send + Sync>(
+    netlist: &Netlist,
+    input: &str,
+    output: &str,
+    expected: &[u64],
+    valid: Option<&(dyn Fn(u64) -> bool + Sync)>,
+    workers: usize,
+) -> CampaignReport {
     let program = campaign_program(netlist, input, output, expected);
     let universe = single_stuck_at_universe(netlist);
     let shards = shard_ranges(universe.len(), workers);
@@ -263,8 +284,9 @@ pub fn stuck_at_campaign(
             .map(|shard| {
                 let program = Arc::clone(&program);
                 let faults = &universe[shard];
-                scope
-                    .spawn(move || campaign_range(&program, faults, input, output, expected, valid))
+                scope.spawn(move || {
+                    campaign_range::<W>(&program, faults, input, output, expected, valid)
+                })
             })
             .collect();
         handles
@@ -466,6 +488,28 @@ mod tests {
         let batched = stuck_at_campaign(&nl, "index", "perm", &expected, Some(&valid), 3);
         let scalar = stuck_at_campaign_scalar(&nl, "index", "perm", &expected, Some(&valid));
         assert_eq!(batched, scalar);
+    }
+
+    #[test]
+    fn campaign_verdicts_byte_identical_across_widths() {
+        use hwperm_logic::{W256, W512};
+        // Satellite regression: the report — every verdict, every
+        // witness, in universe order — must not depend on the lane
+        // width the campaign happened to run at.
+        let n = 4;
+        let nl = converter_netlist(n, ConverterOptions::default());
+        let expected = expected_permutation_words(n);
+        let valid = move |word: u64| packed_is_permutation_u64(n, word);
+        let narrow = stuck_at_campaign(&nl, "index", "perm", &expected, Some(&valid), 2);
+        let w256 = stuck_at_campaign_wide::<W256>(&nl, "index", "perm", &expected, Some(&valid), 2);
+        let w512 = stuck_at_campaign_wide::<W512>(&nl, "index", "perm", &expected, Some(&valid), 2);
+        assert_eq!(narrow, w256);
+        assert_eq!(narrow, w512);
+        // And without a validity predicate, where the retirement logic
+        // takes the other branch.
+        let narrow = stuck_at_campaign(&nl, "index", "perm", &expected, None, 3);
+        let w256 = stuck_at_campaign_wide::<W256>(&nl, "index", "perm", &expected, None, 3);
+        assert_eq!(narrow, w256);
     }
 
     #[test]

@@ -4,15 +4,21 @@
 //! symbolically; this module is the *simulation* side of the house:
 //! sweep every index through the gate-level netlist and compare against
 //! a precomputed expectation table. The scalar sweep pays one full
-//! netlist walk per index; the batched sweep drives the 64-lane
-//! [`BatchSimulator`] with 64 consecutive indices per pass, so the same
-//! walk settles 64 simulations — the lever that keeps exhaustive
-//! converter checks affordable past n = 4 (n = 6 is 720 indices, n = 7
-//! is 5040).
+//! netlist walk per index; the batched sweep drives a word-level
+//! [`BatchSim`] with [`SimWord::LANES`] consecutive indices per pass,
+//! so the same walk settles 64 (`u64`), 256 ([`W256`]) or 512
+//! ([`W512`]) simulations — the lever that keeps exhaustive converter
+//! checks affordable past n = 4 (n = 6 is 720 indices, n = 7 is 5040).
+//! The width-generic entry points ([`exhaustive_check_batched_wide`])
+//! additionally run the opcode-fused tape
+//! ([`SimProgram::compile_fused`]), which shrinks the op stream the
+//! sweep walks; fusion preserves every output port, so verdicts and
+//! witnesses are unchanged.
 //!
-//! Both sweeps report the *first* mismatching index (batched: lowest
+//! All sweeps report the *first* mismatching index (batched: lowest
 //! base, then lowest lane — i.e. the same index order as the scalar
-//! sweep), so a fault has one canonical witness regardless of path.
+//! sweep, at every lane width), so a fault has one canonical witness
+//! regardless of path.
 //!
 //! The expectation table is data, not a closure, so the timed region of
 //! a scalar-vs-batched benchmark measures simulation throughput alone —
@@ -22,8 +28,11 @@
 //! thread-sharded variant).
 
 use hwperm_bignum::Ubig;
-use hwperm_logic::{BatchSimulator, Netlist, Simulator, LANES};
+use hwperm_logic::{BatchSim, BatchSimulator, Netlist, SimProgram, SimWord, Simulator, LANES};
 use std::fmt;
+
+#[cfg(doc)]
+use hwperm_logic::{W256, W512};
 
 /// First divergence found by an exhaustive differential sweep.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -78,30 +87,40 @@ pub(crate) fn port_width_checked(
 }
 
 /// An expectation table pre-transposed into the word domain: per batch
-/// of 64 consecutive indices, the lane words of every input bit (the
-/// indices themselves) and every expected output bit.
+/// of [`SimWord::LANES`] consecutive indices, the lane words of every
+/// input bit (the indices themselves) and every expected output bit.
 ///
 /// Transposing is pure data preparation — it depends only on the table,
 /// not the netlist — so hoisting it out of the sweep leaves
 /// [`exhaustive_check_batched_with`]'s steady state at one word-level
-/// netlist walk plus `out_bits` XOR/AND ops per 64 indices. Prepare
-/// once, sweep many netlists (the mutation suites) or many repetitions
-/// (the throughput benchmark) against it.
+/// netlist walk plus `out_bits` XOR/AND ops per `LANES` indices.
+/// Prepare once, sweep many netlists (the mutation suites) or many
+/// repetitions (the throughput benchmark) against it.
+///
+/// The word type is the lane width: `WideExpectation<u64>` (the
+/// [`BatchedExpectation`] alias) packs 64 indices per batch,
+/// `WideExpectation<W256>` 256, `WideExpectation<W512>` 512. Index
+/// values themselves stay `u64` at every width — the lane count and the
+/// value domain are independent axes.
 #[derive(Debug, Clone)]
-pub struct BatchedExpectation {
+pub struct WideExpectation<W: SimWord> {
     /// The original per-index table (witness extraction on mismatch).
     per_index: Vec<u64>,
     in_bits: usize,
     out_bits: usize,
     /// Batch-major `[batch][in_bit]` lane words of the index values.
-    in_words: Vec<u64>,
+    in_words: Vec<W>,
     /// Batch-major `[batch][out_bit]` lane words of the expected outputs.
-    want_words: Vec<u64>,
+    want_words: Vec<W>,
     /// Per-batch mask of lanes that carry a real index.
-    live: Vec<u64>,
+    live: Vec<W>,
 }
 
-impl BatchedExpectation {
+/// The 64-lane expectation table — the original name, kept as the
+/// `u64` instantiation of [`WideExpectation`].
+pub type BatchedExpectation = WideExpectation<u64>;
+
+impl<W: SimWord> WideExpectation<W> {
     /// Transposes `expected` (element `i` = expected output word at
     /// input index `i`) for ports of `in_bits` input and `out_bits`
     /// output bits.
@@ -119,21 +138,27 @@ impl BatchedExpectation {
             "{} indices do not fit a {in_bits}-bit input port",
             expected.len()
         );
-        let batches = expected.len().div_ceil(LANES);
-        let mut in_words = vec![0u64; batches * in_bits];
-        let mut want_words = vec![0u64; batches * out_bits];
-        let mut live = vec![0u64; batches];
+        let batches = expected.len().div_ceil(W::LANES);
+        let mut in_words = vec![W::zero(); batches * in_bits];
+        let mut want_words = vec![W::zero(); batches * out_bits];
+        let mut live = vec![W::zero(); batches];
         for (index, &want) in expected.iter().enumerate() {
-            let (batch, lane) = (index / LANES, index % LANES);
-            live[batch] |= 1 << lane;
-            for b in 0..in_bits {
-                in_words[batch * in_bits + b] |= ((index as u64 >> b) & 1) << lane;
+            let (batch, lane) = (index / W::LANES, index % W::LANES);
+            live[batch].set_lane(lane, true);
+            for (b, word) in in_words[batch * in_bits..][..in_bits]
+                .iter_mut()
+                .enumerate()
+            {
+                word.set_lane(lane, (index >> b) & 1 == 1);
             }
-            for b in 0..out_bits {
-                want_words[batch * out_bits + b] |= ((want >> b) & 1) << lane;
+            for (b, word) in want_words[batch * out_bits..][..out_bits]
+                .iter_mut()
+                .enumerate()
+            {
+                word.set_lane(lane, (want >> b) & 1 == 1);
             }
         }
-        BatchedExpectation {
+        WideExpectation {
             per_index: expected.to_vec(),
             in_bits,
             out_bits,
@@ -153,8 +178,14 @@ impl BatchedExpectation {
         self.per_index.is_empty()
     }
 
-    /// Number of 64-lane batches covering the table (the granularity at
-    /// which the sharded parallel sweep splits work).
+    /// Number of lanes per batch — [`SimWord::LANES`] of the word type.
+    pub fn lanes(&self) -> usize {
+        W::LANES
+    }
+
+    /// Number of [`SimWord::LANES`]-lane batches covering the table
+    /// (the granularity at which the sharded parallel sweep splits
+    /// work).
     pub fn batches(&self) -> usize {
         self.live.len()
     }
@@ -172,15 +203,34 @@ impl BatchedExpectation {
 
 /// Exhaustive differential sweep, 64 indices per pass: drives `input`
 /// with `0, 1, …, expected.len() - 1` through a [`BatchSimulator`] and
-/// compares `output` lane-wise against `expected`.
+/// compares `output` lane-wise against `expected`. The `u64`
+/// instantiation of [`exhaustive_check_batched_wide`].
 ///
 /// Returns the first mismatch in index order, if any. A trailing
 /// partial batch leaves its unused lanes at zero and never reads them.
 ///
 /// # Panics
 /// Panics if either port is missing, the input port cannot represent
-/// every index, or either port exceeds the 64-bit `u64` fast path.
+/// every index, or either port exceeds the 64-bit `u64` value domain.
 pub fn exhaustive_check_batched(
+    netlist: &Netlist,
+    input: &str,
+    output: &str,
+    expected: &[u64],
+) -> Result<(), ExhaustiveMismatch> {
+    exhaustive_check_batched_wide::<u64>(netlist, input, output, expected)
+}
+
+/// Width-generic exhaustive differential sweep: [`SimWord::LANES`]
+/// indices settle per tape pass (`u64` = 64, [`W256`] = 256, [`W512`] =
+/// 512), executed on the opcode-fused tape
+/// ([`SimProgram::compile_fused`]). Fusion never elides output ports,
+/// so the verdict and the first-mismatch witness are byte-identical to
+/// the canonical 64-lane sweep at every width.
+///
+/// # Panics
+/// Same conditions as [`exhaustive_check_batched`].
+pub fn exhaustive_check_batched_wide<W: SimWord>(
     netlist: &Netlist,
     input: &str,
     output: &str,
@@ -188,43 +238,44 @@ pub fn exhaustive_check_batched(
 ) -> Result<(), ExhaustiveMismatch> {
     let in_w = port_width_checked(netlist, input, output, expected.len());
     let out_w = netlist.output_port(output).unwrap().nets.len();
-    let table = BatchedExpectation::new(in_w, out_w, expected);
-    let mut sim = BatchSimulator::new(netlist.clone());
+    let table = WideExpectation::<W>::new(in_w, out_w, expected);
+    let mut sim = BatchSim::from_program(SimProgram::compile_fused_shared(netlist.clone()));
     exhaustive_check_batched_with(&mut sim, input, output, &table)
 }
 
-/// Steady-state core of [`exhaustive_check_batched`]: sweeps a
-/// pre-transposed [`BatchedExpectation`] through an existing simulator.
-/// Per batch this is one `set_input_words`, one word-level `eval`, and
-/// `out_bits` XOR/AND comparisons — no per-lane work until a mismatch
-/// needs its witness extracted.
+/// Steady-state core of [`exhaustive_check_batched`] and its wide
+/// variants: sweeps a pre-transposed [`WideExpectation`] through an
+/// existing simulator of the same word type. Per batch this is one
+/// `set_input_words`, one word-level `eval`, and `out_bits` XOR/AND
+/// comparisons — no per-lane work until a mismatch needs its witness
+/// extracted.
 ///
 /// # Panics
 /// Panics if the simulator's port widths disagree with the table.
-pub fn exhaustive_check_batched_with(
-    sim: &mut BatchSimulator,
+pub fn exhaustive_check_batched_with<W: SimWord>(
+    sim: &mut BatchSim<W>,
     input: &str,
     output: &str,
-    table: &BatchedExpectation,
+    table: &WideExpectation<W>,
 ) -> Result<(), ExhaustiveMismatch> {
     check_batch_range(sim, input, output, table, 0..table.batches())
 }
 
 /// Range core shared by the sequential and sharded sweeps: checks the
-/// batches in `range` (each covering [`LANES`] consecutive indices) and
-/// reports the first mismatch *within that range* in index order. The
-/// sequential sweep passes the full range; the parallel sweep hands
-/// each worker a contiguous sub-range, so the per-worker result is the
-/// worker's lowest mismatch and the earliest-shard reduction is the
-/// global one.
+/// batches in `range` (each covering [`SimWord::LANES`] consecutive
+/// indices) and reports the first mismatch *within that range* in index
+/// order. The sequential sweep passes the full range; the parallel
+/// sweep hands each worker a contiguous sub-range, so the per-worker
+/// result is the worker's lowest mismatch and the earliest-shard
+/// reduction is the global one.
 ///
 /// # Panics
 /// Panics if the simulator's port widths disagree with the table.
-pub(crate) fn check_batch_range(
-    sim: &mut BatchSimulator,
+pub(crate) fn check_batch_range<W: SimWord>(
+    sim: &mut BatchSim<W>,
     input: &str,
     output: &str,
-    table: &BatchedExpectation,
+    table: &WideExpectation<W>,
     range: std::ops::Range<usize>,
 ) -> Result<(), ExhaustiveMismatch> {
     let out_nets = sim
@@ -247,17 +298,16 @@ pub(crate) fn check_batch_range(
         );
         sim.eval();
         let want = &table.want_words[batch * table.out_bits..][..table.out_bits];
-        let mut diff = 0u64;
+        let mut diff = W::zero();
         for (net, &want_word) in out_nets.iter().zip(want) {
-            diff |= (sim.probe(*net) ^ want_word) & live;
+            diff = diff | ((sim.probe(*net) ^ want_word) & live);
         }
-        if diff != 0 {
+        if let Some(lane) = diff.first_lane() {
             // Cold path: pinpoint the lowest mismatching lane and
             // re-extract its output word bit by bit.
-            let lane = diff.trailing_zeros() as usize;
-            let index = batch * LANES + lane;
+            let index = batch * W::LANES + lane;
             let got = out_nets.iter().enumerate().fold(0u64, |acc, (b, net)| {
-                acc | (((sim.probe(*net) >> lane) & 1) << b)
+                acc | ((sim.probe(*net).lane(lane) as u64) << b)
             });
             return Err(ExhaustiveMismatch {
                 index: index as u64,
@@ -469,6 +519,52 @@ mod tests {
             m.to_string(),
             "index 7: output \"perm\" = 0x1b, expected 0x1e"
         );
+    }
+
+    #[test]
+    fn wide_sweeps_agree_with_the_u64_sweep() {
+        use hwperm_logic::{W256, W512};
+        // 100 indices: a partial W256 batch and a partial W512 batch.
+        let mut b = Builder::new();
+        let x = b.input_bus("x", 7);
+        b.output_bus("y", &x);
+        let nl = b.finish();
+        let clean: Vec<u64> = (0..100).collect();
+        assert_eq!(
+            exhaustive_check_batched_wide::<W256>(&nl, "x", "y", &clean),
+            Ok(())
+        );
+        assert_eq!(
+            exhaustive_check_batched_wide::<W512>(&nl, "x", "y", &clean),
+            Ok(())
+        );
+        // Corrupt two indices: every width must report the same (lower)
+        // witness as the canonical 64-lane sweep — index, port, got,
+        // want all byte-identical.
+        let mut bad = clean;
+        bad[67] = 3; // past lane 64: a W256/W512 lane no u64 batch holds
+        bad[99] = 1;
+        let canonical = exhaustive_check_batched(&nl, "x", "y", &bad).unwrap_err();
+        assert_eq!(canonical.index, 67);
+        let w256 = exhaustive_check_batched_wide::<W256>(&nl, "x", "y", &bad).unwrap_err();
+        let w512 = exhaustive_check_batched_wide::<W512>(&nl, "x", "y", &bad).unwrap_err();
+        assert_eq!(w256, canonical);
+        assert_eq!(w512, canonical);
+    }
+
+    #[test]
+    fn wide_tables_transpose_like_the_u64_table() {
+        use hwperm_logic::W256;
+        let expected: Vec<u64> = (0..100).map(|i| i * 3 % 128).collect();
+        let narrow = BatchedExpectation::new(7, 7, &expected);
+        let wide = WideExpectation::<W256>::new(7, 7, &expected);
+        assert_eq!(narrow.len(), wide.len());
+        assert_eq!(narrow.batches(), 2);
+        assert_eq!(wide.batches(), 1);
+        assert_eq!(narrow.lanes(), 64);
+        assert_eq!(wide.lanes(), 256);
+        assert_eq!(narrow.in_bits(), wide.in_bits());
+        assert_eq!(narrow.out_bits(), wide.out_bits());
     }
 
     #[test]

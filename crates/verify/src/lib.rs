@@ -14,13 +14,16 @@
 //!
 //! The symbolic layer is complemented by a batched *simulation* layer
 //! ([`exhaustive_check_batched`], [`find_one_hot_violation_batched`]):
-//! exhaustive sweeps through the 64-lane `BatchSimulator`, 64 indices
-//! per netlist walk, used where a concrete first-mismatch witness (or a
-//! BDD-independent cross-check) is wanted. A third, sharded layer
-//! ([`exhaustive_check_parallel`], [`find_one_hot_violation_parallel`])
-//! fans the batched sweep out over OS threads — contiguous per-worker
-//! index blocks over one shared compiled tape — with the same
-//! deterministic lowest-index reporting as the sequential sweeps.
+//! exhaustive sweeps through the word-level `BatchSim`, one word of
+//! indices per netlist walk — 64 lanes at `u64`, 256/512 at the wide
+//! words via [`exhaustive_check_batched_wide`] — used where a concrete
+//! first-mismatch witness (or a BDD-independent cross-check) is
+//! wanted. A third, sharded layer ([`exhaustive_check_parallel`],
+//! [`exhaustive_check_parallel_wide`],
+//! [`find_one_hot_violation_parallel`]) fans the batched sweep out over
+//! OS threads — contiguous per-worker index blocks over one shared
+//! compiled tape — with the same deterministic lowest-index reporting
+//! as the sequential sweeps, at every lane width.
 //!
 //! ```
 //! use hwperm_logic::Builder;
@@ -58,12 +61,12 @@ mod parallel;
 
 pub use campaign::{
     golden_output_words, single_stuck_at_universe, stuck_at_campaign, stuck_at_campaign_scalar,
-    CampaignReport, FaultOutcome, FaultVerdict,
+    stuck_at_campaign_wide, CampaignReport, FaultOutcome, FaultVerdict,
 };
 pub use exhaustive::{
-    exhaustive_check_batched, exhaustive_check_batched_with, exhaustive_check_scalar,
-    exhaustive_check_scalar_with, find_one_hot_violation_batched, BatchedExpectation,
-    ExhaustiveMismatch,
+    exhaustive_check_batched, exhaustive_check_batched_wide, exhaustive_check_batched_with,
+    exhaustive_check_scalar, exhaustive_check_scalar_with, find_one_hot_violation_batched,
+    BatchedExpectation, ExhaustiveMismatch, WideExpectation,
 };
 pub use miter::{
     prove_against_table, prove_against_table_budgeted, prove_equivalent, prove_equivalent_budgeted,
@@ -78,8 +81,8 @@ pub use oracle::{
     expected_variation_words,
 };
 pub use parallel::{
-    exhaustive_check_parallel, exhaustive_check_parallel_repeat, exhaustive_check_parallel_with,
-    find_one_hot_violation_parallel, shard_ranges,
+    exhaustive_check_parallel, exhaustive_check_parallel_repeat, exhaustive_check_parallel_wide,
+    exhaustive_check_parallel_with, find_one_hot_violation_parallel, shard_ranges,
 };
 
 use hwperm_bdd::{Manager, NodeId};

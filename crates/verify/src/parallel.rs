@@ -1,18 +1,21 @@
 //! Thread × lane sharded exhaustive verification.
 //!
-//! The batched sweeps in [`crate::exhaustive`] settle 64 test vectors
-//! per netlist walk but still occupy one core. This module adds the
-//! second axis: the index space `[0, 2^w)` / `[0, n!)` is split into
-//! contiguous per-worker blocks — the same balanced-split idiom as
-//! `hwperm_core::ParallelPlan`, applied to 64-lane batches — and each
-//! worker runs the word-level sweep over its block on its own OS
-//! thread, so throughput scales as *threads × lanes*.
+//! The batched sweeps in [`crate::exhaustive`] settle one word of test
+//! vectors per netlist walk — 64 (`u64`), 256
+//! ([`W256`](hwperm_logic::W256)) or 512
+//! ([`W512`](hwperm_logic::W512)) lanes — but still occupy one core.
+//! This module adds the second axis: the index space `[0, 2^w)` /
+//! `[0, n!)` is split into contiguous per-worker blocks — the same
+//! balanced-split idiom as `hwperm_core::ParallelPlan`, applied to
+//! word-sized batches — and each worker runs the word-level sweep over
+//! its block on its own OS thread, so throughput scales as *threads ×
+//! lanes*.
 //!
 //! Workers share exactly one thing: the compiled
 //! [`SimProgram`](hwperm_logic::SimProgram) behind an `Arc`. Each
-//! worker's [`BatchSimulator`] is just a flat `u64` value array over
-//! that shared tape, so spinning up a worker costs one allocation, not
-//! one netlist compilation.
+//! worker's [`BatchSim`] is just a flat word value array over that
+//! shared tape, so spinning up a worker costs one allocation, not one
+//! netlist compilation.
 //!
 //! **Deterministic reporting guarantee:** the parallel sweeps return
 //! *byte-identical* results to their sequential counterparts —
@@ -29,9 +32,9 @@
 
 use crate::exhaustive::{
     check_batch_range, one_hot_sweep_total, port_width_checked, scan_one_hot_range,
-    BatchedExpectation, ExhaustiveMismatch,
+    ExhaustiveMismatch, WideExpectation,
 };
-use hwperm_logic::{BatchSimulator, Netlist, SimProgram, LANES};
+use hwperm_logic::{BatchSim, BatchSimulator, Netlist, SimProgram, SimWord, LANES};
 use std::ops::Range;
 use std::sync::Arc;
 
@@ -82,10 +85,32 @@ pub fn exhaustive_check_parallel(
     expected: &[u64],
     workers: usize,
 ) -> Result<(), ExhaustiveMismatch> {
+    exhaustive_check_parallel_wide::<u64>(netlist, input, output, expected, workers)
+}
+
+/// Width-generic [`exhaustive_check_parallel`]: every worker settles
+/// [`SimWord::LANES`] indices per tape pass over the opcode-fused tape
+/// ([`SimProgram::compile_fused`]), so throughput scales as *threads ×
+/// lanes* with the lane axis at 64 (`u64`), 256
+/// ([`W256`](hwperm_logic::W256)) or 512
+/// ([`W512`](hwperm_logic::W512)). The deterministic reporting
+/// guarantee holds across widths too: shards stay contiguous and
+/// ascending in index order, so the reduction returns the same
+/// lowest-index witness the canonical 64-lane sweep reports.
+///
+/// # Panics
+/// Same conditions as [`exhaustive_check_parallel`].
+pub fn exhaustive_check_parallel_wide<W: SimWord + Send + Sync>(
+    netlist: &Netlist,
+    input: &str,
+    output: &str,
+    expected: &[u64],
+    workers: usize,
+) -> Result<(), ExhaustiveMismatch> {
     let in_w = port_width_checked(netlist, input, output, expected.len());
     let out_w = netlist.output_port(output).unwrap().nets.len();
-    let table = BatchedExpectation::new(in_w, out_w, expected);
-    let program = SimProgram::compile_shared(netlist.clone());
+    let table = WideExpectation::<W>::new(in_w, out_w, expected);
+    let program = SimProgram::compile_fused_shared(netlist.clone());
     exhaustive_check_parallel_with(&program, input, output, &table, workers)
 }
 
@@ -96,11 +121,11 @@ pub fn exhaustive_check_parallel(
 ///
 /// # Panics
 /// Same conditions as [`exhaustive_check_parallel`].
-pub fn exhaustive_check_parallel_with(
+pub fn exhaustive_check_parallel_with<W: SimWord + Send + Sync>(
     program: &Arc<SimProgram>,
     input: &str,
     output: &str,
-    table: &BatchedExpectation,
+    table: &WideExpectation<W>,
     workers: usize,
 ) -> Result<(), ExhaustiveMismatch> {
     exhaustive_check_parallel_repeat(program, input, output, table, workers, 1)
@@ -118,11 +143,11 @@ pub fn exhaustive_check_parallel_with(
 /// # Panics
 /// Same conditions as [`exhaustive_check_parallel`], plus
 /// `repeats == 0`.
-pub fn exhaustive_check_parallel_repeat(
+pub fn exhaustive_check_parallel_repeat<W: SimWord + Send + Sync>(
     program: &Arc<SimProgram>,
     input: &str,
     output: &str,
-    table: &BatchedExpectation,
+    table: &WideExpectation<W>,
     workers: usize,
     repeats: usize,
 ) -> Result<(), ExhaustiveMismatch> {
@@ -134,7 +159,7 @@ pub fn exhaustive_check_parallel_repeat(
             .map(|shard| {
                 let program = Arc::clone(program);
                 scope.spawn(move || {
-                    let mut sim = BatchSimulator::from_program(program);
+                    let mut sim = BatchSim::<W>::from_program(program);
                     let mut result = Ok(());
                     for _ in 0..repeats {
                         result = check_batch_range(&mut sim, input, output, table, shard.clone());
@@ -202,7 +227,7 @@ pub fn find_one_hot_violation_parallel(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::exhaustive::exhaustive_check_batched;
+    use crate::exhaustive::{exhaustive_check_batched, BatchedExpectation};
     use crate::find_one_hot_violation_batched;
     use hwperm_logic::Builder;
 
@@ -291,6 +316,40 @@ mod tests {
             let parallel =
                 exhaustive_check_parallel(&nl, "x", "y", &expected, workers).unwrap_err();
             assert_eq!(parallel, sequential, "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn wide_parallel_witness_matches_sequential_for_every_worker_count() {
+        use hwperm_logic::{W256, W512};
+        let nl = passthrough(9); // 512 indices: 8 u64 / 2 W256 / 1 W512 batches
+        let mut expected: Vec<u64> = (0..512).collect();
+        for &i in &[200usize, 201, 400, 511] {
+            expected[i] ^= 0x5;
+        }
+        let sequential = exhaustive_check_batched(&nl, "x", "y", &expected).unwrap_err();
+        assert_eq!(sequential.index, 200);
+        for workers in [1usize, 2, 3, 8] {
+            let w256 = exhaustive_check_parallel_wide::<W256>(&nl, "x", "y", &expected, workers)
+                .unwrap_err();
+            let w512 = exhaustive_check_parallel_wide::<W512>(&nl, "x", "y", &expected, workers)
+                .unwrap_err();
+            assert_eq!(w256, sequential, "W256, workers = {workers}");
+            assert_eq!(w512, sequential, "W512, workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn wide_parallel_clean_sweep_passes() {
+        use hwperm_logic::W512;
+        let nl = passthrough(8);
+        let expected: Vec<u64> = (0..256).collect();
+        for workers in [1usize, 3, 8] {
+            assert_eq!(
+                exhaustive_check_parallel_wide::<W512>(&nl, "x", "y", &expected, workers),
+                Ok(()),
+                "workers = {workers}"
+            );
         }
     }
 
