@@ -19,11 +19,13 @@
 //! `BENCH_prove.json`, `servebench-json` for the wire-protocol
 //! throughput matrix CI stores as `BENCH_serve.json`, and
 //! `widebench-json` for the lane-width × workers × fusion matrix CI
-//! stores as `BENCH_wide.json`).
+//! stores as `BENCH_wide.json`, and `storebench-json` for the
+//! persisted-store cold/warm/recompute matrix CI stores as
+//! `BENCH_store.json`).
 
 use hwperm_bench::{
     baselines, extensions, faultbench, figures, oraclebench, provebench, resources, servebench,
-    simbench, tables, threadbench, widebench,
+    simbench, storebench, tables, threadbench, widebench,
 };
 
 fn usage() -> ! {
@@ -32,7 +34,7 @@ fn usage() -> ! {
          fig4 fig4-netlist derangements naive sorter parallel verify cascade rank variations prove \
          simbench simbench-json threadbench threadbench-json widebench widebench-json \
          oraclebench oraclebench-json faultbench faultbench-json provebench provebench-json \
-         servebench servebench-json all"
+         servebench servebench-json storebench storebench-json all"
     );
     std::process::exit(2);
 }
@@ -73,6 +75,8 @@ fn main() {
         "provebench-json" => print!("{}", provebench::prove_throughput_json()),
         "servebench" => print!("{}", servebench::serve_throughput_text()),
         "servebench-json" => print!("{}", servebench::serve_throughput_json()),
+        "storebench" => print!("{}", storebench::store_economics_text()),
+        "storebench-json" => print!("{}", storebench::store_economics_json()),
         _ => usage(),
     };
     if arg == "all" {
@@ -100,6 +104,7 @@ fn main() {
             "faultbench",
             "provebench",
             "servebench",
+            "storebench",
             "prove",
         ] {
             println!("==================================================================");

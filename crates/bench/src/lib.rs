@@ -16,6 +16,7 @@ pub mod provebench;
 pub mod resources;
 pub mod servebench;
 pub mod simbench;
+pub mod storebench;
 pub mod tables;
 pub mod threadbench;
 pub mod widebench;

@@ -20,7 +20,9 @@ use hwperm_factoradic::{
 use hwperm_logic::{ResourceReport, SimProgram, W256, W512};
 use hwperm_perm::Permutation;
 use hwperm_rng::BiasReport;
+use hwperm_store::TableSource;
 use std::fmt;
+use std::path::{Path, PathBuf};
 
 /// Errors reported to the user (exit status 2).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -68,10 +70,14 @@ usage: hwperm <command> [args]
                                   range-dont-care pass; --json rows
                                   include the fused tape's op counts,
                                   levels, and fusion savings)
-  prove <n> [--family F] [--jobs N] [--json]
+  prove <n> [--family F] [--jobs N] [--store D] [--json]
                                  SAT proof obligations over the compiled
                                  tape: converter table conformance vs
-                                 the block-decoded oracle, pipelined
+                                 the block-decoded oracle (--store D
+                                 loads the oracle table from a
+                                 persisted store instead — it must be
+                                 built and intact, never a silent
+                                 recompute), pipelined
                                  converter k-step unrolling vs its
                                  combinational twin, rank ∘ unrank
                                  identity, combination / variation table
@@ -98,7 +104,7 @@ usage: hwperm <command> [args]
                                  silent / masked verdicts, coverage
                                  percentages, and every silent fault's
                                  witness
-  verify <n> [--batch] [--jobs N] [--width W]
+  verify <n> [--batch] [--jobs N] [--width W] [--store D]
                                  netlist vs software cross-check
                                  (--batch: word-level gate sweep of the
                                   fused converter tape, one index per
@@ -107,9 +113,14 @@ usage: hwperm <command> [args]
                                   shard the batched sweep over N worker
                                   threads — reports the same
                                   lowest-index first mismatch as the
-                                  sequential sweep)
+                                  sequential sweep; --store D: load the
+                                  expectation table from a persisted
+                                  store built by `hwperm store build`
+                                  instead of recomputing it —
+                                  byte-identical words, identical
+                                  witnesses)
   verilog <circuit> <n>          emit synthesizable structural Verilog
-  serve <addr> [--workers N] [--chunk N]
+  serve <addr> [--workers N] [--chunk N] [--store D]
                                  permutation-as-a-service: long-running
                                  socket server (addr: host:port, port 0
                                  for ephemeral, or a filesystem path
@@ -121,8 +132,29 @@ usage: hwperm <command> [args]
                                  worker pool (--workers, default 4);
                                  --chunk sets the default packed words
                                  per binary frame (default 8192);
+                                 --store D streams verify tables and
+                                 block words from a persisted oracle
+                                 store when its tables are warm (cold
+                                 tables compute, broken tables fail
+                                 loudly; wire bytes identical);
                                  prints \"listening on <addr>\" once
                                  ready, runs until a shutdown request
+  client <addr> <request-json>   send one request to a running server
+                                 and print its response envelope (and
+                                 a binary chunk tally for block /
+                                 random-stream); exit 2 when the
+                                 envelope reports an error
+  store build|verify|stat <n> [--dir D] [--jobs N] [--json]
+                                 persisted oracle store management
+                                 (default --dir hwperm-store):
+                                 build generates the n-table through
+                                 the sharded block decoder as chunked,
+                                 content-hashed files — atomic writes,
+                                 manifest-backed, resumable after a
+                                 kill (--jobs N build workers);
+                                 verify re-reads every chunk and
+                                 checks headers, hashes and manifest;
+                                 stat reports table state; n = 1..=9
   help                           this text
 ";
 
@@ -210,9 +242,13 @@ const PROVE_FAMILIES: [&str; 5] = [
 
 /// Discharges the named family's proof obligation at size `n`,
 /// returning the obligation's description and the solver's verdict.
+/// The converter obligation's oracle table comes from `store` when one
+/// is given (a missing or broken store is an error, never a silent
+/// recompute) and is block-decoded otherwise — byte-identical words.
 fn prove_family(
     family: &str,
     n: usize,
+    store: Option<&Path>,
 ) -> Result<(&'static str, hwperm_verify::ProveOutcome), CliError> {
     use hwperm_circuits::{IndexToCombinationConverter, IndexToVariationConverter};
     let k = n.div_ceil(2);
@@ -221,7 +257,15 @@ fn prove_family(
     match family {
         "converter" => {
             let netlist = converter_netlist(n, ConverterOptions::default());
-            let expected = hwperm_verify::expected_permutation_words(n);
+            let source = match store {
+                Some(dir) => TableSource::Store {
+                    dir: dir.to_path_buf(),
+                },
+                None => TableSource::Computed { workers: 1 },
+            };
+            let expected = source
+                .permutation_words(n)
+                .map_err(|e| err(format!("{family}: store error: {e}")))?;
             let out = hwperm_verify::prove_against_table(&netlist, "index", "perm", &expected)
                 .map_err(fail)?;
             Ok(("table conformance vs block-decoded oracle", out))
@@ -338,6 +382,22 @@ fn campaign_family_netlist(
 
 fn parse_usize(s: &str, what: &str) -> Result<usize, CliError> {
     s.parse().map_err(|_| err(format!("invalid {what}: {s:?}")))
+}
+
+/// Escapes a string for embedding in a hand-rolled JSON literal.
+/// Store directories are the only free-form text the CLI emits as
+/// JSON, so backslash/quote/control coverage is all that's needed.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 /// Parses a `--width` value into a lane count. Only the three compiled
@@ -683,9 +743,11 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             Ok(hwperm_logic::to_verilog(&netlist, &name))
         }
         "serve" => {
-            const SERVE_USAGE: &str = "usage: hwperm serve <addr> [--workers N] [--chunk N]";
+            const SERVE_USAGE: &str =
+                "usage: hwperm serve <addr> [--workers N] [--chunk N] [--store D]";
             let mut workers = 4usize;
             let mut chunk = hwperm_serve::DEFAULT_CHUNK;
+            let mut store: Option<PathBuf> = None;
             let mut positional: Vec<&String> = Vec::new();
             let mut it = rest.iter();
             while let Some(arg) = it.next() {
@@ -708,6 +770,10 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                                 hwperm_serve::CHUNK_CAP
                             )));
                         }
+                    }
+                    "--store" => {
+                        let v = it.next().ok_or_else(|| err("--store needs a directory"))?;
+                        store = Some(PathBuf::from(v));
                     }
                     _ => positional.push(arg),
                 }
@@ -744,10 +810,195 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                     workers,
                     default_chunk: chunk,
                     fixed_micros: None,
+                    store_dir: store,
                 },
             )
             .map_err(|e| err(format!("serve failed: {e}")))?;
             Ok(format!("{summary}\n"))
+        }
+        "client" => {
+            const CLIENT_USAGE: &str = "usage: hwperm client <addr> <request-json>";
+            let [addr, request] = rest else {
+                return Err(err(CLIENT_USAGE));
+            };
+            if request.trim().is_empty() {
+                return Err(err(CLIENT_USAGE));
+            }
+            let endpoint;
+            if addr.contains('/') {
+                #[cfg(unix)]
+                {
+                    endpoint = hwperm_serve::Endpoint::Unix(PathBuf::from(addr));
+                }
+                #[cfg(not(unix))]
+                {
+                    return Err(err("Unix-socket paths need a Unix platform"));
+                }
+            } else {
+                use std::net::ToSocketAddrs as _;
+                let resolved = addr
+                    .to_socket_addrs()
+                    .map_err(|e| err(format!("invalid address {addr:?}: {e}")))?
+                    .next()
+                    .ok_or_else(|| err(format!("invalid address {addr:?}: no socket address")))?;
+                endpoint = hwperm_serve::Endpoint::Tcp(resolved);
+            }
+            let mut client = hwperm_serve::Client::connect(&endpoint)
+                .map_err(|e| err(format!("cannot connect to {addr}: {e}")))?;
+            let response = client
+                .request(request)
+                .map_err(|e| err(format!("request failed: {e}")))?;
+            let envelope = String::from_utf8(response.envelope.clone())
+                .map_err(|_| err("server sent a non-UTF-8 envelope"))?;
+            let mut out = envelope.trim_end().to_string();
+            out.push('\n');
+            if !response.chunks.is_empty() {
+                out.push_str(&format!(
+                    "binary: {} chunk(s), {} word(s)\n",
+                    response.chunks.len(),
+                    response.words().len(),
+                ));
+            }
+            if response.is_ok() {
+                Ok(out)
+            } else {
+                // Error envelopes still print, but as a CLI error so
+                // scripts see exit 2 — matching every other subcommand.
+                Err(err(out.trim_end().to_string()))
+            }
+        }
+        "store" => {
+            const STORE_USAGE: &str =
+                "usage: hwperm store <build|verify|stat> <n> [--dir D] [--jobs N] [--json]";
+            let mut json = false;
+            let mut jobs = 1usize;
+            let mut jobs_given = false;
+            let mut dir: Option<&String> = None;
+            let mut positional: Vec<&String> = Vec::new();
+            let mut it = rest.iter();
+            while let Some(arg) = it.next() {
+                match arg.as_str() {
+                    "--json" => json = true,
+                    "--jobs" => {
+                        let v = it
+                            .next()
+                            .ok_or_else(|| err("--jobs needs a worker count"))?;
+                        jobs = parse_usize(v, "worker count")?;
+                        if !(1..=64).contains(&jobs) {
+                            return Err(err("--jobs must be 1..=64"));
+                        }
+                        jobs_given = true;
+                    }
+                    "--dir" => {
+                        dir = Some(it.next().ok_or_else(|| err("--dir needs a directory"))?);
+                    }
+                    _ => positional.push(arg),
+                }
+            }
+            let &[action, n] = positional.as_slice() else {
+                return Err(err(STORE_USAGE));
+            };
+            let n = parse_usize(n, "n")?;
+            if !(1..=hwperm_store::MAX_STORE_N).contains(&n) {
+                return Err(err(format!(
+                    "store tables hold the full n! word table; n must be 1..={}",
+                    hwperm_store::MAX_STORE_N
+                )));
+            }
+            if jobs_given && action != "build" {
+                return Err(err("--jobs only applies to store build"));
+            }
+            let dir = dir.map_or_else(|| PathBuf::from("hwperm-store"), PathBuf::from);
+            let store_fail = |e: hwperm_store::StoreError| err(format!("store error: {e}"));
+            let (text, row) = match action.as_str() {
+                "build" => {
+                    let report = hwperm_store::build(
+                        &dir,
+                        n,
+                        &hwperm_store::BuildOptions {
+                            jobs,
+                            ..hwperm_store::BuildOptions::default()
+                        },
+                    )
+                    .map_err(store_fail)?;
+                    (
+                        format!(
+                            "store build n = {n}: {} chunk(s) ({} built, {} resumed), \
+                             {} byte(s) written, complete, {}\n",
+                            report.chunks_total,
+                            report.built,
+                            report.resumed,
+                            report.bytes_written,
+                            report.dir.display(),
+                        ),
+                        format!(
+                            "{{\"action\":\"build\",\"n\":{n},\"dir\":\"{}\",\
+                             \"chunks\":{},\"built\":{},\"resumed\":{},\
+                             \"bytes_written\":{},\"complete\":{}}}",
+                            json_escape(&report.dir.display().to_string()),
+                            report.chunks_total,
+                            report.built,
+                            report.resumed,
+                            report.bytes_written,
+                            report.complete,
+                        ),
+                    )
+                }
+                "verify" => {
+                    let report = hwperm_store::verify_store(&dir, n).map_err(store_fail)?;
+                    (
+                        format!(
+                            "store verify n = {n}: OK — {} chunk(s), {} word(s), \
+                             {} byte(s) validated\n",
+                            report.chunks, report.words, report.bytes,
+                        ),
+                        format!(
+                            "{{\"action\":\"verify\",\"n\":{n},\"chunks\":{},\
+                             \"words\":{},\"bytes\":{},\"verdict\":\"ok\"}}",
+                            report.chunks, report.words, report.bytes,
+                        ),
+                    )
+                }
+                "stat" => match hwperm_store::stat(&dir, n).map_err(store_fail)? {
+                    Some(s) => (
+                        format!(
+                            "store stat n = {n}: {} — {}/{} chunk(s) of {} word(s) \
+                             ({} words/chunk), {} byte(s)\n",
+                            if s.complete { "complete" } else { "partial" },
+                            s.chunks_present,
+                            s.chunks_total,
+                            s.total_words,
+                            s.chunk_words,
+                            s.bytes,
+                        ),
+                        format!(
+                            "{{\"action\":\"stat\",\"n\":{n},\"present\":true,\
+                             \"complete\":{},\"chunks\":{},\"chunks_present\":{},\
+                             \"chunk_words\":{},\"total_words\":{},\"bytes\":{}}}",
+                            s.complete,
+                            s.chunks_total,
+                            s.chunks_present,
+                            s.chunk_words,
+                            s.total_words,
+                            s.bytes,
+                        ),
+                    ),
+                    None => (
+                        format!("store stat n = {n}: not built\n"),
+                        format!("{{\"action\":\"stat\",\"n\":{n},\"present\":false}}"),
+                    ),
+                },
+                other => {
+                    return Err(err(format!(
+                        "unknown store action {other:?} (actions: build | verify | stat)"
+                    )))
+                }
+            };
+            if json {
+                Ok(json_envelope("store", 0, &row))
+            } else {
+                Ok(text)
+            }
         }
         "faults" => {
             const FAULTS_USAGE: &str =
@@ -892,10 +1143,12 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             Ok(out)
         }
         "prove" => {
-            const PROVE_USAGE: &str = "usage: hwperm prove <n> [--family F] [--jobs N] [--json]";
+            const PROVE_USAGE: &str =
+                "usage: hwperm prove <n> [--family F] [--jobs N] [--store D] [--json]";
             let mut json = false;
             let mut jobs = 1usize;
             let mut family: Option<&String> = None;
+            let mut store: Option<&String> = None;
             let mut positional: Vec<&String> = Vec::new();
             let mut it = rest.iter();
             while let Some(arg) = it.next() {
@@ -917,9 +1170,13 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                                 .ok_or_else(|| err("--family needs a circuit family"))?,
                         );
                     }
+                    "--store" => {
+                        store = Some(it.next().ok_or_else(|| err("--store needs a directory"))?);
+                    }
                     _ => positional.push(arg),
                 }
             }
+            let store = store.map(Path::new);
             let n = parse_usize(positional.first().ok_or_else(|| err(PROVE_USAGE))?, "n")?;
             if !(2..=9).contains(&n) {
                 return Err(err(
@@ -951,7 +1208,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                     scope.spawn(|| loop {
                         let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                         let Some(fam) = families.get(i) else { break };
-                        let verdict = prove_family(fam, n);
+                        let verdict = prove_family(fam, n, store);
                         *slots[i].lock().expect("prove slot poisoned") = Some(verdict);
                     });
                 }
@@ -1059,10 +1316,12 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             Ok(out)
         }
         "verify" => {
-            const VERIFY_USAGE: &str = "usage: hwperm verify <n> [--batch] [--jobs N] [--width W]";
+            const VERIFY_USAGE: &str =
+                "usage: hwperm verify <n> [--batch] [--jobs N] [--width W] [--store D]";
             let batch = rest.iter().any(|a| a == "--batch");
             let mut jobs: Option<usize> = None;
             let mut width: Option<usize> = None;
+            let mut store: Option<&String> = None;
             let mut positional: Vec<&String> = Vec::new();
             let mut it = rest.iter();
             while let Some(arg) = it.next() {
@@ -1082,6 +1341,9 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                         let v = it.next().ok_or_else(|| err("--width needs a lane count"))?;
                         width = Some(parse_width(v)?);
                     }
+                    "--store" => {
+                        store = Some(it.next().ok_or_else(|| err("--store needs a directory"))?);
+                    }
                     _ => positional.push(arg),
                 }
             }
@@ -1093,6 +1355,11 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             if width.is_some() && !batch {
                 return Err(err(
                     "--width requires --batch (the lane width is word-level)",
+                ));
+            }
+            if store.is_some() && !batch {
+                return Err(err(
+                    "--store requires --batch (the expectation table is word-level)",
                 ));
             }
             let width = width.unwrap_or(DEFAULT_WIDTH);
@@ -1110,7 +1377,20 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                 // tape; the first-mismatch report is identical to the
                 // sequential sweep's at every width.
                 let netlist = converter_netlist(n, ConverterOptions::default());
-                let expected = hwperm_verify::expected_permutation_words(n);
+                // The expectation table is loaded from the persisted
+                // store when --store is given — a missing or corrupt
+                // table is exit 2, never a silent recompute — and is
+                // block-decoded otherwise; the words (and therefore
+                // any mismatch witness) are byte-identical either way.
+                let source = match store {
+                    Some(dir) => TableSource::Store {
+                        dir: PathBuf::from(dir),
+                    },
+                    None => TableSource::Computed { workers: 1 },
+                };
+                let expected = source
+                    .permutation_words(n)
+                    .map_err(|e| err(format!("store error: {e}")))?;
                 match (jobs, width) {
                     (Some(workers), 64) => hwperm_verify::exhaustive_check_parallel(
                         &netlist, "index", "perm", &expected, workers,
@@ -1145,9 +1425,15 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             let p = shuffle.next_permutation();
             Permutation::try_from_slice(p.as_slice())
                 .map_err(|e| err(format!("shuffle output invalid: {e}")))?;
+            let table_note = match store {
+                Some(dir) => format!(", store-backed table from {dir}"),
+                None => String::new(),
+            };
             let mode = match jobs {
-                Some(workers) => format!(" (batched, {width} lanes/pass, {workers} workers)"),
-                None if batch => format!(" (batched, {width} lanes/pass)"),
+                Some(workers) => {
+                    format!(" (batched, {width} lanes/pass, {workers} workers{table_note})")
+                }
+                None if batch => format!(" (batched, {width} lanes/pass{table_note})"),
                 None => String::new(),
             };
             Ok(format!(
@@ -1556,21 +1842,33 @@ mod tests {
         let lint = call(&["lint", "converter", "4", "--json"]).unwrap();
         let faults = call(&["faults", "4", "--json"]).unwrap();
         let prove = call(&["prove", "4", "--json"]).unwrap();
+        let store_dir =
+            std::env::temp_dir().join(format!("hwperm-cli-envelope-store-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&store_dir);
+        let dir_arg = store_dir.to_str().unwrap().to_string();
+        let store = call(&["store", "stat", "5", "--dir", &dir_arg, "--json"]).unwrap();
+        let _ = std::fs::remove_dir_all(&store_dir);
+        // The serve envelope arrives through the `client` subcommand,
+        // proving the CLI wrapper is wire-transparent end to end.
         let serve = {
             let listener = hwperm_serve::Listener::bind_tcp("127.0.0.1:0").unwrap();
             let server =
                 hwperm_serve::spawn(listener, hwperm_serve::ServeOptions::default()).unwrap();
-            let mut client = hwperm_serve::Client::connect(server.endpoint()).unwrap();
-            let response = client
-                .request("{\"id\":1,\"cmd\":\"unrank\",\"n\":4,\"index\":11}")
-                .unwrap();
+            let addr = server.endpoint().to_string();
+            let out = call(&[
+                "client",
+                &addr,
+                "{\"id\":1,\"cmd\":\"unrank\",\"n\":4,\"index\":11}",
+            ])
+            .unwrap();
             server.stop().unwrap();
-            String::from_utf8(response.envelope).unwrap()
+            out
         };
         for (cmd, out) in [
             ("lint", &lint),
             ("faults", &faults),
             ("prove", &prove),
+            ("store", &store),
             ("unrank", &serve),
         ] {
             let prefix = format!(
@@ -1582,7 +1880,12 @@ mod tests {
         }
         // The CLI envelopes end at the results array; serve appends its
         // per-request metrics trailer after the shared prefix.
-        for (cmd, out) in [("lint", &lint), ("faults", &faults), ("prove", &prove)] {
+        for (cmd, out) in [
+            ("lint", &lint),
+            ("faults", &faults),
+            ("prove", &prove),
+            ("store", &store),
+        ] {
             assert!(out.trim_end().ends_with("]}"), "{cmd}: {out}");
         }
         assert!(
@@ -1602,6 +1905,91 @@ mod tests {
         assert!(call(&["serve", "127.0.0.1:0", "--chunk", "70000"]).is_err());
         // An unbindable address fails fast instead of serving.
         assert!(call(&["serve", "256.0.0.1:9"]).is_err());
+    }
+
+    #[test]
+    fn client_rejects_bad_usage_and_dead_servers() {
+        assert!(call(&["client"]).is_err());
+        assert!(call(&["client", "127.0.0.1:1"]).is_err());
+        assert!(call(&["client", "127.0.0.1:1", "  "]).is_err());
+        assert!(call(&["client", "not an address", "{}"]).is_err());
+        // A resolvable address with nothing listening is a connect error.
+        assert!(call(&["client", "127.0.0.1:1", "{\"id\":1,\"cmd\":\"stats\"}"]).is_err());
+    }
+
+    #[test]
+    fn client_surfaces_error_envelopes_as_exit_2() {
+        let listener = hwperm_serve::Listener::bind_tcp("127.0.0.1:0").unwrap();
+        let server = hwperm_serve::spawn(listener, hwperm_serve::ServeOptions::default()).unwrap();
+        let addr = server.endpoint().to_string();
+        // A block request reports its binary chunk tally after the envelope.
+        let ok = call(&[
+            "client",
+            &addr,
+            "{\"id\":7,\"cmd\":\"block\",\"n\":4,\"start\":0,\"end\":24}",
+        ])
+        .unwrap();
+        assert!(ok.contains("\"command\":\"block\""), "{ok}");
+        assert!(ok.contains("binary: 1 chunk(s), 24 word(s)"), "{ok}");
+        // An in-protocol error envelope still prints, but as exit 2.
+        let bad = call(&["client", &addr, "{\"id\":8,\"cmd\":\"unrank\",\"n\":99}"]);
+        server.stop().unwrap();
+        let message = bad.unwrap_err().0;
+        assert!(
+            message.contains("\"status\":\"error\""),
+            "error envelope not surfaced: {message}"
+        );
+    }
+
+    #[test]
+    fn store_rejects_bad_usage_as_user_errors() {
+        assert!(call(&["store"]).is_err());
+        assert!(call(&["store", "build"]).is_err());
+        assert!(call(&["store", "polish", "5"]).is_err());
+        assert!(call(&["store", "build", "0"]).is_err());
+        assert!(call(&["store", "build", "10"]).is_err());
+        assert!(call(&["store", "build", "5", "--jobs", "0"]).is_err());
+        assert!(call(&["store", "build", "5", "--jobs", "65"]).is_err());
+        assert!(call(&["store", "build", "5", "--dir"]).is_err());
+        assert!(call(&["store", "stat", "5", "--jobs", "2"]).is_err());
+        // Word-level expectation tables only exist for batched sweeps.
+        assert!(call(&["verify", "4", "--store", "somewhere"]).is_err());
+    }
+
+    #[test]
+    fn store_lifecycle_build_stat_verify_and_sweep() {
+        let dir =
+            std::env::temp_dir().join(format!("hwperm-cli-store-lifecycle-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let dir_arg = dir.to_str().unwrap().to_string();
+        // Cold stat: present but not built.
+        let cold = call(&["store", "stat", "5", "--dir", &dir_arg]).unwrap();
+        assert!(cold.contains("not built"), "{cold}");
+        // Cold verify is a loud miss, never a silent recompute.
+        let missing = call(&["store", "verify", "5", "--dir", &dir_arg]).unwrap_err();
+        assert!(
+            missing.0.contains("no complete store table"),
+            "{}",
+            missing.0
+        );
+        // Build, then everything downstream goes warm.
+        let built = call(&["store", "build", "5", "--dir", &dir_arg, "--jobs", "2"]).unwrap();
+        assert!(built.contains("complete"), "{built}");
+        let again = call(&["store", "build", "5", "--dir", &dir_arg]).unwrap();
+        assert!(again.contains("(0 built, 1 resumed)"), "{again}");
+        let stat = call(&["store", "stat", "5", "--dir", &dir_arg]).unwrap();
+        assert!(stat.contains("complete"), "{stat}");
+        let verified = call(&["store", "verify", "5", "--dir", &dir_arg]).unwrap();
+        assert!(verified.contains("OK"), "{verified}");
+        // Store-backed sweep and proof match the computed paths.
+        let sweep = call(&["verify", "5", "--batch", "--store", &dir_arg]).unwrap();
+        assert!(sweep.contains("OK"), "{sweep}");
+        assert!(sweep.contains("store-backed table"), "{sweep}");
+        let computed = call(&["verify", "5", "--batch"]).unwrap();
+        assert!(computed.contains("OK"), "{computed}");
+        let prove = call(&["prove", "5", "--family", "converter", "--store", &dir_arg]).unwrap();
+        assert!(prove.contains("proved"), "{prove}");
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

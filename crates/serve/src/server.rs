@@ -48,6 +48,7 @@ use hwperm_core::{FaultPolicy, GuardedPermSource, RandomPermSource, SoftwareRand
 use hwperm_factoradic::{rank_u64, BlockDecoder, Unranker};
 use hwperm_logic::{SimProgram, W512};
 use hwperm_perm::Permutation;
+use hwperm_store::OpenTable;
 use hwperm_verify::{
     exhaustive_check_parallel_with, expected_permutation_words, shard_ranges, WideExpectation,
 };
@@ -57,7 +58,6 @@ use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 #[cfg(unix)]
 use std::os::unix::net::{UnixListener, UnixStream};
-#[cfg(unix)]
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{sync_channel, SyncSender};
@@ -87,6 +87,13 @@ pub struct ServeOptions {
     /// measured one. Golden-transcript tests pin `Some(0)` so response
     /// bytes are reproducible; production leaves it `None`.
     pub fixed_micros: Option<u64>,
+    /// When set, `verify` expectation tables and `block` chunk words
+    /// are streamed from the persisted oracle store under this
+    /// directory whenever the table is warm (built and complete),
+    /// making those paths I/O-bound instead of recompute-bound. Cold
+    /// tables fall back to computing; *broken* tables fail the request
+    /// loudly. The wire bytes are identical either way.
+    pub store_dir: Option<PathBuf>,
 }
 
 impl Default for ServeOptions {
@@ -95,6 +102,7 @@ impl Default for ServeOptions {
             workers: 4,
             default_chunk: DEFAULT_CHUNK,
             fixed_micros: None,
+            store_dir: None,
         }
     }
 }
@@ -390,22 +398,61 @@ struct Shared {
     conns: Mutex<Vec<Stream>>,
     pool: Arc<PoolShared>,
     verify_cache: Mutex<HashMap<usize, Arc<VerifyEntry>>>,
+    store_cache: Mutex<HashMap<usize, Arc<OpenTable>>>,
 }
 
 impl Shared {
-    fn verify_entry(&self, n: usize) -> Arc<VerifyEntry> {
+    /// The warm store table for `n`, if the server has a store dir and
+    /// the table is built. `None` is the normal cold path (no store
+    /// configured, `n` beyond what stores hold, or table not built);
+    /// `Err` means the store is *broken* and the request must fail.
+    fn open_store(&self, n: usize) -> Result<Option<Arc<OpenTable>>, hwperm_store::StoreError> {
+        let Some(dir) = &self.options.store_dir else {
+            return Ok(None);
+        };
+        if !(1..=hwperm_store::MAX_STORE_N).contains(&n) {
+            return Ok(None);
+        }
+        let mut cache = self.store_cache.lock().expect("store cache lock");
+        if let Some(table) = cache.get(&n) {
+            return Ok(Some(Arc::clone(table)));
+        }
+        match OpenTable::open(dir, n)? {
+            Some(table) => {
+                let table = Arc::new(table);
+                cache.insert(n, Arc::clone(&table));
+                Ok(Some(table))
+            }
+            None => Ok(None),
+        }
+    }
+
+    fn verify_entry(&self, n: usize) -> Result<Arc<VerifyEntry>, hwperm_store::StoreError> {
+        {
+            let cache = self.verify_cache.lock().expect("verify cache lock");
+            if let Some(entry) = cache.get(&n) {
+                return Ok(Arc::clone(entry));
+            }
+        }
+        // Expectation words come from the store when warm — cold-start
+        // cost becomes a sequential read — and are computed otherwise;
+        // the words are byte-identical either way, so the cached entry
+        // (and every verdict) is too. Built outside the cache lock so
+        // a slow build doesn't serialize unrelated verifies.
+        let expected = match self.open_store(n)? {
+            Some(table) => table.load_words()?,
+            None => expected_permutation_words(n),
+        };
+        let netlist = converter_netlist(n, ConverterOptions::default());
+        let in_bits = netlist.input_port("index").expect("index port").nets.len();
+        let out_bits = netlist.output_port("perm").expect("perm port").nets.len();
+        let entry = Arc::new(VerifyEntry {
+            table: WideExpectation::<W512>::new(in_bits, out_bits, &expected),
+            total: expected.len() as u64,
+            program: SimProgram::compile_fused_shared(netlist),
+        });
         let mut cache = self.verify_cache.lock().expect("verify cache lock");
-        Arc::clone(cache.entry(n).or_insert_with(|| {
-            let netlist = converter_netlist(n, ConverterOptions::default());
-            let in_bits = netlist.input_port("index").expect("index port").nets.len();
-            let out_bits = netlist.output_port("perm").expect("perm port").nets.len();
-            let expected = expected_permutation_words(n);
-            Arc::new(VerifyEntry {
-                table: WideExpectation::<W512>::new(in_bits, out_bits, &expected),
-                total: expected.len() as u64,
-                program: SimProgram::compile_fused_shared(netlist),
-            })
-        }))
+        Ok(Arc::clone(cache.entry(n).or_insert(entry)))
     }
 
     fn trigger_stop(self: &Arc<Self>) {
@@ -491,16 +538,36 @@ struct BlockState {
     chunks_total: u64,
     seq: AtomicU64,
     remaining: AtomicUsize,
+    /// Warm store table to stream chunk words from; `None` decodes.
+    /// Either way the chunk bytes on the wire are identical.
+    table: Option<Arc<OpenTable>>,
+    /// First store read failure, reported by the closing envelope.
+    failed: Mutex<Option<String>>,
 }
 
 fn run_block_shard(state: &Arc<BlockState>, range: std::ops::Range<u64>) {
-    let mut decoder = BlockDecoder::new(state.n);
+    // The decoder is only built (and only pays its unrank) on the
+    // computed path; a warm store shard is pure sequential I/O.
+    let mut decoder = state.table.is_none().then(|| BlockDecoder::new(state.n));
     let mut bytes = Vec::with_capacity(state.chunk * 8);
     let mut base = range.start;
     while base < range.end {
         let top = (base + state.chunk as u64).min(range.end);
         bytes.clear();
-        decoder.decode_le_bytes_into(base..top, &mut bytes);
+        match (&state.table, &mut decoder) {
+            (Some(table), _) => {
+                if let Err(e) = table.read_le_bytes_into(base..top, &mut bytes) {
+                    state
+                        .failed
+                        .lock()
+                        .expect("block failure lock")
+                        .get_or_insert(e.to_string());
+                    break;
+                }
+            }
+            (None, Some(decoder)) => decoder.decode_le_bytes_into(base..top, &mut bytes),
+            (None, None) => unreachable!("computed path always has a decoder"),
+        }
         let seq = state.seq.fetch_add(1, Ordering::Relaxed);
         let flags = if top == state.end { CHUNK_FLAG_LAST } else { 0 };
         state
@@ -515,6 +582,15 @@ fn run_block_shard(state: &Arc<BlockState>, range: std::ops::Range<u64>) {
 }
 
 fn finish_block(state: &Arc<BlockState>) {
+    if let Some(message) = state.failed.lock().expect("block failure lock").take() {
+        state.ctx.respond(
+            "block",
+            false,
+            &error_result(&format!("store error: {message}")),
+            state.id,
+        );
+        return;
+    }
     let results = format!(
         "{{\"type\":\"block\",\"n\":{},\"start\":{},\"end\":{},\"chunk\":{},\
          \"chunks\":{},\"words\":{}}}",
@@ -589,6 +665,18 @@ fn handle_request(ctx: ReqCtx, payload: Vec<u8>) {
                 .iter()
                 .map(|r| (r.end - r.start).div_ceil(chunk as u64))
                 .sum();
+            let table = match ctx.shared.open_store(n) {
+                Ok(table) => table,
+                Err(e) => {
+                    ctx.respond(
+                        "block",
+                        false,
+                        &error_result(&format!("store error: {e}")),
+                        id,
+                    );
+                    return;
+                }
+            };
             let state = Arc::new(BlockState {
                 ctx,
                 id,
@@ -599,6 +687,8 @@ fn handle_request(ctx: ReqCtx, payload: Vec<u8>) {
                 chunks_total,
                 seq: AtomicU64::new(0),
                 remaining: AtomicUsize::new(shards.len().max(1)),
+                table,
+                failed: Mutex::new(None),
             });
             let Some((first, rest)) = shards.split_first() else {
                 // Empty range: no chunks, envelope only.
@@ -660,7 +750,18 @@ fn handle_request(ctx: ReqCtx, payload: Vec<u8>) {
             ctx.respond("random-stream", true, &results, id);
         }
         Request::Verify { n, jobs } => {
-            let entry = ctx.shared.verify_entry(n);
+            let entry = match ctx.shared.verify_entry(n) {
+                Ok(entry) => entry,
+                Err(e) => {
+                    ctx.respond(
+                        "verify",
+                        false,
+                        &error_result(&format!("store error: {e}")),
+                        id,
+                    );
+                    return;
+                }
+            };
             match exhaustive_check_parallel_with(
                 &entry.program,
                 "index",
@@ -797,6 +898,7 @@ pub fn serve(listener: Listener, options: ServeOptions) -> io::Result<ServeSumma
         conns: Mutex::new(Vec::new()),
         pool: Arc::clone(&pool),
         verify_cache: Mutex::new(HashMap::new()),
+        store_cache: Mutex::new(HashMap::new()),
     });
     let workers = spawn_pool_workers(&pool, shared.options.workers);
     let mut connections = Vec::new();

@@ -1,0 +1,121 @@
+//! Store-backed serving: a server given a warm store directory must
+//! answer `verify` and `block` byte-identically to a computing server,
+//! and must fail *loudly* — an error envelope, never a silent
+//! recompute — when the store underneath it is corrupted.
+
+use hwperm_serve::{spawn, Client, Listener, ServeOptions};
+use hwperm_store::{build, chunk_file_name, table_dir, BuildOptions};
+use std::path::PathBuf;
+
+fn warm_store(tag: &str, n: usize) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("hwperm-serve-store-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    build(
+        &dir,
+        n,
+        &BuildOptions {
+            jobs: 2,
+            chunk_words: 128,
+            max_chunks: None,
+        },
+    )
+    .unwrap();
+    dir
+}
+
+fn options(store_dir: Option<PathBuf>) -> ServeOptions {
+    ServeOptions {
+        workers: 2,
+        fixed_micros: Some(0),
+        store_dir,
+        ..ServeOptions::default()
+    }
+}
+
+#[test]
+fn warm_store_serving_is_wire_identical_to_computing() {
+    let store = warm_store("parity", 6);
+    let requests = [
+        "{\"id\":1,\"cmd\":\"verify\",\"n\":6,\"jobs\":2}".to_string(),
+        "{\"id\":2,\"cmd\":\"block\",\"n\":6,\"start\":100,\"end\":650,\"chunk\":96}".to_string(),
+        "{\"id\":3,\"cmd\":\"block\",\"n\":6,\"start\":0,\"end\":720}".to_string(),
+    ];
+    let mut responses = Vec::new();
+    for dir in [None, Some(store.clone())] {
+        let server = spawn(Listener::bind_tcp("127.0.0.1:0").unwrap(), options(dir)).unwrap();
+        let mut client = Client::connect(server.endpoint()).unwrap();
+        let batch: Vec<_> = requests
+            .iter()
+            .map(|req| client.request(req).unwrap())
+            .collect();
+        server.stop().unwrap();
+        responses.push(batch);
+    }
+    let (computed, stored) = (&responses[0], &responses[1]);
+    for (a, b) in computed.iter().zip(stored) {
+        assert!(
+            a.is_ok() && b.is_ok(),
+            "{:?} vs {:?}",
+            a.envelope,
+            b.envelope
+        );
+        assert_eq!(a.envelope, b.envelope, "envelopes diverged");
+        assert_eq!(a.words(), b.words(), "block words diverged");
+    }
+    // n beyond the store's range still works (pure computed fallback).
+    let server = spawn(
+        Listener::bind_tcp("127.0.0.1:0").unwrap(),
+        options(Some(store.clone())),
+    )
+    .unwrap();
+    let mut client = Client::connect(server.endpoint()).unwrap();
+    let r = client
+        .request("{\"id\":9,\"cmd\":\"block\",\"n\":11,\"start\":0,\"end\":64}")
+        .unwrap();
+    assert!(r.is_ok());
+    assert_eq!(r.words().len(), 64);
+    server.stop().unwrap();
+    std::fs::remove_dir_all(&store).unwrap();
+}
+
+#[test]
+fn corrupted_store_fails_block_requests_loudly() {
+    let store = warm_store("corrupt", 6);
+    // Flip one byte deep in chunk 2's body after the store went warm.
+    let chunk = table_dir(&store, 6).join(chunk_file_name(2));
+    let mut bytes = std::fs::read(&chunk).unwrap();
+    let mid = bytes.len() - 9;
+    bytes[mid] ^= 0x40;
+    std::fs::write(&chunk, &bytes).unwrap();
+
+    let server = spawn(
+        Listener::bind_tcp("127.0.0.1:0").unwrap(),
+        options(Some(store.clone())),
+    )
+    .unwrap();
+    let mut client = Client::connect(server.endpoint()).unwrap();
+    // A range inside untouched chunks still serves fine...
+    let ok = client
+        .request("{\"id\":1,\"cmd\":\"block\",\"n\":6,\"start\":0,\"end\":120}")
+        .unwrap();
+    assert!(ok.is_ok());
+    // ...but one crossing the tampered chunk gets a loud store error.
+    let bad = client
+        .request("{\"id\":2,\"cmd\":\"block\",\"n\":6,\"start\":0,\"end\":720}")
+        .unwrap();
+    assert!(!bad.is_ok());
+    let envelope = String::from_utf8(bad.envelope.clone()).unwrap();
+    assert!(
+        envelope.contains("store error:") && envelope.contains("chunk content hash mismatch"),
+        "{envelope}"
+    );
+    // The verify path hits the same wall instead of recomputing.
+    let verify = client
+        .request("{\"id\":3,\"cmd\":\"verify\",\"n\":6,\"jobs\":1}")
+        .unwrap();
+    assert!(!verify.is_ok());
+    let envelope = String::from_utf8(verify.envelope.clone()).unwrap();
+    assert!(envelope.contains("store error:"), "{envelope}");
+    server.stop().unwrap();
+    std::fs::remove_dir_all(&store).unwrap();
+}

@@ -1,0 +1,310 @@
+//! Build/resume manifest: a deterministic text record of which chunks
+//! of a table exist, rewritten atomically after every completed chunk
+//! so a killed build can resume exactly where it stopped.
+
+use crate::{io_err, StoreError, MAX_STORE_N};
+use std::collections::BTreeMap;
+use std::io::Write;
+use std::ops::Range;
+use std::path::Path;
+
+/// File name of the manifest inside a table directory.
+pub const MANIFEST_FILE: &str = "manifest.txt";
+
+/// Per-chunk record: word count and content hash (the same hash the
+/// chunk header carries, cross-checked on open).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChunkRecord {
+    /// Words in the chunk.
+    pub words: u32,
+    /// Content hash of the chunk body.
+    pub hash: u64,
+}
+
+/// The parsed manifest of one table directory.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Manifest {
+    /// Permutation size of the table.
+    pub n: usize,
+    /// Words per chunk (last chunk may be shorter).
+    pub chunk_words: usize,
+    /// Total words in the complete table (`n!`).
+    pub total_words: u64,
+    /// Whether every chunk has been built and recorded.
+    pub complete: bool,
+    /// Completed chunks by index.
+    pub chunks: BTreeMap<u64, ChunkRecord>,
+}
+
+impl Manifest {
+    /// A fresh, empty manifest for an `n`-table with the given chunking.
+    pub fn new(n: usize, chunk_words: usize, total_words: u64) -> Self {
+        Manifest {
+            n,
+            chunk_words,
+            total_words,
+            complete: false,
+            chunks: BTreeMap::new(),
+        }
+    }
+
+    /// How many chunks the complete table has.
+    pub fn chunks_total(&self) -> u64 {
+        self.total_words.div_ceil(self.chunk_words as u64)
+    }
+
+    /// The word-index range chunk `c` covers.
+    pub fn chunk_range(&self, c: u64) -> Range<u64> {
+        let start = c * self.chunk_words as u64;
+        let end = (start + self.chunk_words as u64).min(self.total_words);
+        start..end
+    }
+
+    /// Render the manifest deterministically: fixed header lines, then
+    /// chunk lines sorted by index. Byte-identical for the same state
+    /// regardless of build order or worker count.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("hwperm-store v1\n");
+        out.push_str("order lex\n");
+        out.push_str(&format!("n {}\n", self.n));
+        out.push_str(&format!("chunk_words {}\n", self.chunk_words));
+        out.push_str(&format!("total_words {}\n", self.total_words));
+        out.push_str(&format!("complete {}\n", u8::from(self.complete)));
+        for (&c, rec) in &self.chunks {
+            out.push_str(&format!("chunk {c} {} {:016x}\n", rec.words, rec.hash));
+        }
+        out
+    }
+
+    /// Parse and validate manifest text. Any structural or consistency
+    /// problem is a [`StoreError::Manifest`] naming the reason.
+    pub fn parse(path: &Path, text: &str) -> Result<Self, StoreError> {
+        let bad = |reason: String| StoreError::Manifest {
+            path: path.to_path_buf(),
+            reason,
+        };
+        let mut lines = text.lines();
+        let header = lines.next().unwrap_or("");
+        if header != "hwperm-store v1" {
+            return Err(bad(format!("unrecognized header line {header:?}")));
+        }
+        let mut field = |name: &str| -> Result<String, StoreError> {
+            let line = lines.next().unwrap_or("");
+            line.strip_prefix(name)
+                .and_then(|rest| rest.strip_prefix(' '))
+                .map(str::to_string)
+                .ok_or_else(|| bad(format!("expected `{name} ...`, found {line:?}")))
+        };
+        let order = field("order")?;
+        if order != "lex" {
+            return Err(bad(format!("unknown order {order:?}")));
+        }
+        let n: usize = field("n")?
+            .parse()
+            .map_err(|_| bad("unparsable n".into()))?;
+        if !(1..=MAX_STORE_N).contains(&n) {
+            return Err(bad(format!(
+                "n = {n} out of the supported 1..={MAX_STORE_N}"
+            )));
+        }
+        let chunk_words: usize = field("chunk_words")?
+            .parse()
+            .map_err(|_| bad("unparsable chunk_words".into()))?;
+        if chunk_words == 0 {
+            return Err(bad("chunk_words must be positive".into()));
+        }
+        let total_words: u64 = field("total_words")?
+            .parse()
+            .map_err(|_| bad("unparsable total_words".into()))?;
+        let factorial: u64 = (1..=n as u64).product();
+        if total_words != factorial {
+            return Err(bad(format!(
+                "total_words {total_words} is not {n}! = {factorial}"
+            )));
+        }
+        let complete = match field("complete")?.as_str() {
+            "0" => false,
+            "1" => true,
+            other => return Err(bad(format!("unparsable complete flag {other:?}"))),
+        };
+        let mut manifest = Manifest::new(n, chunk_words, total_words);
+        manifest.complete = complete;
+        let chunks_total = manifest.chunks_total();
+        for line in lines {
+            let mut parts = line.split(' ');
+            let tag = parts.next().unwrap_or("");
+            if tag != "chunk" {
+                return Err(bad(format!("expected `chunk ...`, found {line:?}")));
+            }
+            let c: u64 = parts
+                .next()
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| bad(format!("unparsable chunk line {line:?}")))?;
+            let words: u32 = parts
+                .next()
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| bad(format!("unparsable chunk line {line:?}")))?;
+            let hash = parts
+                .next()
+                .and_then(|s| u64::from_str_radix(s, 16).ok())
+                .ok_or_else(|| bad(format!("unparsable chunk line {line:?}")))?;
+            if parts.next().is_some() {
+                return Err(bad(format!("trailing fields in chunk line {line:?}")));
+            }
+            if c >= chunks_total {
+                return Err(bad(format!(
+                    "chunk index {c} beyond the {chunks_total} chunk(s) of the table"
+                )));
+            }
+            let range = manifest.chunk_range(c);
+            let expect = (range.end - range.start) as u32;
+            if words != expect {
+                return Err(bad(format!(
+                    "chunk {c} records {words} word(s), layout requires {expect}"
+                )));
+            }
+            if manifest
+                .chunks
+                .insert(c, ChunkRecord { words, hash })
+                .is_some()
+            {
+                return Err(bad(format!("duplicate chunk index {c}")));
+            }
+        }
+        if complete && manifest.chunks.len() as u64 != chunks_total {
+            return Err(bad(format!(
+                "marked complete but records {} of {chunks_total} chunk(s)",
+                manifest.chunks.len()
+            )));
+        }
+        Ok(manifest)
+    }
+
+    /// Load the manifest from a table directory. `Ok(None)` means no
+    /// manifest exists (a table never started); parse failures are
+    /// loud.
+    pub fn load(dir: &Path) -> Result<Option<Self>, StoreError> {
+        let path = dir.join(MANIFEST_FILE);
+        let text = match std::fs::read_to_string(&path) {
+            Ok(text) => text,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(io_err(&path, e)),
+        };
+        Self::parse(&path, &text).map(Some)
+    }
+
+    /// Rewrite the manifest atomically: write a temp file, flush, then
+    /// rename over the real name so readers only ever see a complete
+    /// manifest.
+    pub fn write_atomic(&self, dir: &Path) -> Result<(), StoreError> {
+        let path = dir.join(MANIFEST_FILE);
+        let tmp = dir.join(format!("{MANIFEST_FILE}.tmp"));
+        write_file_atomic(&tmp, &path, self.render().as_bytes())
+    }
+}
+
+/// Write `bytes` to `tmp`, flush, and rename onto `path`.
+pub(crate) fn write_file_atomic(tmp: &Path, path: &Path, bytes: &[u8]) -> Result<(), StoreError> {
+    let mut file = std::fs::File::create(tmp).map_err(|e| io_err(tmp, e))?;
+    file.write_all(bytes).map_err(|e| io_err(tmp, e))?;
+    file.sync_all().map_err(|e| io_err(tmp, e))?;
+    drop(file);
+    std::fs::rename(tmp, path).map_err(|e| io_err(path, e))?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Manifest {
+        let mut m = Manifest::new(5, 32, 120);
+        m.chunks.insert(
+            0,
+            ChunkRecord {
+                words: 32,
+                hash: 0xAB,
+            },
+        );
+        m.chunks.insert(
+            3,
+            ChunkRecord {
+                words: 24,
+                hash: 0xCD,
+            },
+        );
+        m
+    }
+
+    #[test]
+    fn chunk_geometry() {
+        let m = sample();
+        assert_eq!(m.chunks_total(), 4);
+        assert_eq!(m.chunk_range(0), 0..32);
+        assert_eq!(m.chunk_range(3), 96..120);
+    }
+
+    #[test]
+    fn render_parse_round_trips() {
+        let m = sample();
+        let text = m.render();
+        assert_eq!(
+            text,
+            "hwperm-store v1\norder lex\nn 5\nchunk_words 32\ntotal_words 120\n\
+             complete 0\nchunk 0 32 00000000000000ab\nchunk 3 24 00000000000000cd\n"
+        );
+        let back = Manifest::parse(Path::new("m"), &text).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn garbled_manifests_fail_loudly() {
+        let reject = |text: &str, needle: &str| {
+            let err = Manifest::parse(Path::new("m"), text).unwrap_err();
+            let msg = err.to_string();
+            assert!(
+                msg.contains("stale or invalid manifest") && msg.contains(needle),
+                "{msg} (wanted {needle:?})"
+            );
+        };
+        reject("not a manifest\n", "unrecognized header");
+        reject("hwperm-store v1\norder colex\n", "unknown order");
+        reject(
+            "hwperm-store v1\norder lex\nn 5\nchunk_words 32\ntotal_words 121\n",
+            "is not 5!",
+        );
+        reject(
+            "hwperm-store v1\norder lex\nn 5\nchunk_words 32\ntotal_words 120\ncomplete 1\n",
+            "marked complete but records 0 of 4",
+        );
+        reject(
+            "hwperm-store v1\norder lex\nn 5\nchunk_words 32\ntotal_words 120\n\
+             complete 0\nchunk 9 32 00\n",
+            "beyond the 4 chunk(s)",
+        );
+        reject(
+            "hwperm-store v1\norder lex\nn 5\nchunk_words 32\ntotal_words 120\n\
+             complete 0\nchunk 3 32 00\n",
+            "layout requires 24",
+        );
+        reject(
+            "hwperm-store v1\norder lex\nn 5\nchunk_words 32\ntotal_words 120\n\
+             complete 0\nchunk 0 32 00\nchunk 0 32 00\n",
+            "duplicate chunk index 0",
+        );
+    }
+
+    #[test]
+    fn load_distinguishes_absent_from_broken() {
+        let dir = std::env::temp_dir().join(format!("hwperm-store-mtest-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        assert_eq!(Manifest::load(&dir).unwrap(), None);
+        let m = sample();
+        m.write_atomic(&dir).unwrap();
+        assert_eq!(Manifest::load(&dir).unwrap(), Some(m));
+        std::fs::write(dir.join(MANIFEST_FILE), "junk\n").unwrap();
+        assert!(Manifest::load(&dir).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}
