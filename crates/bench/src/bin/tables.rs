@@ -21,11 +21,12 @@
 //! `widebench-json` for the lane-width × workers × fusion matrix CI
 //! stores as `BENCH_wide.json`, and `storebench-json` for the
 //! persisted-store cold/warm/recompute matrix CI stores as
-//! `BENCH_store.json`).
+//! `BENCH_store.json`, and `chaosbench-json` for the
+//! throughput-under-faults matrix CI stores as `BENCH_chaos.json`).
 
 use hwperm_bench::{
-    baselines, extensions, faultbench, figures, oraclebench, provebench, resources, servebench,
-    simbench, storebench, tables, threadbench, widebench,
+    baselines, chaosbench, extensions, faultbench, figures, oraclebench, provebench, resources,
+    servebench, simbench, storebench, tables, threadbench, widebench,
 };
 
 fn usage() -> ! {
@@ -34,7 +35,7 @@ fn usage() -> ! {
          fig4 fig4-netlist derangements naive sorter parallel verify cascade rank variations prove \
          simbench simbench-json threadbench threadbench-json widebench widebench-json \
          oraclebench oraclebench-json faultbench faultbench-json provebench provebench-json \
-         servebench servebench-json storebench storebench-json all"
+         servebench servebench-json storebench storebench-json chaosbench chaosbench-json all"
     );
     std::process::exit(2);
 }
@@ -77,6 +78,8 @@ fn main() {
         "servebench-json" => print!("{}", servebench::serve_throughput_json()),
         "storebench" => print!("{}", storebench::store_economics_text()),
         "storebench-json" => print!("{}", storebench::store_economics_json()),
+        "chaosbench" => print!("{}", chaosbench::chaos_throughput_text()),
+        "chaosbench-json" => print!("{}", chaosbench::chaos_throughput_json()),
         _ => usage(),
     };
     if arg == "all" {
@@ -105,6 +108,7 @@ fn main() {
             "provebench",
             "servebench",
             "storebench",
+            "chaosbench",
             "prove",
         ] {
             println!("==================================================================");

@@ -8,6 +8,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 pub mod baselines;
+pub mod chaosbench;
 pub mod extensions;
 pub mod faultbench;
 pub mod figures;

@@ -120,7 +120,8 @@ usage: hwperm <command> [args]
                                   byte-identical words, identical
                                   witnesses)
   verilog <circuit> <n>          emit synthesizable structural Verilog
-  serve <addr> [--workers N] [--chunk N] [--store D]
+  serve <addr> [--workers N] [--chunk N] [--store D] [--max-conns N]
+        [--idle-timeout-ms T] [--request-deadline-ms T]
                                  permutation-as-a-service: long-running
                                  socket server (addr: host:port, port 0
                                  for ephemeral, or a filesystem path
@@ -137,13 +138,29 @@ usage: hwperm <command> [args]
                                  store when its tables are warm (cold
                                  tables compute, broken tables fail
                                  loudly; wire bytes identical);
+                                 hostile-network hardening:
+                                 --max-conns N sheds connections past N
+                                 with a pinned busy envelope,
+                                 --idle-timeout-ms T reaps silent /
+                                 trickling connections and deadlines
+                                 socket writes, --request-deadline-ms T
+                                 cancels long requests between chunks
+                                 with a pinned deadline error;
                                  prints \"listening on <addr>\" once
                                  ready, runs until a shutdown request
-  client <addr> <request-json>   send one request to a running server
+  client <addr> <request-json> [--retries N] [--backoff-ms T]
+                                 send one request to a running server
                                  and print its response envelope (and
                                  a binary chunk tally for block /
                                  random-stream); exit 2 when the
-                                 envelope reports an error
+                                 envelope reports an error;
+                                 --retries N replays *idempotent*
+                                 requests (unrank | rank | block |
+                                 verify | stats — never random-stream)
+                                 up to N attempts with exponential
+                                 --backoff-ms (default 50) and
+                                 deterministic jitter, reconnecting
+                                 between attempts
   store build|verify|stat <n> [--dir D] [--jobs N] [--json]
                                  persisted oracle store management
                                  (default --dir hwperm-store):
@@ -743,11 +760,14 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             Ok(hwperm_logic::to_verilog(&netlist, &name))
         }
         "serve" => {
-            const SERVE_USAGE: &str =
-                "usage: hwperm serve <addr> [--workers N] [--chunk N] [--store D]";
+            const SERVE_USAGE: &str = "usage: hwperm serve <addr> [--workers N] [--chunk N] \
+                 [--store D] [--max-conns N] [--idle-timeout-ms T] [--request-deadline-ms T]";
             let mut workers = 4usize;
             let mut chunk = hwperm_serve::DEFAULT_CHUNK;
             let mut store: Option<PathBuf> = None;
+            let mut max_conns = 0usize;
+            let mut idle_timeout_ms: Option<u64> = None;
+            let mut request_deadline_ms: Option<u64> = None;
             let mut positional: Vec<&String> = Vec::new();
             let mut it = rest.iter();
             while let Some(arg) = it.next() {
@@ -774,6 +794,35 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                     "--store" => {
                         let v = it.next().ok_or_else(|| err("--store needs a directory"))?;
                         store = Some(PathBuf::from(v));
+                    }
+                    "--max-conns" => {
+                        let v = it
+                            .next()
+                            .ok_or_else(|| err("--max-conns needs a connection count"))?;
+                        max_conns = parse_usize(v, "connection limit")?;
+                        if !(1..=100_000).contains(&max_conns) {
+                            return Err(err("--max-conns must be 1..=100000"));
+                        }
+                    }
+                    "--idle-timeout-ms" => {
+                        let v = it
+                            .next()
+                            .ok_or_else(|| err("--idle-timeout-ms needs a duration"))?;
+                        let ms = parse_usize(v, "idle timeout")? as u64;
+                        if !(1..=3_600_000).contains(&ms) {
+                            return Err(err("--idle-timeout-ms must be 1..=3600000"));
+                        }
+                        idle_timeout_ms = Some(ms);
+                    }
+                    "--request-deadline-ms" => {
+                        let v = it
+                            .next()
+                            .ok_or_else(|| err("--request-deadline-ms needs a duration"))?;
+                        let ms = parse_usize(v, "request deadline")? as u64;
+                        if !(1..=3_600_000).contains(&ms) {
+                            return Err(err("--request-deadline-ms must be 1..=3600000"));
+                        }
+                        request_deadline_ms = Some(ms);
                     }
                     _ => positional.push(arg),
                 }
@@ -811,14 +860,45 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                     default_chunk: chunk,
                     fixed_micros: None,
                     store_dir: store,
+                    max_conns,
+                    idle_timeout_ms,
+                    request_deadline_ms,
                 },
             )
             .map_err(|e| err(format!("serve failed: {e}")))?;
             Ok(format!("{summary}\n"))
         }
         "client" => {
-            const CLIENT_USAGE: &str = "usage: hwperm client <addr> <request-json>";
-            let [addr, request] = rest else {
+            const CLIENT_USAGE: &str =
+                "usage: hwperm client <addr> <request-json> [--retries N] [--backoff-ms T]";
+            let mut retries = 1usize;
+            let mut backoff_ms = 50u64;
+            let mut positional: Vec<&String> = Vec::new();
+            let mut it = rest.iter();
+            while let Some(arg) = it.next() {
+                match arg.as_str() {
+                    "--retries" => {
+                        let v = it
+                            .next()
+                            .ok_or_else(|| err("--retries needs an attempt count"))?;
+                        retries = parse_usize(v, "retry count")?;
+                        if !(1..=100).contains(&retries) {
+                            return Err(err("--retries must be 1..=100"));
+                        }
+                    }
+                    "--backoff-ms" => {
+                        let v = it
+                            .next()
+                            .ok_or_else(|| err("--backoff-ms needs a duration"))?;
+                        backoff_ms = parse_usize(v, "backoff")? as u64;
+                        if !(1..=60_000).contains(&backoff_ms) {
+                            return Err(err("--backoff-ms must be 1..=60000"));
+                        }
+                    }
+                    _ => positional.push(arg),
+                }
+            }
+            let [addr, request] = positional[..] else {
                 return Err(err(CLIENT_USAGE));
             };
             if request.trim().is_empty() {
@@ -843,11 +923,22 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                     .ok_or_else(|| err(format!("invalid address {addr:?}: no socket address")))?;
                 endpoint = hwperm_serve::Endpoint::Tcp(resolved);
             }
-            let mut client = hwperm_serve::Client::connect(&endpoint)
-                .map_err(|e| err(format!("cannot connect to {addr}: {e}")))?;
-            let response = client
-                .request(request)
-                .map_err(|e| err(format!("request failed: {e}")))?;
+            // `--retries 1` (the default) is exactly the old behavior:
+            // one attempt, fail loudly. More attempts replay idempotent
+            // requests with exponential backoff and reconnect.
+            let policy = hwperm_serve::RetryPolicy {
+                max_attempts: retries as u32,
+                backoff_ms,
+                ..hwperm_serve::RetryPolicy::default()
+            };
+            let mut client = hwperm_serve::RetryClient::new(endpoint, policy);
+            let response = client.request(request).map_err(|e| {
+                let stats = client.stats();
+                err(format!(
+                    "request to {addr} failed after {} attempt(s): {e}",
+                    stats.attempts
+                ))
+            })?;
             let envelope = String::from_utf8(response.envelope.clone())
                 .map_err(|_| err("server sent a non-UTF-8 envelope"))?;
             let mut out = envelope.trim_end().to_string();
@@ -1903,6 +1994,17 @@ mod tests {
         assert!(call(&["serve", "127.0.0.1:0", "--workers"]).is_err());
         assert!(call(&["serve", "127.0.0.1:0", "--chunk", "0"]).is_err());
         assert!(call(&["serve", "127.0.0.1:0", "--chunk", "70000"]).is_err());
+        // Hardening flags: zero, out-of-range, and missing values are
+        // all exit-2 usage errors.
+        assert!(call(&["serve", "127.0.0.1:0", "--max-conns", "0"]).is_err());
+        assert!(call(&["serve", "127.0.0.1:0", "--max-conns", "100001"]).is_err());
+        assert!(call(&["serve", "127.0.0.1:0", "--max-conns"]).is_err());
+        assert!(call(&["serve", "127.0.0.1:0", "--idle-timeout-ms", "0"]).is_err());
+        assert!(call(&["serve", "127.0.0.1:0", "--idle-timeout-ms", "3600001"]).is_err());
+        assert!(call(&["serve", "127.0.0.1:0", "--idle-timeout-ms"]).is_err());
+        assert!(call(&["serve", "127.0.0.1:0", "--request-deadline-ms", "0"]).is_err());
+        assert!(call(&["serve", "127.0.0.1:0", "--request-deadline-ms", "nope"]).is_err());
+        assert!(call(&["serve", "127.0.0.1:0", "--request-deadline-ms"]).is_err());
         // An unbindable address fails fast instead of serving.
         assert!(call(&["serve", "256.0.0.1:9"]).is_err());
     }
@@ -1915,6 +2017,77 @@ mod tests {
         assert!(call(&["client", "not an address", "{}"]).is_err());
         // A resolvable address with nothing listening is a connect error.
         assert!(call(&["client", "127.0.0.1:1", "{\"id\":1,\"cmd\":\"stats\"}"]).is_err());
+        // Retry flags: validation is exit-2, and a retrying client
+        // against a dead server still fails (loudly, after its budget).
+        assert!(call(&["client", "127.0.0.1:1", "{}", "--retries", "0"]).is_err());
+        assert!(call(&["client", "127.0.0.1:1", "{}", "--retries", "101"]).is_err());
+        assert!(call(&["client", "127.0.0.1:1", "{}", "--retries"]).is_err());
+        assert!(call(&["client", "127.0.0.1:1", "{}", "--backoff-ms", "0"]).is_err());
+        assert!(call(&["client", "127.0.0.1:1", "{}", "--backoff-ms", "60001"]).is_err());
+        assert!(call(&["client", "127.0.0.1:1", "{}", "--backoff-ms"]).is_err());
+        let dead = call(&[
+            "client",
+            "127.0.0.1:1",
+            "{\"id\":1,\"cmd\":\"stats\"}",
+            "--retries",
+            "2",
+            "--backoff-ms",
+            "1",
+        ]);
+        let message = dead.unwrap_err().0;
+        assert!(
+            message.contains("failed after 2 attempt(s)"),
+            "retrying client must report its attempt count: {message}"
+        );
+    }
+
+    #[test]
+    fn client_retries_reach_a_live_server() {
+        let listener = hwperm_serve::Listener::bind_tcp("127.0.0.1:0").unwrap();
+        let server = hwperm_serve::spawn(listener, hwperm_serve::ServeOptions::default()).unwrap();
+        let addr = server.endpoint().to_string();
+        let out = call(&[
+            "client",
+            &addr,
+            "{\"id\":3,\"cmd\":\"unrank\",\"n\":4,\"index\":11}",
+            "--retries",
+            "3",
+            "--backoff-ms",
+            "5",
+        ])
+        .unwrap();
+        server.stop().unwrap();
+        assert!(out.contains("\"command\":\"unrank\""), "{out}");
+        assert!(out.contains("\"status\":\"ok\""), "{out}");
+    }
+
+    #[test]
+    fn serve_hardening_flags_reach_the_server() {
+        // A gated single-slot server started through the CLI arm:
+        // checks the flags parse into ServeOptions and the stats
+        // envelope carries the new counters end to end.
+        let listener = hwperm_serve::Listener::bind_tcp("127.0.0.1:0").unwrap();
+        let server = hwperm_serve::spawn(
+            listener,
+            hwperm_serve::ServeOptions {
+                max_conns: 8,
+                idle_timeout_ms: Some(5_000),
+                request_deadline_ms: Some(30_000),
+                ..hwperm_serve::ServeOptions::default()
+            },
+        )
+        .unwrap();
+        let addr = server.endpoint().to_string();
+        let out = call(&["client", &addr, "{\"id\":1,\"cmd\":\"stats\"}"]).unwrap();
+        server.stop().unwrap();
+        for key in [
+            "\"uptime_ms\":",
+            "\"conns_rejected\":0",
+            "\"requests_timed_out\":0",
+            "\"retries_observed\":0",
+        ] {
+            assert!(out.contains(key), "stats envelope missing {key}: {out}");
+        }
     }
 
     #[test]

@@ -54,6 +54,9 @@ pub enum FrameError {
     Empty,
     /// The kind byte is neither [`KIND_JSON`] nor [`KIND_BLOCK`].
     UnknownKind(u8),
+    /// A socket read deadline fired before the frame completed — the
+    /// peer idled (or stalled mid-frame) past the configured timeout.
+    TimedOut,
     /// Transport-level I/O failure.
     Io(String),
 }
@@ -70,6 +73,12 @@ impl std::fmt::Display for FrameError {
             ),
             FrameError::Empty => write!(f, "empty frame: length prefix declares zero bytes"),
             FrameError::UnknownKind(k) => write!(f, "unknown frame kind {k}"),
+            FrameError::TimedOut => {
+                write!(
+                    f,
+                    "idle timeout: no complete frame arrived before the deadline"
+                )
+            }
             FrameError::Io(e) => write!(f, "frame I/O error: {e}"),
         }
     }
@@ -93,6 +102,17 @@ fn read_full(r: &mut impl Read, buf: &mut [u8]) -> Result<bool, FrameError> {
             }
             Ok(k) => filled += k,
             Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            // A socket read deadline (set_read_timeout) surfaces as
+            // WouldBlock on Unix and TimedOut on Windows; both mean
+            // the peer stalled past the configured idle budget.
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                return Err(FrameError::TimedOut)
+            }
             Err(e) => return Err(FrameError::Io(e.to_string())),
         }
     }

@@ -40,22 +40,27 @@
 //! # Ok::<(), std::io::Error>(())
 //! ```
 
+pub mod chaos;
 pub mod client;
 pub mod frame;
 pub mod json;
 pub mod protocol;
 pub mod server;
 
-pub use client::{envelope_id, Client, ClientError, Message, Response};
+pub use chaos::{ChaosProxy, ChaosReport, Fault};
+pub use client::{
+    envelope_id, request_is_replayable, Client, ClientError, Message, Response, RetryClient,
+    RetryPolicy, RetryStats,
+};
 pub use frame::{
     encode_frame, read_frame, write_frame, FrameError, KIND_BLOCK, KIND_JSON, MAX_FRAME,
 };
 pub use json::{Json, JsonError};
 pub use protocol::{
-    decode_chunk, encode_chunk, envelope, error_result, parse_request, BlockChunk, Request,
-    RequestError, CHUNK_CAP, CHUNK_FLAG_LAST, CHUNK_HEADER, DEFAULT_CHUNK,
+    decode_chunk, encode_chunk, envelope, error_result, parse_request, request_attempt, BlockChunk,
+    Request, RequestError, CHUNK_CAP, CHUNK_FLAG_LAST, CHUNK_HEADER, DEFAULT_CHUNK,
 };
 pub use server::{
-    serve, spawn, Endpoint, Listener, ServeOptions, ServeSummary, ServerHandle,
-    STREAM_SPOT_CHECK_EVERY, WRITE_QUEUE_DEPTH,
+    serve, spawn, Endpoint, Listener, ServeOptions, ServeSummary, ServerHandle, DEADLINE_MSG,
+    DEFAULT_DRAIN_MS, STREAM_SPOT_CHECK_EVERY, WRITE_QUEUE_DEPTH,
 };

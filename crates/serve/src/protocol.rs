@@ -170,6 +170,27 @@ fn field_chunk(doc: &Json, id: u64, cmd: &str, default: usize) -> Result<usize, 
     Ok(chunk)
 }
 
+/// The `"attempt"` counter a retrying client stamps on replayed
+/// requests (0 or absent on first sends). Servers tally non-zero
+/// attempts as `retries_observed`; the field is otherwise ignored, so
+/// stamped requests parse identically to fresh ones. Unparseable
+/// payloads report 0 — they are counted through the error path, not
+/// the retry path.
+pub fn request_attempt(payload: &[u8]) -> u64 {
+    // Cheap pre-filter: almost every request carries no "attempt" key,
+    // and those skip the second JSON parse entirely.
+    if !payload
+        .windows(b"\"attempt\"".len())
+        .any(|w| w == b"\"attempt\"")
+    {
+        return 0;
+    }
+    Json::parse(payload)
+        .ok()
+        .and_then(|doc| doc.get("attempt")?.as_u64())
+        .unwrap_or(0)
+}
+
 /// Parses and validates one request payload; `default_chunk` is the
 /// server-configured chunk size used when a request omits `"chunk"`.
 /// On failure the error carries the best-effort id/command echo for

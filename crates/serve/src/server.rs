@@ -63,7 +63,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{sync_channel, SyncSender};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::{self, JoinHandle};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Bound on the per-connection writer queue, in frames. With the
 /// default chunk size this caps buffered output near 2 MiB per
@@ -75,6 +75,15 @@ pub const WRITE_QUEUE_DEPTH: usize = 32;
 /// k-th draw is ranked back; see `hwperm_core::GuardedPermSource`).
 pub const STREAM_SPOT_CHECK_EVERY: u64 = 64;
 
+/// Drain budget at shutdown when no idle timeout is configured: how
+/// long a straggling writer may keep flushing to a slow client before
+/// its socket write is deadlined.
+pub const DEFAULT_DRAIN_MS: u64 = 5_000;
+
+/// The pinned error message a request past its execution deadline
+/// answers with (see [`ServeOptions::request_deadline_ms`]).
+pub const DEADLINE_MSG: &str = "request deadline exceeded";
+
 /// Server configuration.
 #[derive(Debug, Clone)]
 pub struct ServeOptions {
@@ -85,7 +94,8 @@ pub struct ServeOptions {
     pub default_chunk: usize,
     /// When set, every envelope reports this latency instead of the
     /// measured one. Golden-transcript tests pin `Some(0)` so response
-    /// bytes are reproducible; production leaves it `None`.
+    /// bytes are reproducible (the `stats` `uptime_ms` field is pinned
+    /// to the same value); production leaves it `None`.
     pub fixed_micros: Option<u64>,
     /// When set, `verify` expectation tables and `block` chunk words
     /// are streamed from the persisted oracle store under this
@@ -94,6 +104,29 @@ pub struct ServeOptions {
     /// tables fall back to computing; *broken* tables fail the request
     /// loudly. The wire bytes are identical either way.
     pub store_dir: Option<PathBuf>,
+    /// Accept gate: connections beyond this many concurrent ones are
+    /// *shed* — they receive one pinned `busy` error envelope and are
+    /// closed, instead of queueing unboundedly. `0` disables the gate.
+    pub max_conns: usize,
+    /// Per-connection idle deadline, in milliseconds. A connection
+    /// that completes no frame for this long — silent, half-open, or
+    /// trickling bytes without ever finishing a frame — is reaped: the
+    /// socket read times out (silent peers) and a background sweep
+    /// half-closes connections whose frame has stalled (slow-loris
+    /// trickles), so the reader answers a pinned truncation/timeout
+    /// error and exits. Socket writes are deadlined with the same
+    /// budget, so a client that stops reading cannot pin a writer
+    /// forever. `None` disables both (the pre-hardening contract).
+    pub idle_timeout_ms: Option<u64>,
+    /// Per-request execution deadline, in milliseconds, measured from
+    /// the moment the request is read off the wire. Long-running
+    /// streaming requests (`block`, `random-stream`) checkpoint a
+    /// cancel flag between chunks and answer the pinned
+    /// [`DEADLINE_MSG`] error once past the deadline; `verify` checks
+    /// before starting its sweep. Single-shot requests (`unrank`,
+    /// `rank`, `stats`, `shutdown`) have no checkpoint and always
+    /// complete. `None` disables deadlines.
+    pub request_deadline_ms: Option<u64>,
 }
 
 impl Default for ServeOptions {
@@ -103,6 +136,9 @@ impl Default for ServeOptions {
             default_chunk: DEFAULT_CHUNK,
             fixed_micros: None,
             store_dir: None,
+            max_conns: 0,
+            idle_timeout_ms: None,
+            request_deadline_ms: None,
         }
     }
 }
@@ -147,9 +183,30 @@ impl Listener {
     }
 
     /// Binds a Unix-domain listener at `path`.
+    ///
+    /// A leftover socket file is handled by *probing* it: if something
+    /// answers, a live server owns the path and binding fails loudly
+    /// (instead of the bare `AddrInUse` that cannot distinguish live
+    /// from stale); if nothing answers, the file is a stale remnant of
+    /// a crash and is removed before binding. Graceful shutdown
+    /// unlinks the file, so the stale path only arises after a kill.
     #[cfg(unix)]
     pub fn bind_unix(path: impl Into<PathBuf>) -> io::Result<Listener> {
         let path = path.into();
+        if path.exists() {
+            match UnixStream::connect(&path) {
+                Ok(_) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::AddrInUse,
+                        format!(
+                            "refusing to bind {}: a live server already answers on this socket",
+                            path.display()
+                        ),
+                    ))
+                }
+                Err(_) => std::fs::remove_file(&path)?,
+            }
+        }
         Ok(Listener::Unix(UnixListener::bind(&path)?, path))
     }
 
@@ -162,7 +219,7 @@ impl Listener {
         }
     }
 
-    fn accept(&self) -> io::Result<Stream> {
+    pub(crate) fn accept(&self) -> io::Result<Stream> {
         match self {
             Listener::Tcp(l) => {
                 let (s, _) = l.accept()?;
@@ -207,6 +264,22 @@ impl Stream {
             Stream::Tcp(s) => s.shutdown(how),
             #[cfg(unix)]
             Stream::Unix(s) => s.shutdown(how),
+        }
+    }
+
+    pub(crate) fn set_read_timeout(&self, dur: Option<Duration>) -> io::Result<()> {
+        match self {
+            Stream::Tcp(s) => s.set_read_timeout(dur),
+            #[cfg(unix)]
+            Stream::Unix(s) => s.set_read_timeout(dur),
+        }
+    }
+
+    pub(crate) fn set_write_timeout(&self, dur: Option<Duration>) -> io::Result<()> {
+        match self {
+            Stream::Tcp(s) => s.set_write_timeout(dur),
+            #[cfg(unix)]
+            Stream::Unix(s) => s.set_write_timeout(dur),
         }
     }
 }
@@ -267,6 +340,11 @@ struct Stats {
     bytes_out: AtomicU64,
     chunks: AtomicU64,
     micros: AtomicU64,
+    conns_rejected: AtomicU64,
+    requests_timed_out: AtomicU64,
+    retries_observed: AtomicU64,
+    threads_spawned: AtomicU64,
+    threads_joined: AtomicU64,
     commands: [AtomicU64; 8],
 }
 
@@ -274,8 +352,10 @@ impl Stats {
     /// The `stats` result object. `bytes_out` counts frames at
     /// *enqueue* time (when the worker hands them to the writer), so
     /// the snapshot is deterministic on a single-worker server — it
-    /// does not race the writer thread's progress.
-    fn render(&self) -> String {
+    /// does not race the writer thread's progress. `uptime_ms` is the
+    /// caller-supplied wall clock (pinned by `fixed_micros` in the
+    /// golden transcripts).
+    fn render(&self, uptime_ms: u64) -> String {
         let commands = COMMANDS
             .iter()
             .zip(&self.commands)
@@ -285,7 +365,8 @@ impl Stats {
         format!(
             "{{\"type\":\"stats\",\"connections\":{},\"requests\":{},\"errors\":{},\
              \"bytes_in\":{},\"bytes_out\":{},\"chunks\":{},\"micros\":{},\
-             \"commands\":{{{commands}}}}}",
+             \"uptime_ms\":{uptime_ms},\"conns_rejected\":{},\"requests_timed_out\":{},\
+             \"retries_observed\":{},\"commands\":{{{commands}}}}}",
             self.connections.load(Ordering::Relaxed),
             self.requests.load(Ordering::Relaxed),
             self.errors.load(Ordering::Relaxed),
@@ -293,6 +374,9 @@ impl Stats {
             self.bytes_out.load(Ordering::Relaxed),
             self.chunks.load(Ordering::Relaxed),
             self.micros.load(Ordering::Relaxed),
+            self.conns_rejected.load(Ordering::Relaxed),
+            self.requests_timed_out.load(Ordering::Relaxed),
+            self.retries_observed.load(Ordering::Relaxed),
         )
     }
 }
@@ -310,14 +394,33 @@ pub struct ServeSummary {
     pub bytes_in: u64,
     /// Bytes enqueued for sending (frames, including prefixes).
     pub bytes_out: u64,
+    /// Connections shed by the [`ServeOptions::max_conns`] gate.
+    pub conns_rejected: u64,
+    /// Requests that answered the pinned [`DEADLINE_MSG`] error.
+    pub requests_timed_out: u64,
+    /// Threads this server spawned (workers, readers, writers, the
+    /// idle sweep). Leak accounting: equals `threads_joined` after a
+    /// graceful shutdown, whatever the clients did.
+    pub threads_spawned: u64,
+    /// Threads joined before [`serve`] returned.
+    pub threads_joined: u64,
 }
 
 impl fmt::Display for ServeSummary {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "served {} request(s) ({} error(s)) over {} connection(s), {} B in / {} B out",
-            self.requests, self.errors, self.connections, self.bytes_in, self.bytes_out
+            "served {} request(s) ({} error(s)) over {} connection(s), {} B in / {} B out, \
+             {} rejected, {} timed out, {}/{} thread(s) joined",
+            self.requests,
+            self.errors,
+            self.connections,
+            self.bytes_in,
+            self.bytes_out,
+            self.conns_rejected,
+            self.requests_timed_out,
+            self.threads_joined,
+            self.threads_spawned,
         )
     }
 }
@@ -388,20 +491,47 @@ struct VerifyEntry {
     total: u64,
 }
 
+/// One live connection in the registry: a socket clone the sweep and
+/// shutdown paths can half-close, plus its activity clock.
+struct ConnEntry {
+    stream: Stream,
+    /// Milliseconds since server start at the last *completed* frame
+    /// (not the last byte — a slow-loris trickle that never finishes a
+    /// frame does not count as progress).
+    last_activity_ms: Arc<AtomicU64>,
+}
+
 /// State shared by every thread of one server.
 struct Shared {
     options: ServeOptions,
     stats: Stats,
     stop: AtomicBool,
+    /// Milliseconds since start when the stop flag was raised (drain
+    /// deadline anchor; meaningless until `stop` is set).
+    stopped_at_ms: AtomicU64,
+    started: Instant,
     endpoint: Endpoint,
-    /// Read-side clones of live connections, half-closed at shutdown.
-    conns: Mutex<Vec<Stream>>,
+    /// Live connections by id, half-closed at shutdown or when the
+    /// idle sweep reaps them.
+    conns: Mutex<HashMap<u64, ConnEntry>>,
+    next_conn_id: AtomicU64,
+    /// Connections currently being served — the accept gate's count.
+    /// Only the accept thread increments, so the gate cannot over-admit.
+    live_conns: AtomicUsize,
     pool: Arc<PoolShared>,
     verify_cache: Mutex<HashMap<usize, Arc<VerifyEntry>>>,
     store_cache: Mutex<HashMap<usize, Arc<OpenTable>>>,
 }
 
 impl Shared {
+    fn now_ms(&self) -> u64 {
+        self.started.elapsed().as_millis() as u64
+    }
+
+    fn uptime_ms(&self) -> u64 {
+        self.options.fixed_micros.unwrap_or_else(|| self.now_ms())
+    }
+
     /// The warm store table for `n`, if the server has a store dir and
     /// the table is built. `None` is the normal cold path (no store
     /// configured, `n` beyond what stores hold, or table not built);
@@ -455,30 +585,104 @@ impl Shared {
         Ok(Arc::clone(cache.entry(n).or_insert(entry)))
     }
 
+    /// The drain / idle budget in effect: the configured idle timeout,
+    /// or [`DEFAULT_DRAIN_MS`] where only the shutdown path needs one.
+    fn drain_budget_ms(&self) -> u64 {
+        self.options.idle_timeout_ms.unwrap_or(DEFAULT_DRAIN_MS)
+    }
+
     fn trigger_stop(self: &Arc<Self>) {
         if self.stop.swap(true, Ordering::SeqCst) {
             return;
         }
+        self.stopped_at_ms.store(self.now_ms(), Ordering::SeqCst);
         // Half-close every reader so no new requests are minted; the
-        // write sides stay open for the responses still draining.
-        for conn in self.conns.lock().expect("conns lock").iter() {
-            let _ = conn.shutdown(std::net::Shutdown::Read);
+        // write sides stay open for the responses still draining — but
+        // deadlined, so a client that stopped reading cannot pin a
+        // straggling writer beyond the drain budget.
+        let drain = Duration::from_millis(self.drain_budget_ms().max(1));
+        for conn in self.conns.lock().expect("conns lock").values() {
+            let _ = conn.stream.shutdown(std::net::Shutdown::Read);
+            let _ = conn.stream.set_write_timeout(Some(drain));
         }
         // Wake the accept loop so `serve` can move on to the joins.
         let _ = Stream::connect(&self.endpoint);
     }
+
+    /// One pass of the idle sweep. The per-call socket read timeout
+    /// already catches a *blocked* reader at one idle budget (pinned
+    /// timeout envelope); the sweep exists for the one case that
+    /// timeout cannot see — a trickler whose bytes keep every `read`
+    /// call short of its deadline while the frame never completes. So
+    /// the sweep fires only from **twice** the budget (no completed
+    /// frame for 2×idle), deliberately past the socket timeout, so the
+    /// two mechanisms never race on the same connection: a half-closed
+    /// read mid-frame yields the pinned truncation envelope. From
+    /// 4×idle (or past the drain deadline once stopping) the
+    /// connection is force-closed outright, which also unblocks a
+    /// writer the write timeout somehow missed.
+    fn sweep_idle(&self) {
+        let Some(idle) = self.options.idle_timeout_ms else {
+            return;
+        };
+        let now = self.now_ms();
+        let stopping = self.stop.load(Ordering::SeqCst);
+        let drain_deadline = self.stopped_at_ms.load(Ordering::SeqCst) + self.drain_budget_ms();
+        for conn in self.conns.lock().expect("conns lock").values() {
+            let last = conn.last_activity_ms.load(Ordering::Relaxed);
+            let stale = now.saturating_sub(last);
+            if stale > 4 * idle || (stopping && now > drain_deadline) {
+                let _ = conn.stream.shutdown(std::net::Shutdown::Both);
+            } else if stale > 2 * idle {
+                let _ = conn.stream.shutdown(std::net::Shutdown::Read);
+            }
+        }
+    }
 }
 
-/// Per-request context: where responses go and what the envelope's
-/// metrics trailer reports.
+/// Per-request context: where responses go, what the envelope's
+/// metrics trailer reports, and the request's execution deadline.
 struct ReqCtx {
     sender: SyncSender<Vec<u8>>,
     shared: Arc<Shared>,
     start: Instant,
+    /// Execution deadline ([`ServeOptions::request_deadline_ms`] past
+    /// `start`); streaming handlers checkpoint it between chunks.
+    deadline: Option<Instant>,
     bytes_in: u64,
 }
 
 impl ReqCtx {
+    fn new(sender: SyncSender<Vec<u8>>, shared: Arc<Shared>, bytes_in: u64) -> ReqCtx {
+        let start = Instant::now();
+        let deadline = shared
+            .options
+            .request_deadline_ms
+            .map(|ms| start + Duration::from_millis(ms));
+        ReqCtx {
+            sender,
+            shared,
+            start,
+            deadline,
+            bytes_in,
+        }
+    }
+
+    /// Whether this request blew its execution deadline. Checked
+    /// between chunks, never mid-computation.
+    fn expired(&self) -> bool {
+        self.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+
+    /// Answers the pinned deadline error and counts it.
+    fn respond_deadline(&self, command: &str, id: u64) {
+        self.shared
+            .stats
+            .requests_timed_out
+            .fetch_add(1, Ordering::Relaxed);
+        self.respond(command, false, &error_result(DEADLINE_MSG), id);
+    }
+
     fn micros(&self) -> u64 {
         self.shared
             .options
@@ -538,11 +742,27 @@ struct BlockState {
     chunks_total: u64,
     seq: AtomicU64,
     remaining: AtomicUsize,
+    /// Set once any shard fails or blows the deadline: the other
+    /// shards checkpoint it between chunks and stop early.
+    cancelled: AtomicBool,
     /// Warm store table to stream chunk words from; `None` decodes.
     /// Either way the chunk bytes on the wire are identical.
     table: Option<Arc<OpenTable>>,
-    /// First store read failure, reported by the closing envelope.
+    /// First failure, reported verbatim by the closing envelope.
     failed: Mutex<Option<String>>,
+}
+
+impl BlockState {
+    /// Records the first failure message (later ones lose the race and
+    /// are dropped) and cancels the remaining shards. Returns whether
+    /// this call won the race to set the message.
+    fn fail(&self, message: String) -> bool {
+        let mut slot = self.failed.lock().expect("block failure lock");
+        let won = slot.is_none();
+        slot.get_or_insert(message);
+        self.cancelled.store(true, Ordering::Relaxed);
+        won
+    }
 }
 
 fn run_block_shard(state: &Arc<BlockState>, range: std::ops::Range<u64>) {
@@ -552,16 +772,29 @@ fn run_block_shard(state: &Arc<BlockState>, range: std::ops::Range<u64>) {
     let mut bytes = Vec::with_capacity(state.chunk * 8);
     let mut base = range.start;
     while base < range.end {
+        // The cancel-flag checkpoint: a shard past the request
+        // deadline (or racing a failed sibling) stops between chunks
+        // rather than decoding the rest of its range into a void.
+        if state.cancelled.load(Ordering::Relaxed) {
+            break;
+        }
+        if state.ctx.expired() {
+            if state.fail(DEADLINE_MSG.to_string()) {
+                state
+                    .ctx
+                    .shared
+                    .stats
+                    .requests_timed_out
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+            break;
+        }
         let top = (base + state.chunk as u64).min(range.end);
         bytes.clear();
         match (&state.table, &mut decoder) {
             (Some(table), _) => {
                 if let Err(e) = table.read_le_bytes_into(base..top, &mut bytes) {
-                    state
-                        .failed
-                        .lock()
-                        .expect("block failure lock")
-                        .get_or_insert(e.to_string());
+                    state.fail(format!("store error: {e}"));
                     break;
                 }
             }
@@ -583,12 +816,9 @@ fn run_block_shard(state: &Arc<BlockState>, range: std::ops::Range<u64>) {
 
 fn finish_block(state: &Arc<BlockState>) {
     if let Some(message) = state.failed.lock().expect("block failure lock").take() {
-        state.ctx.respond(
-            "block",
-            false,
-            &error_result(&format!("store error: {message}")),
-            state.id,
-        );
+        state
+            .ctx
+            .respond("block", false, &error_result(&message), state.id);
         return;
     }
     let results = format!(
@@ -607,6 +837,12 @@ fn finish_block(state: &Arc<BlockState>) {
 /// Parses and executes one request. Runs on a pool worker.
 fn handle_request(ctx: ReqCtx, payload: Vec<u8>) {
     let stats = &ctx.shared.stats;
+    // Replayed requests carry an `"attempt"` field (the retrying
+    // client stamps it); tally them so `stats` reports how much client
+    // retry traffic this server absorbed.
+    if crate::protocol::request_attempt(&payload) > 0 {
+        stats.retries_observed.fetch_add(1, Ordering::Relaxed);
+    }
     let (id, request) = match parse_request(&payload, ctx.shared.options.default_chunk) {
         Ok(parsed) => parsed,
         Err(e) => {
@@ -687,6 +923,7 @@ fn handle_request(ctx: ReqCtx, payload: Vec<u8>) {
                 chunks_total,
                 seq: AtomicU64::new(0),
                 remaining: AtomicUsize::new(shards.len().max(1)),
+                cancelled: AtomicBool::new(false),
                 table,
                 failed: Mutex::new(None),
             });
@@ -725,6 +962,12 @@ fn handle_request(ctx: ReqCtx, payload: Vec<u8>) {
             let mut drawn = 0u64;
             let mut seq = 0u64;
             while drawn < count {
+                // Deadline checkpoint between chunks — same contract
+                // as the block shards.
+                if ctx.expired() {
+                    ctx.respond_deadline("random-stream", id);
+                    return;
+                }
                 let take = ((count - drawn) as usize).min(chunk);
                 source.fill_packed_u64(&mut words[..take]);
                 bytes.clear();
@@ -750,6 +993,13 @@ fn handle_request(ctx: ReqCtx, payload: Vec<u8>) {
             ctx.respond("random-stream", true, &results, id);
         }
         Request::Verify { n, jobs } => {
+            // The sharded sweep has no mid-flight checkpoint; honor
+            // the deadline at least before committing to it (a request
+            // that sat in the queue past its deadline never starts).
+            if ctx.expired() {
+                ctx.respond_deadline("verify", id);
+                return;
+            }
             let entry = match ctx.shared.verify_entry(n) {
                 Ok(entry) => entry,
                 Err(e) => {
@@ -793,7 +1043,7 @@ fn handle_request(ctx: ReqCtx, payload: Vec<u8>) {
             }
         }
         Request::Stats => {
-            let results = ctx.shared.stats.render();
+            let results = ctx.shared.stats.render(ctx.shared.uptime_ms());
             ctx.respond("stats", true, &results, id);
         }
         Request::Shutdown => {
@@ -809,77 +1059,120 @@ fn handle_request(ctx: ReqCtx, payload: Vec<u8>) {
 }
 
 /// Reader loop of one connection; owns the writer thread.
-fn handle_connection(shared: Arc<Shared>, mut read_half: Stream) {
+fn handle_connection(shared: Arc<Shared>, mut read_half: Stream, conn_id: u64) {
     shared.stats.connections.fetch_add(1, Ordering::Relaxed);
-    let Ok(mut write_half) = read_half.try_clone() else {
-        return;
+    let last_activity = Arc::new(AtomicU64::new(shared.now_ms()));
+    let registered = match (read_half.try_clone(), read_half.try_clone()) {
+        (Ok(write_half), Ok(registered)) => {
+            // Read/write deadlines: a silent peer times the reader
+            // out, a peer that stops reading times the writer out.
+            // The idle sweep covers what per-call timeouts cannot
+            // (trickled frames that never finish).
+            if let Some(idle) = shared.options.idle_timeout_ms {
+                let budget = Some(Duration::from_millis(idle.max(1)));
+                let _ = read_half.set_read_timeout(budget);
+                let _ = read_half.set_write_timeout(budget);
+            }
+            shared.conns.lock().expect("conns lock").insert(
+                conn_id,
+                ConnEntry {
+                    stream: registered,
+                    last_activity_ms: Arc::clone(&last_activity),
+                },
+            );
+            // A shutdown that raced this registration may have missed
+            // us; re-check so the reader can't outlive the stop
+            // decision.
+            if shared.stop.load(Ordering::SeqCst) {
+                let _ = read_half.shutdown(std::net::Shutdown::Read);
+            }
+            Some(write_half)
+        }
+        _ => None,
     };
-    if let Ok(registered) = read_half.try_clone() {
-        shared.conns.lock().expect("conns lock").push(registered);
-        // A shutdown that raced this registration may have missed us;
-        // re-check so the reader can't outlive the stop decision.
-        if shared.stop.load(Ordering::SeqCst) {
-            let _ = read_half.shutdown(std::net::Shutdown::Read);
-        }
-    }
-    let (sender, receiver) = sync_channel::<Vec<u8>>(WRITE_QUEUE_DEPTH);
-    let writer = thread::spawn(move || {
-        while let Ok(frame) = receiver.recv() {
-            if write_half.write_all(&frame).is_err() {
-                // Dropping the receiver un-blocks any workers still
-                // producing for this dead connection.
-                break;
-            }
-        }
-        let _ = write_half.shutdown(std::net::Shutdown::Write);
-    });
-    loop {
-        match read_frame(&mut read_half) {
-            Ok(None) => break,
-            Ok(Some((kind, payload))) => {
-                let bytes_in = payload.len() as u64 + 5;
-                shared.stats.bytes_in.fetch_add(bytes_in, Ordering::Relaxed);
-                shared.stats.requests.fetch_add(1, Ordering::Relaxed);
-                let ctx = ReqCtx {
-                    sender: sender.clone(),
-                    shared: Arc::clone(&shared),
-                    start: Instant::now(),
-                    bytes_in,
-                };
-                if kind == KIND_BLOCK {
-                    shared.stats.commands[command_slot("error")].fetch_add(1, Ordering::Relaxed);
-                    ctx.respond(
-                        "error",
-                        false,
-                        &error_result("binary frames flow server to client only"),
-                        0,
-                    );
-                    continue;
+    if let Some(mut write_half) = registered {
+        let (sender, receiver) = sync_channel::<Vec<u8>>(WRITE_QUEUE_DEPTH);
+        shared.stats.threads_spawned.fetch_add(1, Ordering::Relaxed);
+        let writer = thread::spawn(move || {
+            while let Ok(frame) = receiver.recv() {
+                if write_half.write_all(&frame).is_err() {
+                    // Dropping the receiver un-blocks any workers
+                    // still producing for this dead connection; a full
+                    // close also kicks the reader off a client that
+                    // only stalled its receive direction.
+                    let _ = write_half.shutdown(std::net::Shutdown::Both);
+                    return;
                 }
-                pool_submit(&shared.pool, Box::new(move || handle_request(ctx, payload)));
             }
-            Err(e) => {
-                // Framing is broken: answer once, then close — there
-                // is no resynchronization point in a length-prefixed
-                // stream.
-                shared.stats.requests.fetch_add(1, Ordering::Relaxed);
-                shared.stats.commands[command_slot("error")].fetch_add(1, Ordering::Relaxed);
-                let ctx = ReqCtx {
-                    sender: sender.clone(),
-                    shared: Arc::clone(&shared),
-                    start: Instant::now(),
-                    bytes_in: 0,
-                };
-                ctx.respond("error", false, &error_result(&e.to_string()), 0);
-                break;
+            let _ = write_half.shutdown(std::net::Shutdown::Write);
+        });
+        loop {
+            match read_frame(&mut read_half) {
+                Ok(None) => break,
+                Ok(Some((kind, payload))) => {
+                    last_activity.store(shared.now_ms(), Ordering::Relaxed);
+                    let bytes_in = payload.len() as u64 + 5;
+                    shared.stats.bytes_in.fetch_add(bytes_in, Ordering::Relaxed);
+                    shared.stats.requests.fetch_add(1, Ordering::Relaxed);
+                    let ctx = ReqCtx::new(sender.clone(), Arc::clone(&shared), bytes_in);
+                    if kind == KIND_BLOCK {
+                        shared.stats.commands[command_slot("error")]
+                            .fetch_add(1, Ordering::Relaxed);
+                        ctx.respond(
+                            "error",
+                            false,
+                            &error_result("binary frames flow server to client only"),
+                            0,
+                        );
+                        continue;
+                    }
+                    pool_submit(&shared.pool, Box::new(move || handle_request(ctx, payload)));
+                }
+                Err(e) => {
+                    // Framing is broken (or the connection idled out):
+                    // answer once, then close — there is no
+                    // resynchronization point in a length-prefixed
+                    // stream.
+                    shared.stats.requests.fetch_add(1, Ordering::Relaxed);
+                    shared.stats.commands[command_slot("error")].fetch_add(1, Ordering::Relaxed);
+                    let ctx = ReqCtx::new(sender.clone(), Arc::clone(&shared), 0);
+                    ctx.respond("error", false, &error_result(&e.to_string()), 0);
+                    break;
+                }
             }
         }
+        // Writer exits once every sender is gone — ours now, the
+        // in-flight jobs' when they finish — so joining it waits for
+        // the responses this connection is still owed.
+        drop(sender);
+        let _ = writer.join();
+        shared.stats.threads_joined.fetch_add(1, Ordering::Relaxed);
     }
-    // Writer exits once every sender is gone — ours now, the in-flight
-    // jobs' when they finish — so joining it waits for the responses
-    // this connection is still owed.
-    drop(sender);
-    let _ = writer.join();
+    shared.conns.lock().expect("conns lock").remove(&conn_id);
+    shared.live_conns.fetch_sub(1, Ordering::SeqCst);
+}
+
+/// Sheds one over-limit connection: answer the pinned `busy` error
+/// envelope (deadlined, so a client that won't read cannot stall the
+/// accept loop) and close. No thread is spawned for shed connections.
+fn shed_connection(shared: &Shared, stream: Stream) {
+    shared.stats.conns_rejected.fetch_add(1, Ordering::Relaxed);
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(shared.drain_budget_ms().max(1))));
+    let busy = envelope(
+        "busy",
+        false,
+        &error_result(&format!(
+            "server busy: connection limit of {} reached, retry later",
+            shared.options.max_conns
+        )),
+        0,
+        shared.options.fixed_micros.unwrap_or(0),
+        0,
+    );
+    let wire = encode_frame(KIND_JSON, &busy);
+    let mut stream = stream;
+    let _ = stream.write_all(&wire);
+    let _ = stream.shutdown(std::net::Shutdown::Both);
 }
 
 /// Runs the server until a `shutdown` request arrives; returns the
@@ -894,13 +1187,41 @@ pub fn serve(listener: Listener, options: ServeOptions) -> io::Result<ServeSumma
         options,
         stats: Stats::default(),
         stop: AtomicBool::new(false),
+        stopped_at_ms: AtomicU64::new(0),
+        started: Instant::now(),
         endpoint,
-        conns: Mutex::new(Vec::new()),
+        conns: Mutex::new(HashMap::new()),
+        next_conn_id: AtomicU64::new(0),
+        live_conns: AtomicUsize::new(0),
         pool: Arc::clone(&pool),
         verify_cache: Mutex::new(HashMap::new()),
         store_cache: Mutex::new(HashMap::new()),
     });
+    let worker_count = shared.options.workers as u64;
+    shared
+        .stats
+        .threads_spawned
+        .fetch_add(worker_count, Ordering::Relaxed);
     let workers = spawn_pool_workers(&pool, shared.options.workers);
+    // The idle sweep: reaps connections that stall a frame past the
+    // idle timeout (the per-call socket timeouts cannot see trickled
+    // bytes) and force-closes drain stragglers after shutdown.
+    let sweeper = shared.options.idle_timeout_ms.map(|idle| {
+        shared.stats.threads_spawned.fetch_add(1, Ordering::Relaxed);
+        let shared = Arc::clone(&shared);
+        thread::spawn(move || {
+            let tick = Duration::from_millis((idle / 4).clamp(5, 50));
+            loop {
+                thread::sleep(tick);
+                shared.sweep_idle();
+                if shared.stop.load(Ordering::SeqCst)
+                    && shared.conns.lock().expect("conns lock").is_empty()
+                {
+                    return;
+                }
+            }
+        })
+    });
     let mut connections = Vec::new();
     loop {
         let stream = match listener.accept() {
@@ -911,14 +1232,37 @@ pub fn serve(listener: Listener, options: ServeOptions) -> io::Result<ServeSumma
         if shared.stop.load(Ordering::SeqCst) {
             break; // the shutdown self-connect
         }
+        // The accept gate: over-limit connections get one pinned
+        // `busy` envelope and a close instead of a thread and a queue
+        // slot. Only this thread admits, so the gate cannot over-admit.
+        let max = shared.options.max_conns;
+        if max > 0 && shared.live_conns.load(Ordering::SeqCst) >= max {
+            shed_connection(&shared, stream);
+            continue;
+        }
+        shared.live_conns.fetch_add(1, Ordering::SeqCst);
+        let conn_id = shared.next_conn_id.fetch_add(1, Ordering::Relaxed);
+        shared.stats.threads_spawned.fetch_add(1, Ordering::Relaxed);
         let shared = Arc::clone(&shared);
-        connections.push(thread::spawn(move || handle_connection(shared, stream)));
+        connections.push(thread::spawn(move || {
+            handle_connection(shared, stream, conn_id)
+        }));
     }
     // Readers were half-closed by trigger_stop, so the job queue only
-    // shrinks from here; drain it, then wait for the writers to flush.
+    // shrinks from here; drain it, then wait for the writers to flush
+    // (each within the drain deadline trigger_stop armed).
     pool_join(&pool, workers);
+    shared
+        .stats
+        .threads_joined
+        .fetch_add(worker_count, Ordering::Relaxed);
     for conn in connections {
         let _ = conn.join();
+        shared.stats.threads_joined.fetch_add(1, Ordering::Relaxed);
+    }
+    if let Some(sweeper) = sweeper {
+        let _ = sweeper.join();
+        shared.stats.threads_joined.fetch_add(1, Ordering::Relaxed);
     }
     #[cfg(unix)]
     if let Endpoint::Unix(path) = &shared.endpoint {
@@ -931,6 +1275,10 @@ pub fn serve(listener: Listener, options: ServeOptions) -> io::Result<ServeSumma
         errors: stats.errors.load(Ordering::Relaxed),
         bytes_in: stats.bytes_in.load(Ordering::Relaxed),
         bytes_out: stats.bytes_out.load(Ordering::Relaxed),
+        conns_rejected: stats.conns_rejected.load(Ordering::Relaxed),
+        requests_timed_out: stats.requests_timed_out.load(Ordering::Relaxed),
+        threads_spawned: stats.threads_spawned.load(Ordering::Relaxed),
+        threads_joined: stats.threads_joined.load(Ordering::Relaxed),
     })
 }
 
@@ -958,12 +1306,25 @@ impl ServerHandle {
     }
 
     /// Sends a `shutdown` request and joins the server thread.
+    ///
+    /// On a gated server (`max_conns`) the stop connection itself can
+    /// be shed while a just-closed slot is still being reaped, so a
+    /// `busy` answer is retried briefly — a stop must win against its
+    /// own accept gate.
     pub fn stop(mut self) -> io::Result<ServeSummary> {
-        let mut client = Client::connect(&self.endpoint)?;
-        client
-            .request("{\"cmd\":\"shutdown\"}")
-            .map_err(|e| io::Error::other(e.to_string()))?;
-        self.join_inner()
+        for _ in 0..500 {
+            let mut client = Client::connect(&self.endpoint)?;
+            let response = client
+                .request("{\"cmd\":\"shutdown\"}")
+                .map_err(|e| io::Error::other(e.to_string()))?;
+            if !String::from_utf8_lossy(&response.envelope).contains("\"command\":\"busy\"") {
+                return self.join_inner();
+            }
+            thread::sleep(Duration::from_millis(10));
+        }
+        Err(io::Error::other(
+            "server shed 500 consecutive shutdown attempts; giving up",
+        ))
     }
 
     /// Joins the server thread (some client must have requested

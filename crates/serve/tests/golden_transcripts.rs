@@ -180,10 +180,13 @@ fn transcript() -> Vec<(Vec<u8>, Vec<u8>)> {
     let bytes_in_total: usize =
         steps.iter().map(|(sent, _)| sent.len()).sum::<usize>() + req.len() + 5;
     let bytes_out_total: usize = steps.iter().map(|(_, resp)| resp.len()).sum();
+    // `uptime_ms` is pinned to 0 the same way `micros` is: a
+    // fixed-micros server reports deterministic time everywhere.
     let results = format!(
         "{{\"type\":\"stats\",\"connections\":1,\"requests\":9,\"errors\":3,\
          \"bytes_in\":{bytes_in_total},\"bytes_out\":{bytes_out_total},\"chunks\":3,\
-         \"micros\":0,\"commands\":{{\"unrank\":2,\"rank\":1,\"block\":1,\
+         \"micros\":0,\"uptime_ms\":0,\"conns_rejected\":0,\"requests_timed_out\":0,\
+         \"retries_observed\":0,\"commands\":{{\"unrank\":2,\"rank\":1,\"block\":1,\
          \"random-stream\":1,\"verify\":1,\"stats\":1,\"shutdown\":0,\"error\":2}}}}"
     );
     steps.push((
